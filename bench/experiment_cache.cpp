@@ -1,0 +1,201 @@
+#include "experiment_cache.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/env.hpp"
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace mcmi::bench {
+
+namespace {
+
+constexpr char kMagic[9] = "mcmiexp2";
+
+std::string cache_path() {
+  return env_string("MCMI_CACHE", "mcmi_experiment_cache.bin");
+}
+
+/// Fingerprint of everything that changes the results; a cache with a
+/// different fingerprint is discarded.
+u64 fingerprint(const ExperimentOptions& o) {
+  u64 h = 0x9e3779b97f4a7c15ULL;
+  auto mixin = [&h](u64 v) { h = mix64(h ^ v); };
+  mixin(static_cast<u64>(o.data.replicates));
+  mixin(static_cast<u64>(o.test_replicates));
+  mixin(static_cast<u64>(o.pretrain.epochs));
+  mixin(static_cast<u64>(o.bo_batch));
+  mixin(static_cast<u64>(o.training_max_dim));
+  mixin(static_cast<u64>(o.seed));
+  mixin(static_cast<u64>(o.surrogate.gnn.hidden));
+  mixin(full_scale() ? 1 : 0);
+  return h;
+}
+
+void put_u64(std::ofstream& out, u64 v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+u64 get_u64(std::ifstream& in) {
+  u64 v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+void put_real(std::ofstream& out, real_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+real_t get_real(std::ifstream& in) {
+  real_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+void put_reals(std::ofstream& out, const std::vector<real_t>& v) {
+  put_u64(out, v.size());
+  for (real_t x : v) put_real(out, x);
+}
+std::vector<real_t> get_reals(std::ifstream& in) {
+  std::vector<real_t> v(get_u64(in));
+  for (real_t& x : v) x = get_real(in);
+  return v;
+}
+
+void put_observations(std::ofstream& out,
+                      const std::vector<GridObservation>& obs) {
+  put_u64(out, obs.size());
+  for (const GridObservation& g : obs) {
+    put_real(out, g.params.alpha);
+    put_real(out, g.params.eps);
+    put_real(out, g.params.delta);
+    put_reals(out, g.ys);
+  }
+}
+
+std::vector<GridObservation> get_observations(std::ifstream& in) {
+  std::vector<GridObservation> obs(get_u64(in));
+  for (GridObservation& g : obs) {
+    g.params.alpha = get_real(in);
+    g.params.eps = get_real(in);
+    g.params.delta = get_real(in);
+    g.ys = get_reals(in);
+  }
+  return obs;
+}
+
+void save_results(const ExperimentResults& r, u64 print, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return;  // caching is best-effort
+  out.write(kMagic, 8);
+  put_u64(out, print);
+  put_u64(out, static_cast<u64>(r.training_samples));
+  put_u64(out, static_cast<u64>(r.validation_samples));
+  put_real(out, r.pre_bo_validation_loss);
+  put_real(out, r.bo_enhanced_validation_loss);
+  put_u64(out, static_cast<u64>(r.baseline_steps));
+  put_observations(out, r.test_grid);
+  put_u64(out, r.calibration_pre.size());
+  for (const CalibrationSample& s : r.calibration_pre) {
+    put_real(out, s.observed);
+    put_real(out, s.mu);
+    put_real(out, s.sigma);
+  }
+  put_u64(out, r.calibration_post.size());
+  for (const CalibrationSample& s : r.calibration_post) {
+    put_real(out, s.observed);
+    put_real(out, s.mu);
+    put_real(out, s.sigma);
+  }
+  put_u64(out, r.inclusion.size());
+  for (const InclusionCell& c : r.inclusion) {
+    put_real(out, c.params.alpha);
+    put_real(out, c.params.eps);
+    put_real(out, c.params.delta);
+    put_real(out, c.empirical_mean);
+    put_real(out, c.empirical_std);
+    put_real(out, c.predicted_pre);
+    put_real(out, c.predicted_post);
+    put_u64(out, c.included_pre ? 1 : 0);
+    put_u64(out, c.included_post ? 1 : 0);
+  }
+  put_observations(out, r.grid_strategy.evaluated);
+  put_observations(out, r.balanced_strategy.evaluated);
+  put_observations(out, r.explore_strategy.evaluated);
+}
+
+bool load_results(ExperimentResults& r, u64 expected_print,
+                  const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  char magic[8];
+  in.read(magic, 8);
+  if (!in.good() || std::string(magic, 8) != kMagic) return false;
+  if (get_u64(in) != expected_print) return false;
+  r.training_samples = static_cast<index_t>(get_u64(in));
+  r.validation_samples = static_cast<index_t>(get_u64(in));
+  r.pre_bo_validation_loss = get_real(in);
+  r.bo_enhanced_validation_loss = get_real(in);
+  r.baseline_steps = static_cast<index_t>(get_u64(in));
+  r.test_grid = get_observations(in);
+  r.calibration_pre.resize(get_u64(in));
+  for (CalibrationSample& s : r.calibration_pre) {
+    s.observed = get_real(in);
+    s.mu = get_real(in);
+    s.sigma = get_real(in);
+  }
+  r.calibration_post.resize(get_u64(in));
+  for (CalibrationSample& s : r.calibration_post) {
+    s.observed = get_real(in);
+    s.mu = get_real(in);
+    s.sigma = get_real(in);
+  }
+  r.inclusion.resize(get_u64(in));
+  for (InclusionCell& c : r.inclusion) {
+    c.params.alpha = get_real(in);
+    c.params.eps = get_real(in);
+    c.params.delta = get_real(in);
+    c.empirical_mean = get_real(in);
+    c.empirical_std = get_real(in);
+    c.predicted_pre = get_real(in);
+    c.predicted_post = get_real(in);
+    c.included_pre = get_u64(in) != 0;
+    c.included_post = get_u64(in) != 0;
+  }
+  r.grid_strategy.name = "grid-search(64)";
+  r.grid_strategy.evaluated = get_observations(in);
+  r.balanced_strategy.name = "bo-balanced(32, xi=0.05)";
+  r.balanced_strategy.evaluated = get_observations(in);
+  r.explore_strategy.name = "bo-explore(32, xi=1.00)";
+  r.explore_strategy.evaluated = get_observations(in);
+  return in.good();
+}
+
+}  // namespace
+
+ExperimentOptions figure_experiment_options() {
+  ExperimentOptions opt;  // env-sensitive defaults (see ExperimentOptions())
+  return opt;
+}
+
+ExperimentResults run_or_load_experiment(const std::string& label) {
+  const ExperimentOptions opt = figure_experiment_options();
+  const u64 print = fingerprint(opt);
+  ExperimentResults results;
+  if (load_results(results, print, cache_path())) {
+    std::printf("[%s] loaded cached experiment from %s\n", label.c_str(),
+                cache_path().c_str());
+    return results;
+  }
+  std::printf("[%s] running the full tuning experiment (replicates=%lld, "
+              "epochs=%lld; set MCMI_REPLICATES/MCMI_EPOCHS/MCMI_FULL to "
+              "rescale)\n",
+              label.c_str(), static_cast<long long>(opt.data.replicates),
+              static_cast<long long>(opt.pretrain.epochs));
+  WallTimer timer;
+  TuningExperiment experiment(opt);
+  experiment.run();
+  std::printf("[%s] experiment finished in %.1f s\n", label.c_str(),
+              timer.seconds());
+  save_results(experiment.results(), print, cache_path());
+  return experiment.results();
+}
+
+}  // namespace mcmi::bench

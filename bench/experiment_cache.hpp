@@ -1,0 +1,24 @@
+#pragma once
+// Shared experiment runner for the figure benches.
+//
+// Figures 1, 2 and 3 are three views of the same §4.4 experiment.  The first
+// bench binary to run executes the pipeline and serialises the results; the
+// other two load the cache (validated against the experiment fingerprint) so
+// `for b in build/bench/*; do $b; done` pays the pipeline cost once.
+// Set MCMI_CACHE to change the cache path; delete the file to force a rerun.
+
+#include <string>
+
+#include "pipeline/experiment.hpp"
+
+namespace mcmi::bench {
+
+/// The experiment configuration used by all figure benches (honours
+/// MCMI_FULL / MCMI_REPLICATES / MCMI_EPOCHS).
+ExperimentOptions figure_experiment_options();
+
+/// Run the experiment or load it from the cache.  `label` is printed in the
+/// progress banner.
+ExperimentResults run_or_load_experiment(const std::string& label);
+
+}  // namespace mcmi::bench

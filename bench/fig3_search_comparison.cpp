@@ -1,0 +1,74 @@
+// Regenerates Figure 3: box plot of the sample medians of y(A, x_M) over the
+// explored parameter vectors for each search strategy, plus the observation
+// distribution at each strategy's best x_M*.
+//
+// Paper shape: with only 50% of the evaluation budget (32 recommendations vs
+// 64 grid points), the BO-enhanced recommendations reduce the steps to
+// convergence by up to ~25%, about 10% below the grid-search optimum.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/table.hpp"
+#include "experiment_cache.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using namespace mcmi;
+  const ExperimentResults r = bench::run_or_load_experiment("fig3");
+
+  std::printf("== Figure 3: search-strategy comparison on the unseen matrix "
+              "(baseline %lld steps) ==\n",
+              static_cast<long long>(r.baseline_steps));
+
+  TextTable table({"strategy", "budget", "min", "q1", "median", "q3", "max",
+                   "best median y", "best x_M (alpha,eps,delta)"});
+  auto add_strategy = [&](const StrategyResult& s) {
+    const std::vector<real_t> medians = s.medians();
+    const BoxStats box = box_stats(medians);
+    const index_t best = s.best_index();
+    const McmcParams& p = s.evaluated[best].params;
+    table.add_row({
+        s.name,
+        TextTable::fmt(static_cast<index_t>(s.evaluated.size())),
+        TextTable::fmt(box.minimum, 4),
+        TextTable::fmt(box.q1, 4),
+        TextTable::fmt(box.median, 4),
+        TextTable::fmt(box.q3, 4),
+        TextTable::fmt(box.maximum, 4),
+        TextTable::fmt(medians[best], 4),
+        "(" + TextTable::fmt(p.alpha, 2) + ", " + TextTable::fmt(p.eps, 3) +
+            ", " + TextTable::fmt(p.delta, 3) + ")",
+    });
+  };
+  add_strategy(r.grid_strategy);
+  add_strategy(r.balanced_strategy);
+  add_strategy(r.explore_strategy);
+  table.print(std::cout);
+  table.write_csv("fig3_search_comparison.csv");
+
+  // Observation scatter at each strategy's best x_M (the coloured circles).
+  std::printf("\nobservations y(A, x_M*) at each strategy's best point:\n");
+  auto print_best_obs = [&](const StrategyResult& s) {
+    const GridObservation& g = s.evaluated[s.best_index()];
+    std::printf("  %-26s :", s.name.c_str());
+    for (real_t y : g.ys) std::printf(" %.4f", y);
+    std::printf("\n");
+  };
+  print_best_obs(r.grid_strategy);
+  print_best_obs(r.balanced_strategy);
+  print_best_obs(r.explore_strategy);
+
+  const real_t grid_best =
+      r.grid_strategy.medians()[r.grid_strategy.best_index()];
+  const real_t bal_best =
+      r.balanced_strategy.medians()[r.balanced_strategy.best_index()];
+  const real_t exp_best =
+      r.explore_strategy.medians()[r.explore_strategy.best_index()];
+  const real_t bo_best = std::min(bal_best, exp_best);
+  std::printf("\nheadline: BO at 50%% budget reaches y=%.4f vs grid y=%.4f "
+              "(%+.1f%% steps relative to grid optimum)\n",
+              bo_best, grid_best, 100.0 * (bo_best - grid_best) / grid_best);
+  std::printf("[fig3] CSV written to fig3_search_comparison.csv\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Google-benchmark micro-kernels: the per-operation costs underlying every
+// experiment — SpMV, MCMC preconditioner builds, Krylov solves, GNN
+// forward/backward, EI evaluation and L-BFGS-B runs.
+
+#include <benchmark/benchmark.h>
+
+#include "bo/expected_improvement.hpp"
+#include "bo/lbfgsb.hpp"
+#include "features/matrix_features.hpp"
+#include "gen/laplace.hpp"
+#include "gen/plasma.hpp"
+#include "gnn/stack.hpp"
+#include "krylov/solver.hpp"
+#include "mcmc/inverter.hpp"
+#include "mcmc/regenerative.hpp"
+#include "precond/ilu0.hpp"
+#include "surrogate/model.hpp"
+
+namespace {
+
+using namespace mcmi;
+
+void BM_SpMV(benchmark::State& state) {
+  const CsrMatrix a = laplace_2d(state.range(0));
+  std::vector<real_t> x(static_cast<std::size_t>(a.rows()), 1.0);
+  std::vector<real_t> y;
+  for (auto _ : state) {
+    a.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpMV)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_McmcBuild(benchmark::State& state) {
+  const CsrMatrix a = laplace_2d(32);
+  const real_t eps = 1.0 / static_cast<real_t>(state.range(0));
+  for (auto _ : state) {
+    McmcInverter inverter(a, {1.0, eps, 0.0625});
+    benchmark::DoNotOptimize(inverter.compute().nnz());
+  }
+}
+BENCHMARK(BM_McmcBuild)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RegenerativeBuild(benchmark::State& state) {
+  const CsrMatrix a = laplace_2d(32);
+  for (auto _ : state) {
+    RegenerativeInverter inverter(a,
+                                  {1.0, static_cast<index_t>(state.range(0))});
+    benchmark::DoNotOptimize(inverter.compute().nnz());
+  }
+}
+BENCHMARK(BM_RegenerativeBuild)->Arg(32)->Arg(128);
+
+void BM_WalkThroughput(benchmark::State& state) {
+  // Transitions per second of the sampler at a fixed configuration.
+  const CsrMatrix a = plasma_a00512();
+  index_t transitions = 0;
+  for (auto _ : state) {
+    McmcInverter inverter(a, {1.0, 0.125, 0.03125});
+    benchmark::DoNotOptimize(inverter.compute().nnz());
+    transitions += inverter.info().total_transitions;
+  }
+  state.SetItemsProcessed(transitions);
+}
+BENCHMARK(BM_WalkThroughput);
+
+void BM_GmresSolve(benchmark::State& state) {
+  const CsrMatrix a = laplace_2d(48);
+  std::vector<real_t> b(static_cast<std::size_t>(a.rows()), 1.0);
+  IdentityPreconditioner id;
+  SolveOptions opt;
+  opt.restart = 250;
+  for (auto _ : state) {
+    std::vector<real_t> x;
+    benchmark::DoNotOptimize(solve_gmres(a, b, id, x, opt).iterations);
+  }
+}
+BENCHMARK(BM_GmresSolve);
+
+void BM_Ilu0Factorise(benchmark::State& state) {
+  const CsrMatrix a = laplace_2d(64);
+  for (auto _ : state) {
+    Ilu0Preconditioner ilu(a);
+    benchmark::DoNotOptimize(&ilu);
+  }
+}
+BENCHMARK(BM_Ilu0Factorise);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const CsrMatrix a = plasma_a00512();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_features(a).to_vector().data());
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_GnnForward(benchmark::State& state) {
+  const gnn::Graph g = gnn::Graph::from_csr(laplace_2d(32));
+  gnn::GnnConfig config;
+  config.hidden = static_cast<index_t>(state.range(0));
+  gnn::GnnStack stack(config, 1, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack.forward(g, false).data().data());
+  }
+}
+BENCHMARK(BM_GnnForward)->Arg(16)->Arg(64);
+
+void BM_GnnBackward(benchmark::State& state) {
+  const gnn::Graph g = gnn::Graph::from_csr(laplace_2d(32));
+  gnn::GnnConfig config;
+  config.hidden = 32;
+  gnn::GnnStack stack(config, 1, 7);
+  nn::Tensor grad(1, 32, 1.0);
+  for (auto _ : state) {
+    stack.forward(g, true);
+    stack.backward(g, grad);
+  }
+}
+BENCHMARK(BM_GnnBackward);
+
+void BM_ExpectedImprovement(benchmark::State& state) {
+  const EiContext ctx{0.8, 0.05};
+  real_t mu = 0.7;
+  for (auto _ : state) {
+    mu += 1e-9;
+    benchmark::DoNotOptimize(expected_improvement(mu, 0.3, ctx));
+  }
+}
+BENCHMARK(BM_ExpectedImprovement);
+
+void BM_LbfgsbRosenbrock(benchmark::State& state) {
+  Bounds bounds{{-2.0, -2.0}, {2.0, 2.0}};
+  auto f = [](const std::vector<real_t>& x, std::vector<real_t>& g) {
+    const real_t a = 1.0 - x[0];
+    const real_t b = x[1] - x[0] * x[0];
+    g = {-2.0 * a - 400.0 * x[0] * b, 200.0 * b};
+    return a * a + 100.0 * b * b;
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minimize_lbfgsb(f, {-1.2, 1.0}, bounds).value);
+  }
+}
+BENCHMARK(BM_LbfgsbRosenbrock);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Scenario: AI-driven parameter recommendation for a new linear system —
+// the paper's headline workflow in one program.
+//
+//   1. label a small training corpus by running the MCMC preconditioner
+//      over the coarse parameter grid (§4.2);
+//   2. train the graph-neural surrogate (§3.1);
+//   3. for an unseen matrix, let Expected Improvement + L-BFGS-B recommend
+//      a parameter batch (§3.2, Algorithm 1);
+//   4. verify the recommendation against the grid-search optimum at half
+//      the evaluation budget.
+//
+// Runs a scaled-down corpus by default; MCMI_REPLICATES / MCMI_EPOCHS
+// rescale it.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bo/recommender.hpp"
+#include "core/env.hpp"
+#include "features/matrix_features.hpp"
+#include "pipeline/dataset_builder.hpp"
+#include "stats/summary.hpp"
+#include "surrogate/trainer.hpp"
+
+int main() {
+  using namespace mcmi;
+  const index_t replicates = env_int("MCMI_REPLICATES", 3);
+  const index_t epochs = env_int("MCMI_EPOCHS", 20);
+
+  // -- 1. Label a training corpus (small matrices, coarse grid). ----------
+  DatasetBuildOptions data;
+  data.replicates = replicates;
+  std::printf("[1/4] labelling the training corpus...\n");
+  SurrogateDataset dataset = build_dataset(training_matrix_set(300), data);
+  std::printf("      %lld labelled samples over %lld matrices\n",
+              static_cast<long long>(dataset.size()),
+              static_cast<long long>(dataset.num_matrices()));
+
+  // -- 2. Train the surrogate. ---------------------------------------------
+  std::printf("[2/4] training the graph-neural surrogate (%lld epochs)...\n",
+              static_cast<long long>(epochs));
+  SurrogateModel model(default_config());
+  model.fit_standardizers(dataset);
+  std::vector<LabeledSample> train, validation;
+  dataset.split(0.2, 11, train, validation);
+  TrainOptions train_options;
+  train_options.epochs = epochs;
+  const TrainReport report =
+      train_surrogate(model, dataset, train, validation, train_options);
+  std::printf("      validation loss %.4f\n", report.final_validation_loss);
+
+  // -- 3. Recommend parameters for an unseen system. -----------------------
+  const NamedMatrix unseen = make_matrix("unsteady_adv_diff_order2_0001");
+  std::printf("[3/4] recommending x_M for unseen matrix %s...\n",
+              unseen.name.c_str());
+  model.cache_matrix(gnn::Graph::from_csr(unseen.matrix),
+                     extract_features(unseen.matrix).to_vector());
+  real_t y_min = 1e9;
+  for (const LabeledSample& s : dataset.samples) {
+    y_min = std::min(y_min, s.y_mean);
+  }
+  RecommendOptions rec_options;
+  rec_options.batch_size = 8;
+  rec_options.xi = 0.05;
+  rec_options.y_min = y_min;
+  McmcSearchSpace space;
+  const auto batch =
+      recommend_batch(model, KrylovMethod::kGMRES, space, rec_options);
+
+  // -- 4. Evaluate recommendations vs the coarse grid. ---------------------
+  std::printf("[4/4] evaluating %zu recommendations (and the 64-point grid "
+              "for reference)...\n", batch.size());
+  SolveOptions solve;
+  solve.restart = 250;
+  solve.max_iterations = 4000;
+  PerformanceMeasurer measurer(unseen.matrix, solve);
+
+  real_t best_bo = 1e9;
+  McmcParams best_bo_params;
+  for (const Recommendation& rec : batch) {
+    const real_t med = median(measurer.measure_replicates(
+        rec.params, KrylovMethod::kGMRES, replicates));
+    std::printf("      x_M=(%.2f, %.3f, %.3f)  EI=%.4f  ->  median y=%.4f\n",
+                rec.params.alpha, rec.params.eps, rec.params.delta, rec.ei,
+                med);
+    if (med < best_bo) {
+      best_bo = med;
+      best_bo_params = rec.params;
+    }
+  }
+  real_t best_grid = 1e9;
+  for (const McmcParams& p : paper_parameter_grid()) {
+    best_grid = std::min(best_grid,
+                         median(measurer.measure_replicates(
+                             p, KrylovMethod::kGMRES, replicates)));
+  }
+  std::printf("\nbest recommendation: x_M=(%.2f, %.3f, %.3f) with median "
+              "y=%.4f\ngrid-search optimum (8x the evaluations): y=%.4f\n",
+              best_bo_params.alpha, best_bo_params.eps, best_bo_params.delta,
+              best_bo, best_grid);
+  std::printf("%s\n", best_bo <= best_grid
+                          ? "the AI recommendation matches or beats the grid "
+                            "at a fraction of the cost."
+                          : "the grid wins at this tiny training scale; rerun "
+                            "with MCMI_REPLICATES/MCMI_EPOCHS raised.");
+  return 0;
+}

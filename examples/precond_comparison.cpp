@@ -1,0 +1,65 @@
+// Scenario: choosing a preconditioner for heterogeneous systems.
+//
+// Sweeps the classical baselines (Jacobi, ILU(0)) and the MCMC matrix
+// inversion across the paper's matrix families and prints the GMRES step
+// counts — the §2 comparison: ILU is strong when it works but can break
+// down; MCMC preconditioning applies uniformly and parallelises as SpMV.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "core/error.hpp"
+#include "core/table.hpp"
+#include "gen/matrix_set.hpp"
+#include "krylov/solver.hpp"
+#include "mcmc/inverter.hpp"
+#include "precond/ilu0.hpp"
+#include "precond/jacobi.hpp"
+#include "precond/spai.hpp"
+
+int main() {
+  using namespace mcmi;
+  SolveOptions options;
+  options.tolerance = 1e-8;
+  options.restart = 250;
+  options.max_iterations = 4000;
+
+  TextTable table({"matrix", "n", "none", "jacobi", "ilu0", "spai",
+                   "mcmcmi(1, 1/16, 1/16)"});
+  for (const char* name :
+       {"2DFDLaplace_32", "a00512", "PDD_RealSparse_N256",
+        "unsteady_adv_diff_order1_0001"}) {
+    const NamedMatrix system = make_matrix(name);
+    const CsrMatrix& a = system.matrix;
+    std::vector<real_t> b(static_cast<std::size_t>(a.rows()), 1.0);
+    std::vector<real_t> x;
+
+    auto steps = [&](const Preconditioner& p) -> std::string {
+      const SolveResult res = solve_gmres(a, b, p, x, options);
+      return res.converged ? std::to_string(res.iterations) : "diverged";
+    };
+
+    IdentityPreconditioner none;
+    JacobiPreconditioner jacobi(a);
+    std::string ilu_steps;
+    try {
+      Ilu0Preconditioner ilu(a);
+      ilu_steps = steps(ilu);
+    } catch (const Error&) {
+      ilu_steps = "breakdown";  // the §2 ILU failure mode
+    }
+    SpaiPreconditioner spai(a);
+    const auto mcmc =
+        McmcInverter::build_preconditioner(a, {1.0, 0.0625, 0.0625});
+
+    table.add_row({name, TextTable::fmt(a.rows()), steps(none), steps(jacobi),
+                   ilu_steps, steps(spai), steps(*mcmc)});
+  }
+  std::printf("GMRES steps to 1e-8 by preconditioner:\n");
+  table.print(std::cout);
+  std::printf("\nMCMCMI applies via one SpMV per iteration and its build is "
+              "embarrassingly parallel —\nthe architectural advantage §2 "
+              "highlights over triangular-solve preconditioners.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Scenario: the regenerative Ulam–von Neumann variant (Ghosh et al., 2025),
+// the "more recent variant" the paper names as a drop-in replacement for the
+// classic sampler (§3) — all hyper-parameters collapse into one transition
+// budget.
+//
+// Compares classic (eps, delta) tuning against the single-knob regenerative
+// scheme on a climate-like system, at matched sampling cost.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/table.hpp"
+#include "gen/matrix_set.hpp"
+#include "krylov/solver.hpp"
+#include "mcmc/inverter.hpp"
+#include "mcmc/regenerative.hpp"
+
+int main() {
+  using namespace mcmi;
+  const NamedMatrix system = make_matrix("PDD_RealSparse_N256");
+  const CsrMatrix& a = system.matrix;
+  std::printf("system: %s (%s)\n\n", system.name.c_str(),
+              a.summary().c_str());
+
+  std::vector<real_t> b(static_cast<std::size_t>(a.rows()), 1.0);
+  SolveOptions options;
+  options.restart = 250;
+  options.max_iterations = 2000;
+  IdentityPreconditioner identity;
+  std::vector<real_t> x;
+  const index_t baseline =
+      solve_gmres(a, b, identity, x, options).iterations;
+  std::printf("unpreconditioned GMRES: %lld steps\n\n",
+              static_cast<long long>(baseline));
+
+  TextTable table({"scheme", "knobs", "transitions", "gmres steps", "y"});
+
+  // Classic scheme: two stochastic knobs to tune.
+  for (real_t eps : {0.25, 0.0625}) {
+    McmcInverter inverter(a, {1.0, eps, 0.0625});
+    const SparseApproximateInverse p(inverter.compute(), "classic");
+    const SolveResult res = solve_gmres(a, b, p, x, options);
+    table.add_row({"classic",
+                   "eps=" + TextTable::fmt(eps, 4) + " delta=0.0625",
+                   TextTable::fmt(inverter.info().total_transitions),
+                   TextTable::fmt(res.iterations),
+                   TextTable::fmt(static_cast<real_t>(res.iterations) /
+                                      static_cast<real_t>(baseline),
+                                  3)});
+  }
+
+  // Regenerative scheme: one budget knob; absorption replaces truncation,
+  // so the estimator is unbiased.
+  for (index_t budget : {16, 64, 256}) {
+    RegenerativeInverter inverter(a, {1.0, budget});
+    const SparseApproximateInverse p(inverter.compute(), "regenerative");
+    const SolveResult res = solve_gmres(a, b, p, x, options);
+    table.add_row({"regenerative",
+                   "budget=" + TextTable::fmt(budget) + "/row",
+                   TextTable::fmt(inverter.info().total_transitions),
+                   TextTable::fmt(res.iterations),
+                   TextTable::fmt(static_cast<real_t>(res.iterations) /
+                                      static_cast<real_t>(baseline),
+                                  3)});
+  }
+  table.print(std::cout);
+  std::printf("\none transition budget replaces the (eps, delta) pair — the "
+              "robustness/variance-control\nadvance the paper cites from the "
+              "regenerative formulation.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "bo/expected_improvement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "stats/normal.hpp"
+
+namespace mcmi {
+
+real_t expected_improvement(real_t mu, real_t sigma, const EiContext& ctx) {
+  const real_t a = ctx.y_min - mu - ctx.xi;
+  if (sigma <= 1e-12) return std::max(0.0, a);
+  const real_t z = a / sigma;
+  return a * normal_cdf(z) + sigma * normal_pdf(z);
+}
+
+real_t expected_improvement_grad(real_t mu, real_t sigma,
+                                 const std::vector<real_t>& dmu,
+                                 const std::vector<real_t>& dsigma,
+                                 const EiContext& ctx,
+                                 std::vector<real_t>& grad) {
+  MCMI_CHECK(dmu.size() == dsigma.size(), "gradient size mismatch");
+  grad.assign(dmu.size(), 0.0);
+  const real_t a = ctx.y_min - mu - ctx.xi;
+  if (sigma <= 1e-12) {
+    // Degenerate posterior: EI = max(0, a); only the mu path contributes.
+    if (a > 0.0) {
+      for (std::size_t i = 0; i < dmu.size(); ++i) grad[i] = -dmu[i];
+    }
+    return std::max(0.0, a);
+  }
+  const real_t z = a / sigma;
+  const real_t cdf = normal_cdf(z);
+  const real_t pdf = normal_pdf(z);
+  // dEI/dmu = -Phi(z); dEI/dsigma = phi(z) (the z-terms cancel exactly).
+  for (std::size_t i = 0; i < dmu.size(); ++i) {
+    grad[i] = -cdf * dmu[i] + pdf * dsigma[i];
+  }
+  return a * cdf + sigma * pdf;
+}
+
+}  // namespace mcmi

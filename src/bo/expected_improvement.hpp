@@ -1,0 +1,36 @@
+#pragma once
+// Expected Improvement acquisition (eq. 3).
+//
+// For a Gaussian surrogate posterior N(mu, sigma^2) and incumbent y_min:
+//
+//   EI(x) = (y_min - mu - xi) Phi(z) + sigma phi(z),   z = (y_min-mu-xi)/sigma
+//
+// with the closed-form gradient dEI = -Phi(z) dmu + phi(z) dsigma.
+// xi is the exploration parameter: 0 = pure exploitation, 0.01-0.10 balanced,
+// larger values favour uncertain regions (the paper benchmarks xi = 0.05 and
+// xi = 1.0).
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mcmi {
+
+struct EiContext {
+  real_t y_min = 1.0;  ///< best (lowest) observed performance metric so far
+  real_t xi = 0.05;    ///< exploration parameter
+};
+
+/// EI value for a prediction (mu, sigma).  sigma <= 0 degenerates to the
+/// deterministic improvement max(0, y_min - mu - xi).
+real_t expected_improvement(real_t mu, real_t sigma, const EiContext& ctx);
+
+/// EI and its gradient w.r.t. the optimisation variables, given the
+/// prediction gradients dmu/dx and dsigma/dx.
+real_t expected_improvement_grad(real_t mu, real_t sigma,
+                                 const std::vector<real_t>& dmu,
+                                 const std::vector<real_t>& dsigma,
+                                 const EiContext& ctx,
+                                 std::vector<real_t>& grad);
+
+}  // namespace mcmi

@@ -1,0 +1,186 @@
+#include "bo/lbfgsb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "core/error.hpp"
+
+namespace mcmi {
+
+void Bounds::project(std::vector<real_t>& x) const {
+  MCMI_CHECK(x.size() == lower.size() && x.size() == upper.size(),
+             "bounds dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::clamp(x[i], lower[i], upper[i]);
+  }
+}
+
+namespace {
+
+struct Pair {
+  std::vector<real_t> s;
+  std::vector<real_t> y;
+  real_t rho = 0.0;  // 1 / (y^T s)
+};
+
+real_t dot(const std::vector<real_t>& a, const std::vector<real_t>& b) {
+  real_t sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+/// Projected gradient: zero on components pinned at an active bound.
+std::vector<real_t> projected_gradient(const std::vector<real_t>& x,
+                                       const std::vector<real_t>& g,
+                                       const Bounds& b) {
+  std::vector<real_t> pg = g;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool at_lower = x[i] <= b.lower[i] && g[i] > 0.0;
+    const bool at_upper = x[i] >= b.upper[i] && g[i] < 0.0;
+    if (at_lower || at_upper) pg[i] = 0.0;
+  }
+  return pg;
+}
+
+real_t inf_norm(const std::vector<real_t>& v) {
+  real_t best = 0.0;
+  for (real_t x : v) best = std::max(best, std::abs(x));
+  return best;
+}
+
+}  // namespace
+
+LbfgsbResult minimize_lbfgsb(const Objective& f, std::vector<real_t> x0,
+                             const Bounds& bounds,
+                             const LbfgsbOptions& opt) {
+  const index_t n = bounds.dim();
+  MCMI_CHECK(static_cast<index_t>(x0.size()) == n,
+             "x0 dimension " << x0.size() << " != bounds dim " << n);
+  bounds.project(x0);
+
+  LbfgsbResult result;
+  result.x = std::move(x0);
+
+  std::vector<real_t> g(static_cast<std::size_t>(n));
+  result.value = f(result.x, g);
+  result.evaluations = 1;
+
+  std::deque<Pair> memory;
+
+  for (index_t it = 0; it < opt.max_iterations; ++it) {
+    result.iterations = it;
+    const std::vector<real_t> pg = projected_gradient(result.x, g, bounds);
+    if (inf_norm(pg) < opt.grad_tolerance) {
+      result.converged = true;
+      return result;
+    }
+
+    // Two-loop recursion on the projected gradient.
+    std::vector<real_t> q = pg;
+    std::vector<real_t> alpha(memory.size());
+    for (std::size_t k = memory.size(); k-- > 0;) {
+      alpha[k] = memory[k].rho * dot(memory[k].s, q);
+      for (std::size_t i = 0; i < q.size(); ++i) {
+        q[i] -= alpha[k] * memory[k].y[i];
+      }
+    }
+    if (!memory.empty()) {
+      const Pair& last = memory.back();
+      const real_t gamma = dot(last.s, last.y) / dot(last.y, last.y);
+      for (real_t& v : q) v *= gamma;
+    }
+    for (std::size_t k = 0; k < memory.size(); ++k) {
+      const real_t beta = memory[k].rho * dot(memory[k].y, q);
+      for (std::size_t i = 0; i < q.size(); ++i) {
+        q[i] += (alpha[k] - beta) * memory[k].s[i];
+      }
+    }
+    // Descent direction d = -H pg, with active components frozen.
+    std::vector<real_t> d(q.size());
+    for (std::size_t i = 0; i < q.size(); ++i) d[i] = -q[i];
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (pg[i] == 0.0) d[i] = 0.0;
+    }
+    real_t directional = dot(d, g);
+    if (directional >= 0.0) {
+      // Fall back to steepest descent when curvature information misleads.
+      for (std::size_t i = 0; i < d.size(); ++i) d[i] = -pg[i];
+      directional = dot(d, g);
+      if (directional >= 0.0) {
+        result.converged = true;  // no descent available in the box
+        return result;
+      }
+    }
+
+    // Weak-Wolfe line search by bisection (Lewis & Overton): the curvature
+    // condition guarantees s^T y > 0 on acceptance, so the BFGS memory stays
+    // positive definite even on nonconvex objectives — Armijo alone stalls
+    // on curved valleys because every pair gets rejected.
+    const real_t c2 = 0.9;
+    real_t t = 1.0, t_lo = 0.0, t_hi = 0.0;  // t_hi == 0 means unbounded
+    std::vector<real_t> x_new(result.x.size());
+    std::vector<real_t> g_new(g.size());
+    real_t f_new = result.value;
+    bool accepted = false;
+    for (int ls = 0; ls < 50 && t >= opt.step_tolerance; ++ls) {
+      for (std::size_t i = 0; i < x_new.size(); ++i) {
+        x_new[i] = result.x[i] + t * d[i];
+      }
+      bounds.project(x_new);
+      f_new = f(x_new, g_new);
+      ++result.evaluations;
+      // Both conditions are evaluated on the actual projected displacement.
+      real_t decrease = 0.0, new_slope = 0.0;
+      for (std::size_t i = 0; i < x_new.size(); ++i) {
+        const real_t dx = x_new[i] - result.x[i];
+        decrease += g[i] * dx;
+        new_slope += g_new[i] * dx;
+      }
+      if (f_new > result.value + opt.armijo_c1 * decrease ||
+          f_new >= result.value) {
+        t_hi = t;  // too long (or no progress): shrink
+        t = 0.5 * (t_lo + t_hi);
+      } else if (new_slope < c2 * decrease) {
+        t_lo = t;  // curvature still strongly negative: lengthen
+        t = (t_hi == 0.0) ? 2.0 * t : 0.5 * (t_lo + t_hi);
+      } else {
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) {
+      // Fall back to the best sufficient-decrease point if one was found.
+      if (f_new < result.value) {
+        accepted = true;
+      } else {
+        result.converged = inf_norm(pg) < std::sqrt(opt.grad_tolerance);
+        return result;
+      }
+    }
+
+    // Curvature update.
+    Pair pair;
+    pair.s.resize(x_new.size());
+    pair.y.resize(g_new.size());
+    for (std::size_t i = 0; i < x_new.size(); ++i) {
+      pair.s[i] = x_new[i] - result.x[i];
+      pair.y[i] = g_new[i] - g[i];
+    }
+    const real_t sy = dot(pair.s, pair.y);
+    if (sy > 1e-12 * std::sqrt(dot(pair.s, pair.s) * dot(pair.y, pair.y))) {
+      pair.rho = 1.0 / sy;
+      memory.push_back(std::move(pair));
+      if (static_cast<index_t>(memory.size()) > opt.history) {
+        memory.pop_front();
+      }
+    }
+
+    result.x = x_new;
+    result.value = f_new;
+    g = g_new;
+  }
+  return result;
+}
+
+}  // namespace mcmi

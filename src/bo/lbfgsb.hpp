@@ -1,0 +1,59 @@
+#pragma once
+// Bound-constrained limited-memory BFGS (L-BFGS-B).
+//
+// §3.2: "we minimise the negative EI using the gradient-based quasi-Newton
+// method L-BFGS-B; back-propagation supplies the exact gradient, which
+// L-BFGS-B exploits to build curvature information."
+//
+// This is the Byrd–Lu–Nocedal–Zhu algorithm in its projected form: the
+// active set comes from the projected gradient, the two-loop recursion runs
+// on the free variables, and a projected Armijo backtracking line search
+// globalises each step.  For the paper's 3-dimensional x_M box this reaches
+// the same optima as the full generalized-Cauchy-point variant (validated on
+// bound-constrained Rosenbrock/quadratic tests).
+
+#include <functional>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mcmi {
+
+/// Box constraints lower[i] <= x[i] <= upper[i].
+struct Bounds {
+  std::vector<real_t> lower;
+  std::vector<real_t> upper;
+
+  [[nodiscard]] index_t dim() const {
+    return static_cast<index_t>(lower.size());
+  }
+  /// Clip a point into the box.
+  void project(std::vector<real_t>& x) const;
+};
+
+/// Objective: fills `grad` and returns f(x).
+using Objective =
+    std::function<real_t(const std::vector<real_t>&, std::vector<real_t>&)>;
+
+struct LbfgsbOptions {
+  index_t max_iterations = 200;
+  index_t history = 8;             ///< stored (s, y) pairs
+  real_t grad_tolerance = 1e-8;    ///< on the projected gradient, inf-norm
+  real_t step_tolerance = 1e-14;   ///< minimum line-search step
+  real_t armijo_c1 = 1e-4;
+};
+
+struct LbfgsbResult {
+  std::vector<real_t> x;
+  real_t value = 0.0;
+  index_t iterations = 0;
+  index_t evaluations = 0;
+  bool converged = false;
+};
+
+/// Minimise f over the box.  x0 is projected into the box first.
+LbfgsbResult minimize_lbfgsb(const Objective& f, std::vector<real_t> x0,
+                             const Bounds& bounds,
+                             const LbfgsbOptions& options = {});
+
+}  // namespace mcmi

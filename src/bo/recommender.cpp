@@ -1,0 +1,126 @@
+#include "bo/recommender.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace mcmi {
+
+Bounds McmcSearchSpace::bounds() const {
+  Bounds b;
+  b.lower = {alpha_min, eps_min, delta_min};
+  b.upper = {alpha_max, eps_max, delta_max};
+  return b;
+}
+
+McmcParams McmcSearchSpace::sample(Xoshiro256& rng) const {
+  McmcParams p;
+  p.alpha = uniform(rng, alpha_min, alpha_max);
+  p.eps = uniform(rng, eps_min, eps_max);
+  p.delta = uniform(rng, delta_min, delta_max);
+  return p;
+}
+
+namespace {
+
+std::vector<real_t> to_point(const McmcParams& p) {
+  return {p.alpha, p.eps, p.delta};
+}
+
+McmcParams to_params(const std::vector<real_t>& x) {
+  return {x[0], x[1], x[2]};
+}
+
+real_t distance(const std::vector<real_t>& a, const std::vector<real_t>& b) {
+  real_t d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d2 += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return std::sqrt(d2);
+}
+
+}  // namespace
+
+std::vector<Recommendation> recommend_batch(SurrogateModel& model,
+                                            KrylovMethod method,
+                                            const McmcSearchSpace& space,
+                                            const RecommendOptions& options) {
+  MCMI_CHECK(options.batch_size >= 1, "batch size must be positive");
+  const Bounds bounds = space.bounds();
+  const EiContext ei_ctx{options.y_min, options.xi};
+
+  // Objective for L-BFGS-B: minimise -EI(x_M) with exact gradients from the
+  // surrogate backward pass.
+  auto objective = [&](const std::vector<real_t>& x,
+                       std::vector<real_t>& grad) -> real_t {
+    McmcParams p = to_params(x);
+    const std::vector<real_t> xm = encode_xm(p, method);
+    PredictionWithGrad pg = model.predict_cached_with_grad(xm);
+    // The continuous components are the first three entries of x_M.
+    const std::vector<real_t> dmu(pg.dmu_dxm.begin(), pg.dmu_dxm.begin() + 3);
+    const std::vector<real_t> dsigma(pg.dsigma_dxm.begin(),
+                                     pg.dsigma_dxm.begin() + 3);
+    std::vector<real_t> ei_grad;
+    const real_t ei = expected_improvement_grad(pg.value.mu, pg.value.sigma,
+                                                dmu, dsigma, ei_ctx, ei_grad);
+    grad.resize(3);
+    for (std::size_t i = 0; i < 3; ++i) grad[i] = -ei_grad[i];
+    return -ei;
+  };
+
+  std::vector<Recommendation> batch;
+  std::vector<std::vector<real_t>> accepted_points;
+  index_t attempt = 0;
+  const index_t max_attempts = options.batch_size * 8;
+
+  while (static_cast<index_t>(batch.size()) < options.batch_size &&
+         attempt < max_attempts) {
+    Xoshiro256 rng = make_stream(options.seed, 0xB0, static_cast<u64>(attempt));
+    ++attempt;
+    const McmcParams init = space.sample(rng);
+    const LbfgsbResult res =
+        minimize_lbfgsb(objective, to_point(init), bounds, options.lbfgsb);
+
+    // Deduplicate: if the optimiser collapsed onto an existing candidate,
+    // keep the raw random explorer instead (diversity matters more than a
+    // marginally better EI within one batch).
+    std::vector<real_t> point = res.x;
+    bool duplicate = false;
+    for (const auto& other : accepted_points) {
+      if (distance(point, other) < options.dedup_distance) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      point = to_point(init);
+      bool still_duplicate = false;
+      for (const auto& other : accepted_points) {
+        if (distance(point, other) < options.dedup_distance) {
+          still_duplicate = true;
+          break;
+        }
+      }
+      if (still_duplicate) continue;
+    }
+
+    Recommendation rec;
+    rec.params = to_params(point);
+    rec.prediction =
+        model.predict_cached(encode_xm(rec.params, method));
+    rec.ei = expected_improvement(rec.prediction.mu, rec.prediction.sigma,
+                                  ei_ctx);
+    accepted_points.push_back(point);
+    batch.push_back(rec);
+  }
+
+  // Highest-EI candidates first.
+  std::sort(batch.begin(), batch.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              return a.ei > b.ei;
+            });
+  return batch;
+}
+
+}  // namespace mcmi

@@ -1,0 +1,55 @@
+#pragma once
+// Batch recommendation of MCMC parameters (the inner loop of Algorithm 1).
+//
+// For a fixed matrix, each of the k batch slots draws a random initial x_M
+// inside the search box and runs L-BFGS-B on -EI with the exact surrogate
+// input gradients.  Near-duplicate optima are replaced by fresh random
+// explorers so the evaluated batch stays diverse.
+
+#include <vector>
+
+#include "bo/expected_improvement.hpp"
+#include "bo/lbfgsb.hpp"
+#include "krylov/solver.hpp"
+#include "mcmc/params.hpp"
+#include "surrogate/model.hpp"
+
+namespace mcmi {
+
+/// Search box for the continuous x_M components (alpha, eps, delta).
+struct McmcSearchSpace {
+  real_t alpha_min = 0.25;
+  real_t alpha_max = 6.0;
+  real_t eps_min = 0.05;
+  real_t eps_max = 1.0;
+  real_t delta_min = 0.05;
+  real_t delta_max = 1.0;
+
+  [[nodiscard]] Bounds bounds() const;
+  /// Uniform random point in the box.
+  [[nodiscard]] McmcParams sample(Xoshiro256& rng) const;
+};
+
+struct RecommendOptions {
+  index_t batch_size = 32;    ///< k in Algorithm 1
+  real_t xi = 0.05;           ///< EI exploration parameter
+  real_t y_min = 1.0;         ///< incumbent (1.0 = unpreconditioned baseline)
+  real_t dedup_distance = 1e-3;  ///< minimum L2 distance between candidates
+  u64 seed = 99;
+  LbfgsbOptions lbfgsb;
+};
+
+struct Recommendation {
+  McmcParams params;
+  real_t ei = 0.0;            ///< acquisition value at the optimum
+  Prediction prediction;      ///< surrogate prediction at the optimum
+};
+
+/// Recommend a batch of k parameter vectors for `method` on the matrix that
+/// is currently cached inside `model` (call model.cache_matrix first).
+std::vector<Recommendation> recommend_batch(SurrogateModel& model,
+                                            KrylovMethod method,
+                                            const McmcSearchSpace& space,
+                                            const RecommendOptions& options);
+
+}  // namespace mcmi

@@ -1,0 +1,48 @@
+#include "core/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mcmi {
+
+namespace {
+const char* raw(const char* name) { return std::getenv(name); }
+}  // namespace
+
+index_t env_int(const char* name, index_t fallback) {
+  const char* v = raw(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? static_cast<index_t>(parsed)
+                                          : fallback;
+}
+
+real_t env_real(const char* name, real_t fallback) {
+  const char* v = raw(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? static_cast<real_t>(parsed)
+                                          : fallback;
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const char* v = raw(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  std::string s(v);
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = raw(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+bool full_scale() { return env_flag("MCMI_FULL", false); }
+
+}  // namespace mcmi

@@ -1,0 +1,31 @@
+#pragma once
+// Environment-variable configuration used by benches and examples.
+//
+// Benches default to sizes that finish quickly on a laptop; setting
+// MCMI_FULL=1 switches to the paper-scale configuration, and individual
+// knobs (replicates, epochs, ...) can be overridden per variable.
+
+#include <string>
+
+#include "core/types.hpp"
+
+namespace mcmi {
+
+/// Read an integer environment variable, returning `fallback` when the
+/// variable is unset or unparsable.
+index_t env_int(const char* name, index_t fallback);
+
+/// Read a floating-point environment variable.
+real_t env_real(const char* name, real_t fallback);
+
+/// Read a boolean environment variable; "1", "true", "yes", "on" (any case)
+/// count as true.
+bool env_flag(const char* name, bool fallback);
+
+/// Read a string environment variable.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// True when MCMI_FULL=1: run experiments at paper scale.
+bool full_scale();
+
+}  // namespace mcmi

@@ -1,0 +1,47 @@
+#pragma once
+// Error handling: a single exception type plus check macros.
+//
+// Numerical libraries need precise failure messages (which matrix, which
+// dimension) far more than elaborate exception hierarchies, so everything
+// throws mcmi::Error with a formatted what() string.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mcmi {
+
+/// Exception thrown by all mcmi precondition/state checks.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!message.empty()) os << " — " << message;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace mcmi
+
+/// Precondition check that is always active (also in Release builds).
+/// Usage: MCMI_CHECK(n > 0, "matrix dimension must be positive, got " << n);
+#define MCMI_CHECK(expr, ...)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream mcmi_check_os_;                                   \
+      mcmi_check_os_ << "" __VA_ARGS__;                                    \
+      ::mcmi::detail::throw_error(__FILE__, __LINE__, #expr,               \
+                                  mcmi_check_os_.str());                   \
+    }                                                                      \
+  } while (false)
+
+/// Unconditional failure with message.
+#define MCMI_FAIL(...) MCMI_CHECK(false, __VA_ARGS__)

@@ -1,0 +1,18 @@
+#include "core/parallel.hpp"
+
+#include <omp.h>
+
+namespace mcmi {
+
+int max_threads() { return omp_get_max_threads(); }
+
+void parallel_for(index_t begin, index_t end,
+                  const std::function<void(index_t)>& body, index_t grain) {
+  if (end <= begin) return;
+#pragma omp parallel for schedule(dynamic, grain)
+  for (index_t i = begin; i < end; ++i) {
+    body(i);
+  }
+}
+
+}  // namespace mcmi

@@ -1,0 +1,47 @@
+#pragma once
+// Text tables and CSV output for the benchmark harnesses.
+//
+// Every bench binary regenerating one of the paper's tables/figures prints an
+// aligned text table (for eyeballing) and can mirror the same rows to a CSV
+// file for downstream plotting.
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mcmi {
+
+/// Column-aligned text table with an optional CSV mirror.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; the number of cells must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a real with fixed precision.
+  static std::string fmt(real_t value, int precision = 4);
+  /// Convenience: format a real in scientific notation (as Table 1 does for
+  /// condition numbers).
+  static std::string sci(real_t value, int precision = 1);
+  static std::string fmt(index_t value);
+
+  /// Render the table with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Write the table as CSV.
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] index_t rows() const {
+    return static_cast<index_t>(rows_.size());
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcmi

@@ -1,0 +1,31 @@
+#pragma once
+// Wall-clock timing for experiment harnesses.
+
+#include <chrono>
+
+#include "core/types.hpp"
+
+namespace mcmi {
+
+/// Monotonic wall-clock timer.  start() on construction; seconds() reads the
+/// elapsed time without stopping.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] real_t seconds() const {
+    return std::chrono::duration<real_t>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] real_t millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mcmi

@@ -1,0 +1,20 @@
+#pragma once
+// Fundamental scalar and index types shared by every mcmi module.
+
+#include <cstdint>
+#include <cstddef>
+
+namespace mcmi {
+
+/// Floating-point type used throughout the numerical kernels.
+using real_t = double;
+
+/// Index type for matrix dimensions and nonzero positions.  Signed so that
+/// OpenMP canonical loops and reverse iteration are straightforward.
+using index_t = std::int64_t;
+
+/// Unsigned 64-bit word used by the counter-based RNG machinery.
+using u64 = std::uint64_t;
+using u32 = std::uint32_t;
+
+}  // namespace mcmi

@@ -1,0 +1,92 @@
+#include "dense/lu.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace mcmi {
+
+LuFactorization::LuFactorization(DenseMatrix a) : lu_(std::move(a)) {
+  MCMI_CHECK(lu_.rows() == lu_.cols(), "LU needs a square matrix, got "
+                                           << lu_.rows() << "x" << lu_.cols());
+  const index_t n = lu_.rows();
+  perm_.resize(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (index_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k.
+    index_t pivot = k;
+    real_t best = std::abs(lu_(k, k));
+    for (index_t i = k + 1; i < n; ++i) {
+      const real_t v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    MCMI_CHECK(best > 0.0, "singular matrix: zero pivot at column " << k);
+    if (pivot != k) {
+      for (index_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(pivot, j));
+      std::swap(perm_[k], perm_[pivot]);
+      sign_ = -sign_;
+    }
+    const real_t inv_pivot = 1.0 / lu_(k, k);
+    for (index_t i = k + 1; i < n; ++i) {
+      const real_t lik = lu_(i, k) * inv_pivot;
+      lu_(i, k) = lik;
+      if (lik == 0.0) continue;
+      for (index_t j = k + 1; j < n; ++j) {
+        lu_(i, j) -= lik * lu_(k, j);
+      }
+    }
+  }
+}
+
+std::vector<real_t> LuFactorization::solve(std::vector<real_t> b) const {
+  const index_t n = size();
+  MCMI_CHECK(static_cast<index_t>(b.size()) == n, "rhs size mismatch");
+  std::vector<real_t> x(static_cast<std::size_t>(n));
+  // Apply permutation, then forward substitution with unit L.
+  for (index_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (index_t i = 0; i < n; ++i) {
+    real_t sum = x[i];
+    for (index_t j = 0; j < i; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum;
+  }
+  // Backward substitution with U.
+  for (index_t i = n - 1; i >= 0; --i) {
+    real_t sum = x[i];
+    for (index_t j = i + 1; j < n; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum / lu_(i, i);
+  }
+  return x;
+}
+
+DenseMatrix LuFactorization::inverse() const {
+  const index_t n = size();
+  DenseMatrix inv(n, n);
+  std::vector<real_t> e(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    const std::vector<real_t> col = solve(e);
+    for (index_t i = 0; i < n; ++i) inv(i, j) = col[i];
+    e[j] = 0.0;
+  }
+  return inv;
+}
+
+real_t LuFactorization::determinant() const {
+  real_t det = sign_;
+  for (index_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::vector<real_t> dense_solve(const DenseMatrix& a,
+                                const std::vector<real_t>& b) {
+  return LuFactorization(a).solve(b);
+}
+
+DenseMatrix dense_inverse(const DenseMatrix& a) {
+  return LuFactorization(a).inverse();
+}
+
+}  // namespace mcmi

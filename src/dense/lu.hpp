@@ -1,0 +1,44 @@
+#pragma once
+// Dense LU factorisation with partial pivoting.
+//
+// The reference direct solver: tests compare every iterative solver and the
+// MCMC inverse estimator against LU solves / explicit inverses.
+
+#include <vector>
+
+#include "dense/matrix.hpp"
+
+namespace mcmi {
+
+/// PA = LU factorisation with partial (row) pivoting.
+class LuFactorization {
+ public:
+  /// Factorise a square matrix.  Throws mcmi::Error if the matrix is
+  /// numerically singular (zero pivot).
+  explicit LuFactorization(DenseMatrix a);
+
+  /// Solve A x = b.
+  [[nodiscard]] std::vector<real_t> solve(std::vector<real_t> b) const;
+
+  /// Explicit inverse (column-by-column solves).
+  [[nodiscard]] DenseMatrix inverse() const;
+
+  /// Determinant (product of pivots with permutation sign).
+  [[nodiscard]] real_t determinant() const;
+
+  [[nodiscard]] index_t size() const { return lu_.rows(); }
+
+ private:
+  DenseMatrix lu_;             // packed L (unit lower) and U
+  std::vector<index_t> perm_;  // row permutation
+  int sign_ = 1;
+};
+
+/// Convenience: solve a dense system in one call.
+std::vector<real_t> dense_solve(const DenseMatrix& a,
+                                const std::vector<real_t>& b);
+
+/// Convenience: explicit dense inverse.
+DenseMatrix dense_inverse(const DenseMatrix& a);
+
+}  // namespace mcmi

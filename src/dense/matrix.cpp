@@ -1,0 +1,72 @@
+#include "dense/matrix.hpp"
+
+#include <cmath>
+
+#include "sparse/csr.hpp"
+
+namespace mcmi {
+
+DenseMatrix DenseMatrix::identity(index_t n) {
+  DenseMatrix m(n, n);
+  for (index_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::from_csr(const CsrMatrix& a) {
+  DenseMatrix m(a.rows(), a.cols());
+  m.data() = a.to_dense();
+  return m;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  MCMI_CHECK(cols_ == other.rows_, "dense multiply: inner mismatch");
+  DenseMatrix out(rows_, other.cols_);
+  for (index_t i = 0; i < rows_; ++i) {
+    for (index_t k = 0; k < cols_; ++k) {
+      const real_t aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (index_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += aik * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<real_t> DenseMatrix::multiply(const std::vector<real_t>& x) const {
+  MCMI_CHECK(static_cast<index_t>(x.size()) == cols_,
+             "dense matvec: size mismatch");
+  std::vector<real_t> y(static_cast<std::size_t>(rows_), 0.0);
+  for (index_t i = 0; i < rows_; ++i) {
+    real_t sum = 0.0;
+    for (index_t j = 0; j < cols_; ++j) sum += (*this)(i, j) * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::transpose() const {
+  DenseMatrix out(cols_, rows_);
+  for (index_t i = 0; i < rows_; ++i) {
+    for (index_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+real_t DenseMatrix::norm_frobenius() const {
+  real_t sum = 0.0;
+  for (real_t v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+real_t DenseMatrix::max_abs_diff(const DenseMatrix& other) const {
+  MCMI_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+             "max_abs_diff: dimension mismatch");
+  real_t best = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    best = std::max(best, std::abs(data_[i] - other.data_[i]));
+  }
+  return best;
+}
+
+}  // namespace mcmi

@@ -1,0 +1,62 @@
+#pragma once
+// Small dense row-major matrix.
+//
+// Used only where exactness matters more than scale: LU reference solves in
+// tests, exact inverses to validate the MCMC estimator, and Jacobi SVD for
+// the Table 1 condition numbers of the small matrices.
+
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/types.hpp"
+
+namespace mcmi {
+
+class CsrMatrix;
+
+/// Row-major dense matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(index_t rows, index_t cols, real_t fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              fill) {
+    MCMI_CHECK(rows >= 0 && cols >= 0, "negative dense dimensions");
+  }
+
+  static DenseMatrix identity(index_t n);
+  static DenseMatrix from_csr(const CsrMatrix& a);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+
+  real_t& operator()(index_t i, index_t j) {
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+  real_t operator()(index_t i, index_t j) const {
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+
+  [[nodiscard]] const std::vector<real_t>& data() const { return data_; }
+  [[nodiscard]] std::vector<real_t>& data() { return data_; }
+
+  /// this * other.
+  [[nodiscard]] DenseMatrix multiply(const DenseMatrix& other) const;
+  /// this * x.
+  [[nodiscard]] std::vector<real_t> multiply(
+      const std::vector<real_t>& x) const;
+  [[nodiscard]] DenseMatrix transpose() const;
+
+  /// Frobenius norm.
+  [[nodiscard]] real_t norm_frobenius() const;
+  /// max |a_ij - b_ij|.
+  [[nodiscard]] real_t max_abs_diff(const DenseMatrix& other) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<real_t> data_;
+};
+
+}  // namespace mcmi

@@ -1,0 +1,68 @@
+#include "dense/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mcmi {
+
+std::vector<real_t> singular_values(DenseMatrix a, index_t max_sweeps) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  MCMI_CHECK(m >= n, "one-sided Jacobi expects rows >= cols; transpose first");
+
+  // One-sided Jacobi: orthogonalise pairs of columns of A by plane rotations
+  // until all pairs are numerically orthogonal; column norms are then the
+  // singular values.
+  const real_t eps = std::numeric_limits<real_t>::epsilon();
+  for (index_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        real_t app = 0.0, aqq = 0.0, apq = 0.0;
+        for (index_t i = 0; i < m; ++i) {
+          const real_t u = a(i, p);
+          const real_t v = a(i, q);
+          app += u * u;
+          aqq += v * v;
+          apq += u * v;
+        }
+        if (std::abs(apq) <= eps * std::sqrt(app * aqq)) continue;
+        converged = false;
+        // Jacobi rotation annihilating the (p,q) Gram entry.
+        const real_t tau = (aqq - app) / (2.0 * apq);
+        const real_t t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const real_t c = 1.0 / std::sqrt(1.0 + t * t);
+        const real_t s = c * t;
+        for (index_t i = 0; i < m; ++i) {
+          const real_t u = a(i, p);
+          const real_t v = a(i, q);
+          a(i, p) = c * u - s * v;
+          a(i, q) = s * u + c * v;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  std::vector<real_t> sigma(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    real_t sum = 0.0;
+    for (index_t i = 0; i < m; ++i) sum += a(i, j) * a(i, j);
+    sigma[j] = std::sqrt(sum);
+  }
+  std::sort(sigma.begin(), sigma.end(), std::greater<real_t>());
+  return sigma;
+}
+
+real_t condition_number_exact(const DenseMatrix& a) {
+  DenseMatrix work = a.rows() >= a.cols() ? a : a.transpose();
+  const std::vector<real_t> sigma = singular_values(std::move(work));
+  MCMI_CHECK(!sigma.empty(), "empty matrix has no condition number");
+  const real_t smin = sigma.back();
+  if (smin <= 0.0) return std::numeric_limits<real_t>::infinity();
+  return sigma.front() / smin;
+}
+
+}  // namespace mcmi

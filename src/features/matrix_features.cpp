@@ -1,0 +1,133 @@
+#include "features/matrix_features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "dense/matrix.hpp"
+#include "dense/svd.hpp"
+#include "krylov/solver.hpp"
+#include "precond/jacobi.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace mcmi {
+
+namespace {
+
+/// sigma_max(A) by power iteration on A^T A.
+real_t largest_singular_value(const CsrMatrix& a, index_t iterations) {
+  const index_t n = a.cols();
+  Xoshiro256 rng = make_stream(97, 0);
+  std::vector<real_t> v(static_cast<std::size_t>(n));
+  for (real_t& x : v) x = normal01(rng);
+  const real_t nv = norm2(v);
+  for (real_t& x : v) x /= nv;
+
+  std::vector<real_t> av, atav;
+  real_t sigma2 = 0.0;
+  for (index_t it = 0; it < iterations; ++it) {
+    a.multiply(v, av);
+    a.multiply_transpose(av, atav);
+    sigma2 = norm2(atav);
+    if (sigma2 == 0.0) return 0.0;
+    for (index_t i = 0; i < n; ++i) v[i] = atav[i] / sigma2;
+  }
+  return std::sqrt(sigma2);
+}
+
+/// sigma_min(A) by inverse iteration on A^T A: each step solves A z = w and
+/// A^T y = z approximately with Jacobi-preconditioned GMRES.
+real_t smallest_singular_value(const CsrMatrix& a, index_t iterations) {
+  const index_t n = a.cols();
+  const CsrMatrix at = a.transpose();
+  JacobiPreconditioner pa(a);
+  JacobiPreconditioner pat(at);
+  SolveOptions opt;
+  opt.tolerance = 1e-10;
+  opt.max_iterations = 400;
+  opt.restart = 60;
+
+  Xoshiro256 rng = make_stream(101, 0);
+  std::vector<real_t> v(static_cast<std::size_t>(n));
+  for (real_t& x : v) x = normal01(rng);
+  real_t nv = norm2(v);
+  for (real_t& x : v) x /= nv;
+
+  real_t growth = 0.0;
+  for (index_t it = 0; it < iterations; ++it) {
+    std::vector<real_t> z, y;
+    solve_gmres(a, v, pa, z, opt);       // z ~ A^-1 v
+    solve_gmres(at, z, pat, y, opt);     // y ~ A^-T z = (A^T A)^-1 v
+    growth = norm2(y);
+    if (growth == 0.0 || !std::isfinite(growth)) return 0.0;
+    for (index_t i = 0; i < n; ++i) v[i] = y[i] / growth;
+  }
+  // growth ~ 1 / sigma_min^2.
+  return 1.0 / std::sqrt(growth);
+}
+
+}  // namespace
+
+std::vector<real_t> MatrixFeatures::to_vector() const {
+  return {dimension,      log_nnz,  fill,           symmetry,
+          norm_inf,       norm_one, norm_frobenius, diag_dominance,
+          avg_row_nnz,    log_condition};
+}
+
+std::vector<std::string> MatrixFeatures::names() {
+  return {"n",        "log_nnz",  "fill",     "symmetry", "norm_inf",
+          "norm_one", "norm_fro", "diag_dom", "avg_nnz",  "log_kappa"};
+}
+
+index_t MatrixFeatures::count() {
+  return static_cast<index_t>(names().size());
+}
+
+real_t estimate_condition_number(const CsrMatrix& a, index_t exact_threshold) {
+  MCMI_CHECK(a.rows() == a.cols(), "condition number needs a square matrix");
+  if (a.rows() <= exact_threshold) {
+    return condition_number_exact(DenseMatrix::from_csr(a));
+  }
+  const real_t smax = largest_singular_value(a, 30);
+  const real_t smin = smallest_singular_value(a, 3);
+  if (smin <= 0.0) return std::numeric_limits<real_t>::infinity();
+  return smax / smin;
+}
+
+MatrixFeatures extract_features(const CsrMatrix& a,
+                                index_t condition_exact_threshold) {
+  MatrixFeatures f;
+  const index_t n = a.rows();
+  f.dimension = static_cast<real_t>(n);
+  f.log_nnz = std::log1p(static_cast<real_t>(a.nnz()));
+  f.fill = a.fill();
+  f.symmetry = a.symmetry_score();
+  f.norm_inf = a.norm_inf();
+  f.norm_one = a.norm_one();
+  f.norm_frobenius = a.norm_frobenius();
+  f.avg_row_nnz = n > 0 ? static_cast<real_t>(a.nnz()) / n : 0.0;
+
+  // Diagonal dominance: min_i |a_ii| / sum_{j != i} |a_ij|, clipped to [0,10].
+  real_t dominance = 10.0;
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  for (index_t i = 0; i < n; ++i) {
+    real_t diag = 0.0, off = 0.0;
+    for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      if (col_idx[k] == i) diag = std::abs(values[k]);
+      else off += std::abs(values[k]);
+    }
+    const real_t ratio = off > 0.0 ? diag / off : 10.0;
+    dominance = std::min(dominance, std::min(ratio, 10.0));
+  }
+  f.diag_dominance = dominance;
+
+  const real_t kappa = estimate_condition_number(a, condition_exact_threshold);
+  f.log_condition = std::isfinite(kappa) ? std::log10(std::max(kappa, 1.0))
+                                         : 16.0;  // saturate singular cases
+  return f;
+}
+
+}  // namespace mcmi

@@ -1,0 +1,49 @@
+#pragma once
+// Cheap matrix features x_A for the surrogate model (§3.1).
+//
+// The paper augments the graph input with "inexpensive matrix features ...
+// such as the norms, sparsity and symmetricity".  This module extracts that
+// feature vector, including an approximate condition number (exact SVD for
+// small matrices, power/inverse iteration otherwise).
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace mcmi {
+
+/// The x_A feature vector.
+struct MatrixFeatures {
+  real_t dimension = 0.0;        ///< n
+  real_t log_nnz = 0.0;          ///< log(1 + nnz)
+  real_t fill = 0.0;             ///< phi(A)
+  real_t symmetry = 0.0;         ///< symmetry score in [0, 1]
+  real_t norm_inf = 0.0;
+  real_t norm_one = 0.0;
+  real_t norm_frobenius = 0.0;
+  real_t diag_dominance = 0.0;   ///< min_i |a_ii| / sum_{j!=i} |a_ij|
+  real_t avg_row_nnz = 0.0;
+  real_t log_condition = 0.0;    ///< log10 of the condition estimate
+
+  /// Flatten to the vector fed to the surrogate's FC branch.
+  [[nodiscard]] std::vector<real_t> to_vector() const;
+  /// Names aligned with to_vector(), for reports.
+  static std::vector<std::string> names();
+  /// Number of features.
+  static index_t count();
+};
+
+/// Estimate kappa_2(A).  Matrices with n <= `exact_threshold` use the exact
+/// Jacobi SVD; larger ones use power iteration for sigma_max and
+/// GMRES-based inverse iteration for sigma_min.
+real_t estimate_condition_number(const CsrMatrix& a,
+                                 index_t exact_threshold = 300);
+
+/// Extract the full feature vector.  `condition_exact_threshold` is passed
+/// through to estimate_condition_number.
+MatrixFeatures extract_features(const CsrMatrix& a,
+                                index_t condition_exact_threshold = 300);
+
+}  // namespace mcmi

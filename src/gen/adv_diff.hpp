@@ -1,0 +1,44 @@
+#pragma once
+// Unsteady advection–diffusion generator.
+//
+// Table 1 lists `unsteady_adv_diff_order{1,2}_0001` (n = 225, nonsymmetric,
+// fill 0.646, kappa ~ 4.1e6 / 6.6e6).  The very high fill marks these as
+// *all-at-once space-time* systems with a memory term: we discretise
+//
+//   u_t + b u_x - nu u_xx + integral_0^t K(t-s) (G u)(s) ds = f
+//
+// on `space` interior points x `steps` time levels (default 15 x 15 = 225).
+// The Volterra memory kernel couples every earlier time level through a
+// dense nonlocal spatial operator G (exponential kernel), which produces the
+// block-lower-triangular, nearly-dense structure (~0.55-0.65 fill) and the
+// severe ill-conditioning of the paper's test matrices.  `order` selects the
+// quadrature for the memory integral — rectangle rule (order 1) or the
+// trapezoid-type rule (order 2); the order-2 variant has larger end weights
+// and a sharper kernel, which is what makes it the *harder* unseen system
+// used for generalisation in §4.2.
+
+#include "sparse/csr.hpp"
+
+namespace mcmi {
+
+struct AdvDiffOptions {
+  index_t space = 15;      ///< interior spatial points per time level
+  index_t steps = 15;      ///< time levels (dimension = space*steps)
+  int order = 1;           ///< time-quadrature order, 1 or 2
+  real_t velocity = 1.0;   ///< advection speed b
+  real_t diffusion = 1e-3; ///< diffusion coefficient nu
+  real_t dt = 0.05;        ///< time step
+  real_t memory_strength = 40.0;  ///< scale of the Volterra memory term
+  real_t kernel_length = 0.35;    ///< correlation length of the nonlocal G
+  real_t grading = 0.0;           ///< mesh grading ratio; 0 = per-order default
+};
+
+/// Build the all-at-once unsteady advection–diffusion matrix.
+/// Dimension = options.space * options.steps; nonsymmetric.
+CsrMatrix unsteady_adv_diff(const AdvDiffOptions& options);
+
+/// Paper-named convenience constructors (n = 225).
+CsrMatrix unsteady_adv_diff_order1();
+CsrMatrix unsteady_adv_diff_order2();
+
+}  // namespace mcmi

@@ -1,0 +1,77 @@
+#include "gen/climate.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace mcmi {
+
+CsrMatrix climate_transport(const ClimateOptions& o) {
+  MCMI_CHECK(o.nx >= 2 * o.radius + 1 && o.ny >= 2 * o.radius + 1,
+             "grid too small for radius " << o.radius);
+  const index_t n = o.nx * o.ny;
+  const real_t hx = 1.0 / static_cast<real_t>(o.nx + 1);
+  const real_t hy = 1.0 / static_cast<real_t>(o.ny + 1);
+
+  CooMatrix coo(n, n);
+  auto id = [&](index_t ix, index_t iy) { return iy * o.nx + ix; };
+
+  for (index_t iy = 0; iy < o.ny; ++iy) {
+    for (index_t ix = 0; ix < o.nx; ++ix) {
+      const index_t row = id(ix, iy);
+      const real_t y = static_cast<real_t>(iy + 1) * hy;
+      // Diffusion axes rotate with latitude (jet-stream tilt).
+      const real_t theta = o.rotation * std::sin(2.0 * M_PI * y);
+      const real_t ct = std::cos(theta), st = std::sin(theta);
+      // Anisotropic diffusion tensor D = R diag(k_par, k_perp) R^T.
+      const real_t kpar = o.anisotropy, kperp = 1.0;
+      const real_t dxx = kpar * ct * ct + kperp * st * st;
+      const real_t dyy = kpar * st * st + kperp * ct * ct;
+      const real_t dxy = (kpar - kperp) * ct * st;
+
+      real_t diag = 0.0;
+      for (index_t dy = -o.radius; dy <= o.radius; ++dy) {
+        for (index_t dx = -o.radius; dx <= o.radius; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const real_t ex = static_cast<real_t>(dx) * hx;
+          const real_t ey = static_cast<real_t>(dy) * hy;
+          const real_t r2 = ex * ex + ey * ey;
+          // Directional weight: coupling strength along the local diffusion
+          // tensor, decaying with squared distance.
+          const real_t along = dxx * ex * ex + 2.0 * dxy * ex * ey +
+                               dyy * ey * ey;
+          const real_t w = along / (r2 * r2) * hx * hy;
+          if (w <= 0.0) continue;
+          diag += w;
+          const index_t jx = ix + dx;
+          const index_t jy = iy + dy;
+          if (jx >= 0 && jx < o.nx && jy >= 0 && jy < o.ny) {
+            coo.add(row, id(jx, jy), -w);
+          }
+        }
+      }
+      // Zonal wind: latitude-dependent upwind advection in x (nonsymmetric).
+      const real_t u = o.zonal_wind * std::cos(M_PI * (y - 0.5));
+      if (u >= 0.0) {
+        diag += u / hx;
+        if (ix > 0) coo.add(row, id(ix - 1, iy), -u / hx);
+      } else {
+        diag -= u / hx;
+        if (ix + 1 < o.nx) coo.add(row, id(ix + 1, iy), u / hx);
+      }
+      coo.add(row, row, diag + 1.0);  // weak reaction keeps A nonsingular
+    }
+  }
+  return CsrMatrix::from_coo(std::move(coo));
+}
+
+CsrMatrix climate_nonsym_r3_a11(bool full_scale) {
+  ClimateOptions o;
+  if (full_scale) {
+    o.nx = 145;  // 145^2 = 21025 ~ the paper's 20930
+    o.ny = 145;
+  }
+  return climate_transport(o);
+}
+
+}  // namespace mcmi

@@ -1,0 +1,37 @@
+#include "gen/laplace.hpp"
+
+#include "core/error.hpp"
+
+namespace mcmi {
+
+CsrMatrix laplace_2d(index_t m) {
+  MCMI_CHECK(m >= 2, "need at least 2 mesh intervals, got " << m);
+  const index_t g = m - 1;  // interior points per side
+  const index_t n = g * g;
+  CooMatrix coo(n, n);
+  auto id = [g](index_t ix, index_t iy) { return iy * g + ix; };
+  for (index_t iy = 0; iy < g; ++iy) {
+    for (index_t ix = 0; ix < g; ++ix) {
+      const index_t row = id(ix, iy);
+      coo.add(row, row, 4.0);
+      if (ix > 0) coo.add(row, id(ix - 1, iy), -1.0);
+      if (ix + 1 < g) coo.add(row, id(ix + 1, iy), -1.0);
+      if (iy > 0) coo.add(row, id(ix, iy - 1), -1.0);
+      if (iy + 1 < g) coo.add(row, id(ix, iy + 1), -1.0);
+    }
+  }
+  return CsrMatrix::from_coo(std::move(coo));
+}
+
+CsrMatrix laplace_1d(index_t n) {
+  MCMI_CHECK(n >= 1, "need positive dimension");
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, 2.0);
+    if (i > 0) coo.add(i, i - 1, -1.0);
+    if (i + 1 < n) coo.add(i, i + 1, -1.0);
+  }
+  return CsrMatrix::from_coo(std::move(coo));
+}
+
+}  // namespace mcmi

@@ -1,0 +1,22 @@
+#pragma once
+// Finite-difference Laplacian generators.
+//
+// `laplace_2d(m)` reproduces the 2DFDLaplace_<m> family of Table 1: the
+// standard 5-point stencil on the (m-1)x(m-1) interior grid of the unit
+// square (so 2DFDLaplace_16 has n = 15^2 = 225).  The unscaled stencil
+// diag=4, off=-1 gives the O(h^-2) condition-number ladder the paper
+// illustrates (kappa ~ 1.0e2, 4.1e2, 1.7e3, 6.6e3 for m = 16..128).
+
+#include "sparse/csr.hpp"
+
+namespace mcmi {
+
+/// 5-point 2D FD Laplacian with `m` mesh intervals per side
+/// (dimension (m-1)^2, symmetric positive definite).
+CsrMatrix laplace_2d(index_t m);
+
+/// 1D second-difference matrix of dimension n (tridiagonal 2,-1), SPD.
+/// Used by fast unit tests.
+CsrMatrix laplace_1d(index_t n);
+
+}  // namespace mcmi

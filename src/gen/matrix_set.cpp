@@ -1,0 +1,77 @@
+#include "gen/matrix_set.hpp"
+
+#include "core/error.hpp"
+#include "gen/adv_diff.hpp"
+#include "gen/climate.hpp"
+#include "gen/laplace.hpp"
+#include "gen/plasma.hpp"
+#include "gen/random_sparse.hpp"
+
+namespace mcmi {
+
+NamedMatrix make_matrix(const std::string& name, bool full_scale) {
+  if (name == "2DFDLaplace_16") return {name, laplace_2d(16), true};
+  if (name == "2DFDLaplace_32") return {name, laplace_2d(32), true};
+  if (name == "2DFDLaplace_64") return {name, laplace_2d(64), true};
+  if (name == "2DFDLaplace_128") {
+    // Reduced to m=96 (n=9025) by default; full scale restores m=128
+    // (n=16129) as published.
+    return {name, laplace_2d(full_scale ? 128 : 96), true};
+  }
+  if (name == "nonsym_r3_a11") {
+    return {name, climate_nonsym_r3_a11(full_scale), false};
+  }
+  if (name == "a00512") return {name, plasma_a00512(), false};
+  if (name == "a08192") return {name, plasma_a08192(), false};
+  if (name == "unsteady_adv_diff_order1_0001") {
+    return {name, unsteady_adv_diff_order1(), false};
+  }
+  if (name == "unsteady_adv_diff_order2_0001") {
+    return {name, unsteady_adv_diff_order2(), false};
+  }
+  if (name == "PDD_RealSparse_N64") return {name, pdd_real_sparse(64), false};
+  if (name == "PDD_RealSparse_N128") {
+    return {name, pdd_real_sparse(128), false};
+  }
+  if (name == "PDD_RealSparse_N256") {
+    return {name, pdd_real_sparse(256), false};
+  }
+  MCMI_FAIL("unknown matrix name '" << name << "'");
+}
+
+std::vector<std::string> paper_matrix_names() {
+  return {
+      "2DFDLaplace_16",
+      "2DFDLaplace_32",
+      "2DFDLaplace_64",
+      "2DFDLaplace_128",
+      "nonsym_r3_a11",
+      "a00512",
+      "a08192",
+      "unsteady_adv_diff_order1_0001",
+      "unsteady_adv_diff_order2_0001",
+      "PDD_RealSparse_N64",
+      "PDD_RealSparse_N128",
+      "PDD_RealSparse_N256",
+  };
+}
+
+std::vector<NamedMatrix> paper_matrix_set(bool full_scale) {
+  std::vector<NamedMatrix> out;
+  for (const std::string& name : paper_matrix_names()) {
+    out.push_back(make_matrix(name, full_scale));
+  }
+  return out;
+}
+
+std::vector<NamedMatrix> training_matrix_set(index_t max_dim) {
+  std::vector<NamedMatrix> out;
+  for (const std::string& name : paper_matrix_names()) {
+    if (name == "unsteady_adv_diff_order2_0001") continue;  // unseen test
+    NamedMatrix m = make_matrix(name, /*full_scale=*/false);
+    if (m.matrix.rows() <= max_dim) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace mcmi

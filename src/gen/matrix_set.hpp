@@ -1,0 +1,38 @@
+#pragma once
+// The Table 1 matrix catalogue.
+//
+// `paper_matrix_set()` materialises the twelve matrices of the study with
+// their paper names.  By default the two largest members
+// (2DFDLaplace_128, nonsym_r3_a11) are generated at reduced size so the
+// benches stay laptop-friendly; `full_scale=true` (env MCMI_FULL=1)
+// restores the published dimensions.
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace mcmi {
+
+/// One catalogued matrix with its metadata.
+struct NamedMatrix {
+  std::string name;   ///< paper name, e.g. "2DFDLaplace_64"
+  CsrMatrix matrix;
+  bool spd = false;   ///< symmetric positive definite (enables CG)
+};
+
+/// Build one catalogue entry by paper name.  Throws for unknown names.
+NamedMatrix make_matrix(const std::string& name, bool full_scale = false);
+
+/// All names in Table 1 order.
+std::vector<std::string> paper_matrix_names();
+
+/// The full Table 1 catalogue.
+std::vector<NamedMatrix> paper_matrix_set(bool full_scale = false);
+
+/// The small-matrix training subset used by the pipeline benches
+/// (everything with n <= max_dim; the unseen test matrix
+/// unsteady_adv_diff_order2_0001 is always excluded, as in §4.2).
+std::vector<NamedMatrix> training_matrix_set(index_t max_dim = 1200);
+
+}  // namespace mcmi

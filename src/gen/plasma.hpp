@@ -1,0 +1,37 @@
+#pragma once
+// Plasma-physics-like nonsymmetric operators (`a0XXXX` family of Table 1).
+//
+// The paper's a00512 / a08192 matrices are finite-element discretisations of
+// asymmetric differential operators from plasma physics at two mesh
+// resolutions.  We reproduce the family with a structured-grid
+// discretisation of a drift-diffusion operator with an E x B - like swirl
+// velocity field,
+//
+//   -div(nu grad u) + b(x,y) . grad u + c u,   b = omega * (y-1/2, -(x-1/2)),
+//
+// using a coupling radius of 2 for the coarse matrix (wide, higher-order
+// stencil; fill ~ 0.05 at n=512, matching phi=0.059) and radius 1 for the
+// fine one (5-point; fill ~ 0.0006, matching phi=0.0007).  Conditioning
+// grows with resolution as O(h^-2), reproducing kappa ~ 1.9e3 -> 3.2e5.
+
+#include "sparse/csr.hpp"
+
+namespace mcmi {
+
+struct PlasmaOptions {
+  index_t nx = 32;        ///< grid points in x
+  index_t ny = 16;        ///< grid points in y
+  index_t radius = 2;     ///< stencil coupling radius
+  real_t diffusion = 1.0; ///< nu
+  real_t swirl = 24.0;    ///< omega, strength of the rotational drift
+  real_t reaction = 0.35;  ///< c
+};
+
+/// Build a plasma-like drift-diffusion matrix of dimension nx*ny.
+CsrMatrix plasma_drift_diffusion(const PlasmaOptions& options);
+
+/// Paper-named convenience constructors.
+CsrMatrix plasma_a00512();  ///< n = 512 (32x16, radius 2)
+CsrMatrix plasma_a08192();  ///< n = 8192 (128x64, radius 1)
+
+}  // namespace mcmi

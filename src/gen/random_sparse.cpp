@@ -1,0 +1,92 @@
+#include "gen/random_sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace mcmi {
+
+namespace {
+
+/// Sample `count` distinct column indices != row from [0, n).
+std::vector<index_t> sample_columns(Xoshiro256& rng, index_t n, index_t row,
+                                    index_t count) {
+  std::vector<index_t> cols;
+  cols.reserve(static_cast<std::size_t>(count));
+  while (static_cast<index_t>(cols.size()) < count) {
+    const index_t c = static_cast<index_t>(uniform_index(rng, static_cast<u64>(n)));
+    if (c == row) continue;
+    if (std::find(cols.begin(), cols.end(), c) != cols.end()) continue;
+    cols.push_back(c);
+  }
+  return cols;
+}
+
+}  // namespace
+
+CsrMatrix pdd_real_sparse(index_t n, real_t fill, u64 seed) {
+  MCMI_CHECK(n >= 2, "dimension too small");
+  MCMI_CHECK(fill > 0.0 && fill <= 1.0, "fill must be in (0,1]");
+  const index_t per_row =
+      std::max<index_t>(1, static_cast<index_t>(std::llround(fill * n)) - 1);
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    Xoshiro256 rng = make_stream(seed, 0, static_cast<u64>(i));
+    real_t abs_sum = 0.0;
+    for (index_t c : sample_columns(rng, n, i, per_row)) {
+      const real_t v = uniform(rng, -1.0, 1.0);
+      coo.add(i, c, v);
+      abs_sum += std::abs(v);
+    }
+    // Mild diagonal dominance keeps kappa small (~5-13) and independent of
+    // n, as the PDD_RealSparse rows of Table 1 show.
+    coo.add(i, i, 0.7 * abs_sum + 0.3 + uniform(rng, 0.0, 0.2));
+  }
+  return CsrMatrix::from_coo(std::move(coo));
+}
+
+CsrMatrix random_spd(index_t n, index_t per_row, real_t shift, u64 seed) {
+  MCMI_CHECK(n >= 2, "dimension too small");
+  CooMatrix coo(n, n);
+  real_t max_row_sum = 0.0;
+  std::vector<real_t> row_sum(static_cast<std::size_t>(n), 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    Xoshiro256 rng = make_stream(seed, 1, static_cast<u64>(i));
+    for (index_t c : sample_columns(rng, n, i, per_row)) {
+      const real_t v = uniform(rng, -0.5, 0.5);
+      // Symmetrise by emitting both (i,c) and (c,i).
+      coo.add(i, c, v);
+      coo.add(c, i, v);
+      row_sum[i] += std::abs(v);
+      row_sum[c] += std::abs(v);
+    }
+  }
+  for (real_t s : row_sum) max_row_sum = std::max(max_row_sum, s);
+  for (index_t i = 0; i < n; ++i) {
+    // Gershgorin: diagonal > row sum guarantees positive definiteness.
+    coo.add(i, i, max_row_sum + shift);
+  }
+  return CsrMatrix::from_coo(std::move(coo));
+}
+
+CsrMatrix random_diag_dominant(index_t n, index_t per_row, real_t dominance,
+                               u64 seed) {
+  MCMI_CHECK(n >= 2, "dimension too small");
+  MCMI_CHECK(dominance > 1.0, "dominance must exceed 1");
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    Xoshiro256 rng = make_stream(seed, 2, static_cast<u64>(i));
+    real_t abs_sum = 0.0;
+    for (index_t c : sample_columns(rng, n, i, per_row)) {
+      const real_t v = uniform(rng, -1.0, 1.0);
+      coo.add(i, c, v);
+      abs_sum += std::abs(v);
+    }
+    coo.add(i, i, dominance * std::max(abs_sum, 1e-3));
+  }
+  return CsrMatrix::from_coo(std::move(coo));
+}
+
+}  // namespace mcmi

@@ -1,0 +1,18 @@
+#include "gnn/graph.hpp"
+
+namespace mcmi::gnn {
+
+Graph Graph::from_csr(const CsrMatrix& a) {
+  Graph g;
+  g.num_nodes = a.rows();
+  g.edge_ptr.assign(a.row_ptr().begin(), a.row_ptr().end());
+  g.dst.assign(a.col_idx().begin(), a.col_idx().end());
+  g.weight.assign(a.values().begin(), a.values().end());
+  g.node_features = nn::Tensor(g.num_nodes, 1);
+  for (index_t i = 0; i < g.num_nodes; ++i) {
+    g.node_features(i, 0) = static_cast<real_t>(g.degree(i));
+  }
+  return g;
+}
+
+}  // namespace mcmi::gnn

@@ -1,0 +1,38 @@
+#pragma once
+// Graph representation of a sparse matrix (§3.1).
+//
+// "We construct a weighted and directed graph G = (V, x_V, E, w_E) from the
+// matrix A, whose vertex set represents the rows of A.  An edge (i,j)
+// exists iff A_ij != 0 and carries weight w_E(i,j) = A_ij.  Each vertex
+// stores the unweighted row degree."
+//
+// Edges are stored grouped by source node (CSR-like edge_ptr) so message
+// aggregation over a node's neighbourhood is a contiguous scan.
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "sparse/csr.hpp"
+
+namespace mcmi::gnn {
+
+struct Graph {
+  index_t num_nodes = 0;
+  std::vector<index_t> edge_ptr;  ///< size n+1; edges of node i are [ptr[i], ptr[i+1])
+  std::vector<index_t> dst;       ///< destination node per edge
+  std::vector<real_t> weight;     ///< edge weight A_ij
+  nn::Tensor node_features;       ///< n x 1: unweighted row degree
+
+  [[nodiscard]] index_t num_edges() const {
+    return static_cast<index_t>(dst.size());
+  }
+  [[nodiscard]] index_t degree(index_t node) const {
+    return edge_ptr[node + 1] - edge_ptr[node];
+  }
+
+  /// Build the paper's graph from a CSR matrix.  Diagonal entries become
+  /// self-loops (kept: they carry the dominant weights).
+  static Graph from_csr(const CsrMatrix& a);
+};
+
+}  // namespace mcmi::gnn

@@ -1,0 +1,560 @@
+#include "gnn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace mcmi::gnn {
+
+std::string aggregation_name(Aggregation a) {
+  switch (a) {
+    case Aggregation::kMean: return "mean";
+    case Aggregation::kSum: return "sum";
+    case Aggregation::kMax: return "max";
+    case Aggregation::kMulti: return "multi";
+  }
+  MCMI_FAIL("invalid aggregation");
+}
+
+std::string layer_kind_name(LayerKind k) {
+  switch (k) {
+    case LayerKind::kEdgeConv: return "edgeconv";
+    case LayerKind::kGine: return "gine";
+    case LayerKind::kGcn: return "gcn";
+    case LayerKind::kGatv2: return "gatv2";
+  }
+  MCMI_FAIL("invalid layer kind");
+}
+
+Aggregation parse_aggregation(const std::string& name) {
+  if (name == "mean") return Aggregation::kMean;
+  if (name == "sum") return Aggregation::kSum;
+  if (name == "max") return Aggregation::kMax;
+  if (name == "multi") return Aggregation::kMulti;
+  MCMI_FAIL("unknown aggregation '" << name << "'");
+}
+
+LayerKind parse_layer_kind(const std::string& name) {
+  if (name == "edgeconv") return LayerKind::kEdgeConv;
+  if (name == "gine") return LayerKind::kGine;
+  if (name == "gcn") return LayerKind::kGcn;
+  if (name == "gatv2") return LayerKind::kGatv2;
+  MCMI_FAIL("unknown GNN layer kind '" << name << "'");
+}
+
+index_t aggregated_width(Aggregation agg, index_t message_width) {
+  return agg == Aggregation::kMulti ? 3 * message_width : message_width;
+}
+
+nn::Tensor aggregate_messages(const Graph& g, const nn::Tensor& messages,
+                              Aggregation agg, std::vector<index_t>& argmax) {
+  const index_t n = g.num_nodes;
+  const index_t m = messages.cols();
+  MCMI_CHECK(messages.rows() == g.num_edges(),
+             "message count != edge count");
+  const index_t width = aggregated_width(agg, m);
+  nn::Tensor out(n, width);
+
+  const bool need_max = agg == Aggregation::kMax || agg == Aggregation::kMulti;
+  if (need_max) {
+    argmax.assign(static_cast<std::size_t>(n) * m, -1);
+  } else {
+    argmax.clear();
+  }
+
+#pragma omp parallel for schedule(static) if (n > 256)
+  for (index_t i = 0; i < n; ++i) {
+    const index_t begin = g.edge_ptr[i];
+    const index_t end = g.edge_ptr[i + 1];
+    const index_t deg = end - begin;
+    if (deg == 0) continue;  // isolated node: aggregated features stay 0
+
+    // Offsets of the (mean, max, sum) sections inside the output row.
+    const index_t mean_off = 0;
+    const index_t max_off = agg == Aggregation::kMulti ? m
+                            : agg == Aggregation::kMax ? 0
+                                                       : -1;
+    const index_t sum_off = agg == Aggregation::kMulti ? 2 * m
+                            : agg == Aggregation::kSum ? 0
+                                                       : -1;
+    for (index_t e = begin; e < end; ++e) {
+      for (index_t c = 0; c < m; ++c) {
+        const real_t v = messages(e, c);
+        if (agg == Aggregation::kMean || agg == Aggregation::kMulti) {
+          out(i, mean_off + c) += v;
+        }
+        if (sum_off >= 0 && agg != Aggregation::kMean) {
+          if (agg == Aggregation::kSum) out(i, sum_off + c) += v;
+          else out(i, sum_off + c) += v;  // multi: sum section
+        }
+        if (need_max) {
+          index_t& arg = argmax[static_cast<std::size_t>(i) * m + c];
+          if (arg < 0 || v > out(i, max_off + c)) {
+            out(i, max_off + c) = v;
+            arg = e;
+          }
+        }
+      }
+    }
+    if (agg == Aggregation::kMean || agg == Aggregation::kMulti) {
+      const real_t inv_deg = 1.0 / static_cast<real_t>(deg);
+      for (index_t c = 0; c < m; ++c) out(i, mean_off + c) *= inv_deg;
+    }
+  }
+  return out;
+}
+
+nn::Tensor scatter_gradients(const Graph& g, const nn::Tensor& grad_nodes,
+                             Aggregation agg, index_t message_width,
+                             const std::vector<index_t>& argmax) {
+  const index_t n = g.num_nodes;
+  const index_t m = message_width;
+  MCMI_CHECK(grad_nodes.cols() == aggregated_width(agg, m),
+             "scatter: width mismatch");
+  nn::Tensor grad_edges(g.num_edges(), m);
+
+  for (index_t i = 0; i < n; ++i) {
+    const index_t begin = g.edge_ptr[i];
+    const index_t end = g.edge_ptr[i + 1];
+    const index_t deg = end - begin;
+    if (deg == 0) continue;
+    const real_t inv_deg = 1.0 / static_cast<real_t>(deg);
+
+    if (agg == Aggregation::kMean || agg == Aggregation::kMulti) {
+      for (index_t e = begin; e < end; ++e) {
+        for (index_t c = 0; c < m; ++c) {
+          grad_edges(e, c) += grad_nodes(i, c) * inv_deg;
+        }
+      }
+    }
+    if (agg == Aggregation::kSum || agg == Aggregation::kMulti) {
+      const index_t off = agg == Aggregation::kMulti ? 2 * m : 0;
+      for (index_t e = begin; e < end; ++e) {
+        for (index_t c = 0; c < m; ++c) {
+          grad_edges(e, c) += grad_nodes(i, off + c);
+        }
+      }
+    }
+    if (agg == Aggregation::kMax || agg == Aggregation::kMulti) {
+      const index_t off = agg == Aggregation::kMulti ? m : 0;
+      for (index_t c = 0; c < m; ++c) {
+        const index_t e = argmax[static_cast<std::size_t>(i) * m + c];
+        if (e >= 0) grad_edges(e, c) += grad_nodes(i, off + c);
+      }
+    }
+  }
+  return grad_edges;
+}
+
+namespace {
+
+/// Node-level LayerNorm + ReLU epilogue shared by all three layer kinds.
+class NodeEpilogue {
+ public:
+  NodeEpilogue(index_t features) : norm_(features) {}
+
+  nn::Tensor forward(const nn::Tensor& x, bool train) {
+    pre_relu_ = norm_.forward(x, train);
+    nn::Tensor out = pre_relu_;
+    for (real_t& v : out.data()) v = v > 0.0 ? v : 0.0;
+    return out;
+  }
+
+  nn::Tensor backward(const nn::Tensor& grad_out) {
+    nn::Tensor g = grad_out;
+    for (std::size_t i = 0; i < g.data().size(); ++i) {
+      if (pre_relu_.data()[i] <= 0.0) g.data()[i] = 0.0;
+    }
+    return norm_.backward(g);
+  }
+
+  std::vector<nn::Parameter*> parameters() { return norm_.parameters(); }
+
+ private:
+  nn::LayerNorm norm_;
+  nn::Tensor pre_relu_;
+};
+
+/// EdgeConv: m_ij = W [h_i ; h_j - h_i] + b, aggregated, then LN + ReLU.
+class EdgeConvLayer final : public GnnLayer {
+ public:
+  EdgeConvLayer(Aggregation agg, index_t in, index_t out, u64 seed)
+      : agg_(agg), in_(in), out_(out),
+        message_(2 * in, out, mix64(seed + 1)),
+        projection_(aggregated_width(agg, out), out, mix64(seed + 2)),
+        epilogue_(out) {}
+
+  nn::Tensor forward(const Graph& g, const nn::Tensor& h, bool train) override {
+    MCMI_CHECK(h.cols() == in_, "edgeconv: feature width mismatch");
+    const index_t e_count = g.num_edges();
+    nn::Tensor edge_input(e_count, 2 * in_);
+    for (index_t i = 0; i < g.num_nodes; ++i) {
+      for (index_t e = g.edge_ptr[i]; e < g.edge_ptr[i + 1]; ++e) {
+        const index_t j = g.dst[e];
+        for (index_t c = 0; c < in_; ++c) {
+          edge_input(e, c) = h(i, c);
+          edge_input(e, in_ + c) = h(j, c) - h(i, c);
+        }
+      }
+    }
+    const nn::Tensor messages = message_.forward(edge_input, train);
+    nn::Tensor agg = aggregate_messages(g, messages, agg_, argmax_);
+    if (agg_ == Aggregation::kMulti) agg = projection_.forward(agg, train);
+    return epilogue_.forward(agg, train);
+  }
+
+  nn::Tensor backward(const Graph& g, const nn::Tensor& grad_out) override {
+    nn::Tensor grad = epilogue_.backward(grad_out);
+    if (agg_ == Aggregation::kMulti) grad = projection_.backward(grad);
+    const nn::Tensor grad_edges =
+        scatter_gradients(g, grad, agg_, out_, argmax_);
+    const nn::Tensor grad_edge_input = message_.backward(grad_edges);
+    nn::Tensor grad_h(g.num_nodes, in_);
+    for (index_t i = 0; i < g.num_nodes; ++i) {
+      for (index_t e = g.edge_ptr[i]; e < g.edge_ptr[i + 1]; ++e) {
+        const index_t j = g.dst[e];
+        for (index_t c = 0; c < in_; ++c) {
+          const real_t ga = grad_edge_input(e, c);           // d/d h_i part 1
+          const real_t gb = grad_edge_input(e, in_ + c);     // d/d (h_j - h_i)
+          grad_h(i, c) += ga - gb;
+          grad_h(j, c) += gb;
+        }
+      }
+    }
+    return grad_h;
+  }
+
+  std::vector<nn::Parameter*> parameters() override {
+    std::vector<nn::Parameter*> out;
+    for (auto* p : message_.parameters()) out.push_back(p);
+    if (agg_ == Aggregation::kMulti) {
+      for (auto* p : projection_.parameters()) out.push_back(p);
+    }
+    for (auto* p : epilogue_.parameters()) out.push_back(p);
+    return out;
+  }
+
+  [[nodiscard]] index_t out_features() const override { return out_; }
+
+ private:
+  Aggregation agg_;
+  index_t in_;
+  index_t out_;
+  nn::Linear message_;
+  nn::Linear projection_;  // only used for multi aggregation
+  NodeEpilogue epilogue_;
+  std::vector<index_t> argmax_;
+};
+
+/// GINE: m_ij = relu(h_j + embed(w_ij)); s = (1+eps) h + agg(m);
+/// out = LN(ReLU')(W s + b) — with LN+ReLU as the shared epilogue.
+class GineLayer final : public GnnLayer {
+ public:
+  GineLayer(Aggregation agg, index_t in, index_t out, u64 seed)
+      : agg_(agg), in_(in), out_(out),
+        edge_embed_(1, in, mix64(seed + 3)),
+        projection_(aggregated_width(agg, in), in, mix64(seed + 4)),
+        update_(in, out, mix64(seed + 5)),
+        eps_("gine.eps", nn::Tensor(1, 1, 0.0)),
+        epilogue_(out) {}
+
+  nn::Tensor forward(const Graph& g, const nn::Tensor& h, bool train) override {
+    MCMI_CHECK(h.cols() == in_, "gine: feature width mismatch");
+    const index_t e_count = g.num_edges();
+    nn::Tensor weights(e_count, 1);
+    for (index_t e = 0; e < e_count; ++e) weights(e, 0) = g.weight[e];
+    const nn::Tensor embedded = edge_embed_.forward(weights, train);
+
+    pre_relu_edges_ = nn::Tensor(e_count, in_);
+    nn::Tensor messages(e_count, in_);
+    for (index_t i = 0; i < g.num_nodes; ++i) {
+      for (index_t e = g.edge_ptr[i]; e < g.edge_ptr[i + 1]; ++e) {
+        const index_t j = g.dst[e];
+        for (index_t c = 0; c < in_; ++c) {
+          const real_t pre = h(j, c) + embedded(e, c);
+          pre_relu_edges_(e, c) = pre;
+          messages(e, c) = pre > 0.0 ? pre : 0.0;
+        }
+      }
+    }
+    nn::Tensor agg = aggregate_messages(g, messages, agg_, argmax_);
+    if (agg_ == Aggregation::kMulti) agg = projection_.forward(agg, train);
+    h_cache_ = h;
+    nn::Tensor s = agg;
+    const real_t one_eps = 1.0 + eps_.value(0, 0);
+    for (index_t i = 0; i < g.num_nodes; ++i) {
+      for (index_t c = 0; c < in_; ++c) s(i, c) += one_eps * h(i, c);
+    }
+    return epilogue_.forward(update_.forward(s, train), train);
+  }
+
+  nn::Tensor backward(const Graph& g, const nn::Tensor& grad_out) override {
+    nn::Tensor grad = update_.backward(epilogue_.backward(grad_out));
+    // Split into the (1+eps) h term and the aggregation term.
+    const real_t one_eps = 1.0 + eps_.value(0, 0);
+    nn::Tensor grad_h(g.num_nodes, in_);
+    for (index_t i = 0; i < g.num_nodes; ++i) {
+      for (index_t c = 0; c < in_; ++c) {
+        grad_h(i, c) += one_eps * grad(i, c);
+        eps_.grad(0, 0) += grad(i, c) * h_cache_(i, c);
+      }
+    }
+    nn::Tensor grad_agg = grad;
+    if (agg_ == Aggregation::kMulti) grad_agg = projection_.backward(grad_agg);
+    nn::Tensor grad_edges =
+        scatter_gradients(g, grad_agg, agg_, in_, argmax_);
+    // Through the edge ReLU.
+    for (std::size_t i = 0; i < grad_edges.data().size(); ++i) {
+      if (pre_relu_edges_.data()[i] <= 0.0) grad_edges.data()[i] = 0.0;
+    }
+    // To h_j and to the edge embedding.
+    for (index_t i = 0; i < g.num_nodes; ++i) {
+      for (index_t e = g.edge_ptr[i]; e < g.edge_ptr[i + 1]; ++e) {
+        const index_t j = g.dst[e];
+        for (index_t c = 0; c < in_; ++c) {
+          grad_h(j, c) += grad_edges(e, c);
+        }
+      }
+    }
+    edge_embed_.backward(grad_edges);  // weight-scalar grads are discarded
+    return grad_h;
+  }
+
+  std::vector<nn::Parameter*> parameters() override {
+    std::vector<nn::Parameter*> out;
+    for (auto* p : edge_embed_.parameters()) out.push_back(p);
+    if (agg_ == Aggregation::kMulti) {
+      for (auto* p : projection_.parameters()) out.push_back(p);
+    }
+    for (auto* p : update_.parameters()) out.push_back(p);
+    out.push_back(&eps_);
+    for (auto* p : epilogue_.parameters()) out.push_back(p);
+    return out;
+  }
+
+  [[nodiscard]] index_t out_features() const override { return out_; }
+
+ private:
+  Aggregation agg_;
+  index_t in_;
+  index_t out_;
+  nn::Linear edge_embed_;
+  nn::Linear projection_;
+  nn::Linear update_;
+  nn::Parameter eps_;
+  NodeEpilogue epilogue_;
+  nn::Tensor pre_relu_edges_;
+  nn::Tensor h_cache_;
+  std::vector<index_t> argmax_;
+};
+
+/// GCN-style convolution: aggregate neighbour features (self-loops come from
+/// the matrix diagonal), then Linear + LN + ReLU.
+class GcnLayer final : public GnnLayer {
+ public:
+  GcnLayer(Aggregation agg, index_t in, index_t out, u64 seed)
+      : agg_(agg), in_(in), out_(out),
+        update_(aggregated_width(agg, in), out, mix64(seed + 6)),
+        epilogue_(out) {}
+
+  nn::Tensor forward(const Graph& g, const nn::Tensor& h, bool train) override {
+    MCMI_CHECK(h.cols() == in_, "gcn: feature width mismatch");
+    nn::Tensor messages(g.num_edges(), in_);
+    for (index_t i = 0; i < g.num_nodes; ++i) {
+      for (index_t e = g.edge_ptr[i]; e < g.edge_ptr[i + 1]; ++e) {
+        const index_t j = g.dst[e];
+        for (index_t c = 0; c < in_; ++c) messages(e, c) = h(j, c);
+      }
+    }
+    const nn::Tensor agg = aggregate_messages(g, messages, agg_, argmax_);
+    return epilogue_.forward(update_.forward(agg, train), train);
+  }
+
+  nn::Tensor backward(const Graph& g, const nn::Tensor& grad_out) override {
+    const nn::Tensor grad_agg =
+        update_.backward(epilogue_.backward(grad_out));
+    const nn::Tensor grad_edges =
+        scatter_gradients(g, grad_agg, agg_, in_, argmax_);
+    nn::Tensor grad_h(g.num_nodes, in_);
+    for (index_t i = 0; i < g.num_nodes; ++i) {
+      for (index_t e = g.edge_ptr[i]; e < g.edge_ptr[i + 1]; ++e) {
+        const index_t j = g.dst[e];
+        for (index_t c = 0; c < in_; ++c) grad_h(j, c) += grad_edges(e, c);
+      }
+    }
+    return grad_h;
+  }
+
+  std::vector<nn::Parameter*> parameters() override {
+    std::vector<nn::Parameter*> out;
+    for (auto* p : update_.parameters()) out.push_back(p);
+    for (auto* p : epilogue_.parameters()) out.push_back(p);
+    return out;
+  }
+
+  [[nodiscard]] index_t out_features() const override { return out_; }
+
+ private:
+  Aggregation agg_;
+  index_t in_;
+  index_t out_;
+  nn::Linear update_;
+  NodeEpilogue epilogue_;
+  std::vector<index_t> argmax_;
+};
+
+/// GATv2 attention convolution (Brody et al., 2022):
+///   z_e   = S_i + T_j          with S = h W_s, T = h W_t
+///   score = a . leaky_relu(z_e)
+///   alpha = softmax over the edges of node i
+///   out_i = sum_e alpha_e T_j  -> LN + ReLU epilogue
+/// Softmax attention replaces the pluggable aggregation.
+class Gatv2Layer final : public GnnLayer {
+ public:
+  Gatv2Layer(index_t in, index_t out, u64 seed)
+      : in_(in), out_(out),
+        source_(in, out, mix64(seed + 7)),
+        target_(in, out, mix64(seed + 8)),
+        attention_("gatv2.attention", nn::Tensor(1, out)),
+        epilogue_(out) {
+    Xoshiro256 rng = make_stream(seed, 0xA77);
+    attention_.value.fill_uniform(rng, std::sqrt(3.0 / out));
+  }
+
+  nn::Tensor forward(const Graph& g, const nn::Tensor& h, bool train) override {
+    MCMI_CHECK(h.cols() == in_, "gatv2: feature width mismatch");
+    const index_t e_count = g.num_edges();
+    s_cache_ = source_.forward(h, train);  // n x out
+    t_cache_ = target_.forward(h, train);  // n x out
+
+    leaky_ = nn::Tensor(e_count, out_);
+    z_positive_.assign(static_cast<std::size_t>(e_count) * out_, 0);
+    alpha_.assign(static_cast<std::size_t>(e_count), 0.0);
+
+    nn::Tensor out(g.num_nodes, out_);
+    for (index_t i = 0; i < g.num_nodes; ++i) {
+      const index_t begin = g.edge_ptr[i];
+      const index_t end = g.edge_ptr[i + 1];
+      if (begin == end) continue;
+      real_t max_score = -std::numeric_limits<real_t>::infinity();
+      std::vector<real_t> scores(static_cast<std::size_t>(end - begin));
+      for (index_t e = begin; e < end; ++e) {
+        const index_t j = g.dst[e];
+        real_t score = 0.0;
+        for (index_t c = 0; c < out_; ++c) {
+          const real_t z = s_cache_(i, c) + t_cache_(j, c);
+          const bool pos = z > 0.0;
+          z_positive_[static_cast<std::size_t>(e) * out_ + c] = pos ? 1 : 0;
+          const real_t l = pos ? z : 0.2 * z;  // LeakyReLU(0.2)
+          leaky_(e, c) = l;
+          score += attention_.value(0, c) * l;
+        }
+        scores[e - begin] = score;
+        max_score = std::max(max_score, score);
+      }
+      real_t denom = 0.0;
+      for (index_t e = begin; e < end; ++e) {
+        const real_t w = std::exp(scores[e - begin] - max_score);
+        alpha_[e] = w;
+        denom += w;
+      }
+      for (index_t e = begin; e < end; ++e) {
+        alpha_[e] /= denom;
+        const index_t j = g.dst[e];
+        for (index_t c = 0; c < out_; ++c) {
+          out(i, c) += alpha_[e] * t_cache_(j, c);
+        }
+      }
+    }
+    return epilogue_.forward(out, train);
+  }
+
+  nn::Tensor backward(const Graph& g, const nn::Tensor& grad_out) override {
+    const nn::Tensor grad = epilogue_.backward(grad_out);
+    nn::Tensor grad_s(g.num_nodes, out_);
+    nn::Tensor grad_t(g.num_nodes, out_);
+
+    for (index_t i = 0; i < g.num_nodes; ++i) {
+      const index_t begin = g.edge_ptr[i];
+      const index_t end = g.edge_ptr[i + 1];
+      if (begin == end) continue;
+      // d out_i / d alpha_e and the direct T path.
+      std::vector<real_t> dalpha(static_cast<std::size_t>(end - begin), 0.0);
+      for (index_t e = begin; e < end; ++e) {
+        const index_t j = g.dst[e];
+        for (index_t c = 0; c < out_; ++c) {
+          dalpha[e - begin] += grad(i, c) * t_cache_(j, c);
+          grad_t(j, c) += alpha_[e] * grad(i, c);
+        }
+      }
+      // Softmax backward: dscore_e = alpha_e (dalpha_e - sum alpha dalpha).
+      real_t weighted = 0.0;
+      for (index_t e = begin; e < end; ++e) {
+        weighted += alpha_[e] * dalpha[e - begin];
+      }
+      for (index_t e = begin; e < end; ++e) {
+        const real_t dscore = alpha_[e] * (dalpha[e - begin] - weighted);
+        const index_t j = g.dst[e];
+        for (index_t c = 0; c < out_; ++c) {
+          // score = a . leaky(z): gradient to a and through LeakyReLU to z.
+          attention_.grad(0, c) += dscore * leaky_(e, c);
+          const real_t slope =
+              z_positive_[static_cast<std::size_t>(e) * out_ + c] ? 1.0 : 0.2;
+          const real_t dz = dscore * attention_.value(0, c) * slope;
+          grad_s(i, c) += dz;
+          grad_t(j, c) += dz;
+        }
+      }
+    }
+    nn::Tensor grad_h = source_.backward(grad_s);
+    grad_h.add_scaled(target_.backward(grad_t));
+    return grad_h;
+  }
+
+  std::vector<nn::Parameter*> parameters() override {
+    std::vector<nn::Parameter*> out;
+    for (auto* p : source_.parameters()) out.push_back(p);
+    for (auto* p : target_.parameters()) out.push_back(p);
+    out.push_back(&attention_);
+    for (auto* p : epilogue_.parameters()) out.push_back(p);
+    return out;
+  }
+
+  [[nodiscard]] index_t out_features() const override { return out_; }
+
+ private:
+  index_t in_;
+  index_t out_;
+  nn::Linear source_;
+  nn::Linear target_;
+  nn::Parameter attention_;
+  NodeEpilogue epilogue_;
+  nn::Tensor s_cache_;
+  nn::Tensor t_cache_;
+  nn::Tensor leaky_;
+  std::vector<char> z_positive_;
+  std::vector<real_t> alpha_;
+};
+
+}  // namespace
+
+std::unique_ptr<GnnLayer> make_gnn_layer(LayerKind kind, Aggregation agg,
+                                         index_t in_features,
+                                         index_t out_features, u64 seed) {
+  switch (kind) {
+    case LayerKind::kEdgeConv:
+      return std::make_unique<EdgeConvLayer>(agg, in_features, out_features,
+                                             seed);
+    case LayerKind::kGine:
+      return std::make_unique<GineLayer>(agg, in_features, out_features, seed);
+    case LayerKind::kGcn:
+      return std::make_unique<GcnLayer>(agg, in_features, out_features, seed);
+    case LayerKind::kGatv2:
+      return std::make_unique<Gatv2Layer>(in_features, out_features, seed);
+  }
+  MCMI_FAIL("invalid layer kind");
+}
+
+}  // namespace mcmi::gnn

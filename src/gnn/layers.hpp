@@ -1,0 +1,78 @@
+#pragma once
+// Message-passing layers.
+//
+// The paper's HPO (§4.3) searches over several message-passing mechanisms
+// and aggregation strategies; the selected architecture is a single
+// EdgeConv layer with mean aggregation.  This module implements three of
+// the candidate mechanisms with full backward passes:
+//
+//   EdgeConv  (Wang et al.)   m_ij = W [h_i ; h_j - h_i]
+//   GINE      (Hu et al.)     m_ij = relu(h_j + embed(w_ij)), GIN update
+//   GCN-style mean conv       m_ij = h_j (with self-loop), linear update
+//   GATv2     (Brody et al.)  attention-weighted neighbour sum; the
+//                             aggregation argument is ignored (softmax
+//                             attention is its own aggregation)
+//
+// and the aggregation strategies mean / sum / max / multi (concat of all
+// three, the PNA-flavoured MultiAggregation).  Every layer ends with
+// LayerNorm + ReLU at the node level, per §3.1.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gnn/graph.hpp"
+#include "nn/layer.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/linear.hpp"
+
+namespace mcmi::gnn {
+
+enum class Aggregation { kMean, kSum, kMax, kMulti };
+enum class LayerKind { kEdgeConv, kGine, kGcn, kGatv2 };
+
+std::string aggregation_name(Aggregation a);
+std::string layer_kind_name(LayerKind k);
+Aggregation parse_aggregation(const std::string& name);
+LayerKind parse_layer_kind(const std::string& name);
+
+/// Abstract message-passing layer over a fixed graph.
+class GnnLayer {
+ public:
+  virtual ~GnnLayer() = default;
+
+  /// h (n x in) -> h' (n x out).  Caches activations for backward().
+  virtual nn::Tensor forward(const Graph& g, const nn::Tensor& h,
+                             bool train) = 0;
+  /// Returns dL/dh; accumulates parameter gradients.
+  virtual nn::Tensor backward(const Graph& g, const nn::Tensor& grad_out) = 0;
+  virtual std::vector<nn::Parameter*> parameters() = 0;
+  [[nodiscard]] virtual index_t out_features() const = 0;
+};
+
+/// Factory covering the layer-type x aggregation search space.
+std::unique_ptr<GnnLayer> make_gnn_layer(LayerKind kind, Aggregation agg,
+                                         index_t in_features,
+                                         index_t out_features, u64 seed);
+
+// ---------------------------------------------------------------------------
+// Shared neighbourhood aggregation machinery (used by the layer classes).
+// ---------------------------------------------------------------------------
+
+/// Aggregate per-edge messages (E x d) into node outputs (n x d or n x 3d
+/// for kMulti).  `argmax` receives the winning edge per (node, channel) for
+/// the max reduction so the backward pass can route gradients.
+nn::Tensor aggregate_messages(const Graph& g, const nn::Tensor& messages,
+                              Aggregation agg,
+                              std::vector<index_t>& argmax);
+
+/// Scatter node gradients back onto edges — the adjoint of
+/// aggregate_messages.
+nn::Tensor scatter_gradients(const Graph& g, const nn::Tensor& grad_nodes,
+                             Aggregation agg, index_t message_width,
+                             const std::vector<index_t>& argmax);
+
+/// Output width of the aggregation for a given message width.
+index_t aggregated_width(Aggregation agg, index_t message_width);
+
+}  // namespace mcmi::gnn

@@ -1,0 +1,60 @@
+#include "gnn/stack.hpp"
+
+#include <cmath>
+
+namespace mcmi::gnn {
+
+GnnStack::GnnStack(const GnnConfig& config, index_t node_feature_width,
+                   u64 seed)
+    : config_(config) {
+  MCMI_CHECK(config.layers >= 1, "need at least one message-passing layer");
+  index_t width = node_feature_width;
+  for (index_t l = 0; l < config.layers; ++l) {
+    layers_.push_back(make_gnn_layer(config.kind, config.aggregation, width,
+                                     config.hidden, mix64(seed + 131 * l)));
+    width = config.hidden;
+  }
+}
+
+nn::Tensor GnnStack::forward(const Graph& graph, bool train) {
+  last_num_nodes_ = graph.num_nodes;
+  nn::Tensor h = graph.node_features;
+  for (real_t& v : h.data()) v = std::log1p(v);
+  for (auto& layer : layers_) h = layer->forward(graph, h, train);
+
+  // Global mean pooling.
+  nn::Tensor pooled(1, config_.hidden);
+  const real_t inv_n = 1.0 / static_cast<real_t>(graph.num_nodes);
+  for (index_t i = 0; i < graph.num_nodes; ++i) {
+    for (index_t c = 0; c < config_.hidden; ++c) {
+      pooled(0, c) += h(i, c) * inv_n;
+    }
+  }
+  return pooled;
+}
+
+void GnnStack::backward(const Graph& graph, const nn::Tensor& grad_embedding) {
+  MCMI_CHECK(grad_embedding.cols() == config_.hidden,
+             "gnn backward: width mismatch");
+  const real_t inv_n = 1.0 / static_cast<real_t>(last_num_nodes_);
+  nn::Tensor grad_h(last_num_nodes_, config_.hidden);
+  for (index_t i = 0; i < last_num_nodes_; ++i) {
+    for (index_t c = 0; c < config_.hidden; ++c) {
+      grad_h(i, c) = grad_embedding(0, c) * inv_n;
+    }
+  }
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad_h = (*it)->backward(graph, grad_h);
+  }
+  // The gradient with respect to the (fixed) node degrees is discarded.
+}
+
+std::vector<nn::Parameter*> GnnStack::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (auto& layer : layers_) {
+    for (nn::Parameter* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace mcmi::gnn

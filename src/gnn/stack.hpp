@@ -1,0 +1,42 @@
+#pragma once
+// GNN stack: l_g message-passing layers + global mean pooling, producing the
+// graph embedding h_g of §3.1.
+
+#include <memory>
+#include <vector>
+
+#include "gnn/layers.hpp"
+
+namespace mcmi::gnn {
+
+struct GnnConfig {
+  LayerKind kind = LayerKind::kEdgeConv;     ///< paper-selected default
+  Aggregation aggregation = Aggregation::kMean;  ///< paper-selected default
+  index_t hidden = 64;   ///< embedding width (paper: 256)
+  index_t layers = 1;    ///< message-passing depth (paper: 1)
+};
+
+class GnnStack {
+ public:
+  GnnStack(const GnnConfig& config, index_t node_feature_width, u64 seed);
+
+  /// Graph -> pooled embedding h_g (1 x hidden).  Node degrees are passed
+  /// through log1p before the first layer so huge-degree graphs do not
+  /// saturate the early activations.
+  nn::Tensor forward(const Graph& graph, bool train);
+
+  /// Backward from dL/dh_g; accumulates parameter gradients.
+  void backward(const Graph& graph, const nn::Tensor& grad_embedding);
+
+  std::vector<nn::Parameter*> parameters();
+
+  [[nodiscard]] index_t embedding_width() const { return config_.hidden; }
+  [[nodiscard]] const GnnConfig& config() const { return config_; }
+
+ private:
+  GnnConfig config_;
+  std::vector<std::unique_ptr<GnnLayer>> layers_;
+  index_t last_num_nodes_ = 0;
+};
+
+}  // namespace mcmi::gnn

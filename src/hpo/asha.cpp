@@ -1,0 +1,53 @@
+#include "hpo/asha.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace mcmi::hpo {
+
+AshaScheduler::AshaScheduler(AshaOptions options) : options_(options) {
+  MCMI_CHECK(options_.grace_period >= 1, "grace period must be positive");
+  MCMI_CHECK(options_.reduction_factor > 1.0, "eta must exceed 1");
+  real_t level = static_cast<real_t>(options_.grace_period);
+  while (static_cast<index_t>(level) <= options_.max_resource) {
+    rungs_.push_back(static_cast<index_t>(level));
+    level *= options_.reduction_factor;
+  }
+  rung_scores_.resize(rungs_.size());
+}
+
+index_t AshaScheduler::rung_size(index_t rung) const {
+  MCMI_CHECK(rung >= 0 && rung < static_cast<index_t>(rungs_.size()),
+             "rung out of range");
+  return static_cast<index_t>(rung_scores_[rung].size());
+}
+
+bool AshaScheduler::report(index_t trial, index_t resource, real_t score) {
+  // Find the highest rung this resource has reached.
+  index_t rung = -1;
+  for (std::size_t k = 0; k < rungs_.size(); ++k) {
+    if (resource >= rungs_[k]) rung = static_cast<index_t>(k);
+  }
+  if (rung < 0) return true;  // below the grace period: always continue
+
+  auto [it, inserted] = trial_rung_.try_emplace(trial, -1);
+  if (it->second >= rung) return true;  // already judged at this rung
+  it->second = rung;
+
+  auto& scores = rung_scores_[rung];
+  scores.push_back(score);
+
+  // Asynchronous promotion rule: continue iff the score is within the top
+  // 1/eta of everything recorded at this rung so far.
+  std::vector<real_t> sorted = scores;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(
+             static_cast<real_t>(sorted.size()) / options_.reduction_factor)));
+  const real_t threshold = sorted[keep - 1];
+  return score <= threshold;
+}
+
+}  // namespace mcmi::hpo

@@ -1,0 +1,49 @@
+#pragma once
+// Asynchronous Successive Halving (ASHA, Li et al., 2020).
+//
+// §4.3: "the Asynchronous Successive Halving Algorithm scheduler for early
+// stopping and resource-efficient scheduling, with a maximum of 150 epochs,
+// a grace period of 20 and a reduction factor of 3."
+//
+// Rungs sit at resource levels grace * eta^k.  When a trial reaches a rung
+// it is promoted only if its score is within the top 1/eta of all scores
+// recorded at that rung *so far* — the asynchronous rule, which never waits
+// for stragglers.
+
+#include <map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mcmi::hpo {
+
+struct AshaOptions {
+  index_t grace_period = 20;   ///< minimum resource before any stop
+  index_t max_resource = 150;  ///< maximum epochs
+  real_t reduction_factor = 3.0;  ///< eta
+};
+
+class AshaScheduler {
+ public:
+  explicit AshaScheduler(AshaOptions options = {});
+
+  /// Report the score (lower is better) of `trial` at `resource` consumed.
+  /// Returns true if the trial should CONTINUE, false if it should stop.
+  bool report(index_t trial, index_t resource, real_t score);
+
+  /// Rung resource levels (grace * eta^k <= max_resource).
+  [[nodiscard]] const std::vector<index_t>& rungs() const { return rungs_; }
+
+  /// Number of scores recorded at a rung.
+  [[nodiscard]] index_t rung_size(index_t rung) const;
+
+ private:
+  AshaOptions options_;
+  std::vector<index_t> rungs_;
+  // Per rung: all scores recorded when trials arrived there.
+  std::vector<std::vector<real_t>> rung_scores_;
+  // Highest rung each trial has been judged at (to judge each rung once).
+  std::map<index_t, index_t> trial_rung_;
+};
+
+}  // namespace mcmi::hpo

@@ -1,0 +1,107 @@
+#include "hpo/space.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace mcmi::hpo {
+
+ParamSpec ParamSpec::categorical(std::string name,
+                                 std::vector<std::string> labels) {
+  ParamSpec p;
+  p.name = std::move(name);
+  p.kind = ParamKind::kCategorical;
+  p.labels = std::move(labels);
+  MCMI_CHECK(!p.labels.empty(), "categorical needs labels");
+  return p;
+}
+
+ParamSpec ParamSpec::choice(std::string name, std::vector<real_t> choices) {
+  ParamSpec p;
+  p.name = std::move(name);
+  p.kind = ParamKind::kChoice;
+  p.choices = std::move(choices);
+  MCMI_CHECK(!p.choices.empty(), "choice needs options");
+  return p;
+}
+
+ParamSpec ParamSpec::uniform(std::string name, real_t low, real_t high) {
+  ParamSpec p;
+  p.name = std::move(name);
+  p.kind = ParamKind::kUniform;
+  p.low = low;
+  p.high = high;
+  MCMI_CHECK(low < high, "empty uniform range");
+  return p;
+}
+
+ParamSpec ParamSpec::log_uniform(std::string name, real_t low, real_t high) {
+  ParamSpec p;
+  p.name = std::move(name);
+  p.kind = ParamKind::kLogUniform;
+  p.low = low;
+  p.high = high;
+  MCMI_CHECK(low > 0.0 && low < high, "bad log-uniform range");
+  return p;
+}
+
+index_t ParamSpec::cardinality() const {
+  switch (kind) {
+    case ParamKind::kCategorical:
+      return static_cast<index_t>(labels.size());
+    case ParamKind::kChoice:
+      return static_cast<index_t>(choices.size());
+    default:
+      return 0;
+  }
+}
+
+real_t ParamSpec::sample(Xoshiro256& rng) const {
+  switch (kind) {
+    case ParamKind::kCategorical:
+    case ParamKind::kChoice:
+      return static_cast<real_t>(
+          uniform_index(rng, static_cast<u64>(cardinality())));
+    case ParamKind::kUniform:
+      return ::mcmi::uniform(rng, low, high);
+    case ParamKind::kLogUniform:
+      return std::exp(::mcmi::uniform(rng, std::log(low), std::log(high)));
+  }
+  MCMI_FAIL("invalid param kind");
+}
+
+Assignment SearchSpace::sample(Xoshiro256& rng) const {
+  Assignment a;
+  a.reserve(params.size());
+  for (const ParamSpec& p : params) a.push_back(p.sample(rng));
+  return a;
+}
+
+index_t SearchSpace::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].name == name) return static_cast<index_t>(i);
+  }
+  MCMI_FAIL("unknown hyper-parameter '" << name << "'");
+}
+
+SearchSpace surrogate_search_space() {
+  SearchSpace s;
+  s.params.push_back(
+      ParamSpec::categorical("layer", {"edgeconv", "gine", "gcn", "gatv2"}));
+  s.params.push_back(
+      ParamSpec::categorical("aggregation", {"mean", "sum", "max", "multi"}));
+  s.params.push_back(ParamSpec::choice("gnn_hidden", {16, 32, 64}));
+  s.params.push_back(ParamSpec::choice("gnn_layers", {1, 2}));
+  s.params.push_back(ParamSpec::choice("xa_hidden", {8, 16, 32, 64}));
+  s.params.push_back(ParamSpec::choice("xa_layers", {1, 2, 3, 4}));
+  s.params.push_back(ParamSpec::choice("xm_hidden", {4, 8, 16, 32}));
+  s.params.push_back(ParamSpec::choice("xm_layers", {1, 2, 3, 4}));
+  s.params.push_back(ParamSpec::choice("combined_hidden", {32, 64, 128}));
+  s.params.push_back(ParamSpec::choice("combined_layers", {1, 2, 3, 4}));
+  s.params.push_back(ParamSpec::log_uniform("learning_rate", 1e-4, 1e-1));
+  s.params.push_back(ParamSpec::log_uniform("weight_decay", 1e-6, 1e-3));
+  s.params.push_back(ParamSpec::uniform("dropout", 0.0, 0.2));
+  return s;
+}
+
+}  // namespace mcmi::hpo

@@ -1,0 +1,63 @@
+#pragma once
+// Hyper-parameter search space description.
+//
+// Mirrors the §4.3 space: categorical choices (message-passing mechanism,
+// aggregation), integer choices (hidden dimensions, layer counts) and
+// continuous parameters (learning rate log-uniform in [1e-4, 1e-1], weight
+// decay in [1e-6, 1e-3], dropout uniform in [0, 0.2]).
+//
+// Every parameter is represented internally as a real number: categorical /
+// integer choices store the index into `choices`.
+
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace mcmi::hpo {
+
+enum class ParamKind {
+  kCategorical,  ///< value = index into labels
+  kChoice,       ///< value = index into numeric choices
+  kUniform,      ///< value in [low, high]
+  kLogUniform,   ///< value in [low, high], sampled log-uniformly
+};
+
+struct ParamSpec {
+  std::string name;
+  ParamKind kind = ParamKind::kUniform;
+  std::vector<std::string> labels;   ///< categorical labels
+  std::vector<real_t> choices;       ///< numeric choices
+  real_t low = 0.0;
+  real_t high = 1.0;
+
+  static ParamSpec categorical(std::string name,
+                               std::vector<std::string> labels);
+  static ParamSpec choice(std::string name, std::vector<real_t> choices);
+  static ParamSpec uniform(std::string name, real_t low, real_t high);
+  static ParamSpec log_uniform(std::string name, real_t low, real_t high);
+
+  /// Number of discrete options (0 for continuous parameters).
+  [[nodiscard]] index_t cardinality() const;
+  /// Uniform random value for this parameter.
+  [[nodiscard]] real_t sample(Xoshiro256& rng) const;
+};
+
+/// An assignment of one value per parameter, in space order.
+using Assignment = std::vector<real_t>;
+
+struct SearchSpace {
+  std::vector<ParamSpec> params;
+
+  [[nodiscard]] index_t dim() const {
+    return static_cast<index_t>(params.size());
+  }
+  [[nodiscard]] Assignment sample(Xoshiro256& rng) const;
+  [[nodiscard]] index_t index_of(const std::string& name) const;
+};
+
+/// The paper's §4.3 surrogate search space.
+SearchSpace surrogate_search_space();
+
+}  // namespace mcmi::hpo

@@ -1,0 +1,169 @@
+#include "hpo/tpe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace mcmi::hpo {
+
+TpeSampler::TpeSampler(SearchSpace space, TpeOptions options)
+    : space_(std::move(space)), options_(options) {
+  MCMI_CHECK(options_.gamma > 0.0 && options_.gamma < 1.0,
+             "gamma must be in (0,1)");
+  MCMI_CHECK(space_.dim() > 0, "empty search space");
+}
+
+namespace {
+
+/// Scott-rule bandwidth over a (possibly log-transformed) sample; floored so
+/// a degenerate sample still explores.
+real_t bandwidth(const std::vector<real_t>& xs, real_t range) {
+  if (xs.size() < 2) return std::max(0.1 * range, 1e-12);
+  real_t mean = 0.0;
+  for (real_t x : xs) mean += x;
+  mean /= static_cast<real_t>(xs.size());
+  real_t var = 0.0;
+  for (real_t x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<real_t>(xs.size() - 1);
+  const real_t sd = std::sqrt(var);
+  const real_t scott =
+      1.06 * sd * std::pow(static_cast<real_t>(xs.size()), -0.2);
+  return std::max(scott, 0.01 * range);
+}
+
+}  // namespace
+
+real_t TpeSampler::log_density(const ParamSpec& spec,
+                               const std::vector<real_t>& values,
+                               real_t value) const {
+  if (spec.kind == ParamKind::kCategorical || spec.kind == ParamKind::kChoice) {
+    // Smoothed count distribution with a uniform pseudo-count prior.
+    const index_t k = spec.cardinality();
+    std::vector<real_t> weight(static_cast<std::size_t>(k), 1.0);
+    for (real_t v : values) {
+      const index_t idx = static_cast<index_t>(std::llround(v));
+      if (idx >= 0 && idx < k) weight[idx] += 1.0;
+    }
+    real_t total = 0.0;
+    for (real_t w : weight) total += w;
+    const index_t idx = static_cast<index_t>(std::llround(value));
+    MCMI_CHECK(idx >= 0 && idx < k, "categorical value out of range");
+    return std::log(weight[idx] / total);
+  }
+
+  // Continuous: Gaussian KDE; log-uniform parameters are modelled in log
+  // space (with the Jacobian dropped — it cancels in the l/g ratio).
+  const bool log_space = spec.kind == ParamKind::kLogUniform;
+  auto tx = [&](real_t x) { return log_space ? std::log(x) : x; };
+  const real_t lo = tx(spec.low), hi = tx(spec.high);
+  std::vector<real_t> xs;
+  xs.reserve(values.size());
+  for (real_t v : values) xs.push_back(tx(v));
+  const real_t h = bandwidth(xs, hi - lo);
+  const real_t x = tx(value);
+  if (xs.empty()) return -std::log(hi - lo);  // uniform prior
+  real_t density = 0.0;
+  const real_t norm = 1.0 / (static_cast<real_t>(xs.size()) * h *
+                             std::sqrt(2.0 * M_PI));
+  for (real_t c : xs) {
+    const real_t z = (x - c) / h;
+    density += std::exp(-0.5 * z * z);
+  }
+  return std::log(std::max(density * norm, 1e-300));
+}
+
+real_t TpeSampler::sample_density(const ParamSpec& spec,
+                                  const std::vector<real_t>& values,
+                                  Xoshiro256& rng) const {
+  if (values.empty()) return spec.sample(rng);
+  if (spec.kind == ParamKind::kCategorical || spec.kind == ParamKind::kChoice) {
+    // Sample from the smoothed counts.
+    const index_t k = spec.cardinality();
+    std::vector<real_t> weight(static_cast<std::size_t>(k), 1.0);
+    for (real_t v : values) {
+      const index_t idx = static_cast<index_t>(std::llround(v));
+      if (idx >= 0 && idx < k) weight[idx] += 1.0;
+    }
+    real_t total = 0.0;
+    for (real_t w : weight) total += w;
+    real_t target = uniform01(rng) * total;
+    for (index_t i = 0; i < k; ++i) {
+      target -= weight[i];
+      if (target <= 0.0) return static_cast<real_t>(i);
+    }
+    return static_cast<real_t>(k - 1);
+  }
+
+  const bool log_space = spec.kind == ParamKind::kLogUniform;
+  auto tx = [&](real_t x) { return log_space ? std::log(x) : x; };
+  auto untx = [&](real_t x) { return log_space ? std::exp(x) : x; };
+  const real_t lo = tx(spec.low), hi = tx(spec.high);
+  std::vector<real_t> xs;
+  xs.reserve(values.size());
+  for (real_t v : values) xs.push_back(tx(v));
+  const real_t h = bandwidth(xs, hi - lo);
+  // Pick a kernel centre, then perturb.
+  const real_t centre = xs[uniform_index(rng, xs.size())];
+  const real_t draw = std::clamp(centre + h * normal01(rng), lo, hi);
+  return untx(draw);
+}
+
+Assignment TpeSampler::suggest() {
+  Xoshiro256 rng = make_stream(options_.seed, 0x73, suggestions_++);
+  if (static_cast<index_t>(history_.size()) < options_.startup_trials) {
+    return space_.sample(rng);
+  }
+
+  // Split history into good (lowest gamma fraction) and bad.
+  std::vector<const TrialRecord*> sorted;
+  sorted.reserve(history_.size());
+  for (const auto& t : history_) sorted.push_back(&t);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TrialRecord* a, const TrialRecord* b) {
+              return a->objective < b->objective;
+            });
+  const std::size_t n_good = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options_.gamma *
+                                  static_cast<real_t>(sorted.size())));
+
+  Assignment best_candidate;
+  real_t best_score = -std::numeric_limits<real_t>::infinity();
+  for (index_t c = 0; c < options_.candidates; ++c) {
+    Assignment candidate(space_.dim());
+    real_t score = 0.0;
+    for (index_t d = 0; d < space_.dim(); ++d) {
+      std::vector<real_t> good_vals, bad_vals;
+      for (std::size_t i = 0; i < sorted.size(); ++i) {
+        (i < n_good ? good_vals : bad_vals)
+            .push_back(sorted[i]->assignment[d]);
+      }
+      const real_t v = sample_density(space_.params[d], good_vals, rng);
+      candidate[d] = v;
+      score += log_density(space_.params[d], good_vals, v) -
+               log_density(space_.params[d], bad_vals, v);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_candidate = std::move(candidate);
+    }
+  }
+  return best_candidate;
+}
+
+void TpeSampler::record(const Assignment& assignment, real_t objective) {
+  MCMI_CHECK(static_cast<index_t>(assignment.size()) == space_.dim(),
+             "assignment dimension mismatch");
+  history_.push_back({assignment, objective});
+}
+
+const TrialRecord& TpeSampler::best() const {
+  MCMI_CHECK(!history_.empty(), "no completed trials");
+  const TrialRecord* best = &history_.front();
+  for (const auto& t : history_) {
+    if (t.objective < best->objective) best = &t;
+  }
+  return *best;
+}
+
+}  // namespace mcmi::hpo

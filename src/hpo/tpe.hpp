@@ -1,0 +1,62 @@
+#pragma once
+// Tree-structured Parzen Estimator (Bergstra et al., 2011).
+//
+// The paper performs hyper-parameter optimisation with TPE (§4.3).  TPE
+// models P(x | y < y*) and P(x | y >= y*) with kernel density estimators
+// l(x) and g(x) over the completed trials and proposes the candidate that
+// maximises the ratio l(x)/g(x) among n_candidates draws from l.
+// Continuous parameters use Gaussian kernels with a Scott-rule bandwidth;
+// categorical/choice parameters use smoothed count distributions.
+
+#include <vector>
+
+#include "hpo/space.hpp"
+
+namespace mcmi::hpo {
+
+struct TpeOptions {
+  index_t startup_trials = 8;    ///< random search before TPE kicks in
+  real_t gamma = 0.25;           ///< fraction of trials considered "good"
+  index_t candidates = 24;       ///< draws from l(x) scored by l/g
+  u64 seed = 4242;
+};
+
+struct TrialRecord {
+  Assignment assignment;
+  real_t objective = 0.0;        ///< lower is better
+};
+
+class TpeSampler {
+ public:
+  TpeSampler(SearchSpace space, TpeOptions options = {});
+
+  /// Suggest the next assignment to evaluate.
+  [[nodiscard]] Assignment suggest();
+
+  /// Report a completed trial.
+  void record(const Assignment& assignment, real_t objective);
+
+  [[nodiscard]] const std::vector<TrialRecord>& history() const {
+    return history_;
+  }
+  [[nodiscard]] const SearchSpace& space() const { return space_; }
+
+  /// Best completed trial so far (throws when history is empty).
+  [[nodiscard]] const TrialRecord& best() const;
+
+ private:
+  /// Log-density of `value` under the KDE built from `values` for parameter
+  /// `spec` (Gaussian kernels / smoothed counts).
+  real_t log_density(const ParamSpec& spec, const std::vector<real_t>& values,
+                     real_t value) const;
+  /// Draw from the KDE of `values` for parameter `spec`.
+  real_t sample_density(const ParamSpec& spec,
+                        const std::vector<real_t>& values, Xoshiro256& rng) const;
+
+  SearchSpace space_;
+  TpeOptions options_;
+  std::vector<TrialRecord> history_;
+  u64 suggestions_ = 0;
+};
+
+}  // namespace mcmi::hpo

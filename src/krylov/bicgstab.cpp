@@ -1,0 +1,93 @@
+#include <cmath>
+
+#include "core/error.hpp"
+#include "krylov/solver.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace mcmi {
+
+SolveResult solve_bicgstab(const CsrMatrix& a, const std::vector<real_t>& b,
+                           const Preconditioner& p, std::vector<real_t>& x,
+                           const SolveOptions& opt) {
+  const index_t n = a.rows();
+  MCMI_CHECK(a.cols() == n, "BiCGStab needs a square matrix");
+  MCMI_CHECK(static_cast<index_t>(b.size()) == n, "rhs size mismatch");
+
+  SolveResult result;
+  x.assign(static_cast<std::size_t>(n), 0.0);
+
+  // BiCGStab applied to the left-preconditioned system P A x = P b.
+  std::vector<real_t> scratch(static_cast<std::size_t>(n));
+  auto apply_pa = [&](const std::vector<real_t>& in, std::vector<real_t>& out) {
+    a.multiply(in, scratch);
+    p.apply(scratch, out);
+  };
+
+  std::vector<real_t> r = p.apply(b);  // r0 = P b (x0 = 0)
+  const real_t norm_pb = norm2(r);
+  if (norm_pb == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  if (!std::isfinite(norm_pb)) {
+    result.iterations = opt.max_iterations;
+    return result;
+  }
+  const std::vector<real_t> r_hat = r;  // shadow residual
+  std::vector<real_t> v(static_cast<std::size_t>(n), 0.0);
+  std::vector<real_t> pvec(static_cast<std::size_t>(n), 0.0);
+  std::vector<real_t> s(static_cast<std::size_t>(n));
+  std::vector<real_t> t(static_cast<std::size_t>(n));
+
+  real_t rho = 1.0, alpha = 1.0, omega = 1.0;
+
+  for (index_t it = 0; it < opt.max_iterations; ++it) {
+    const real_t rho_next = dot(r_hat, r);
+    if (rho_next == 0.0) break;  // serious breakdown
+    if (it == 0) {
+      pvec = r;
+    } else {
+      const real_t beta = (rho_next / rho) * (alpha / omega);
+      // p = r + beta (p - omega v)
+      for (index_t i = 0; i < n; ++i) {
+        pvec[i] = r[i] + beta * (pvec[i] - omega * v[i]);
+      }
+    }
+    rho = rho_next;
+    apply_pa(pvec, v);
+    const real_t rhv = dot(r_hat, v);
+    if (rhv == 0.0) break;
+    alpha = rho / rhv;
+    s = r;
+    axpy(-alpha, v, s);
+    result.iterations = it + 1;
+    real_t rel = norm2(s) / norm_pb;
+    if (rel < opt.tolerance) {
+      axpy(alpha, pvec, x);
+      result.residual = rel;
+      if (opt.record_history) result.history.push_back(rel);
+      result.converged = true;
+      return result;
+    }
+    apply_pa(s, t);
+    const real_t tt = dot(t, t);
+    if (tt == 0.0) break;
+    omega = dot(t, s) / tt;
+    if (omega == 0.0) break;
+    axpy(alpha, pvec, x);
+    axpy(omega, s, x);
+    r = s;
+    axpy(-omega, t, r);
+    rel = norm2(r) / norm_pb;
+    result.residual = rel;
+    if (opt.record_history) result.history.push_back(rel);
+    if (rel < opt.tolerance) {
+      result.converged = true;
+      return result;
+    }
+    if (!std::isfinite(rel)) break;  // diverged
+  }
+  return result;
+}
+
+}  // namespace mcmi

@@ -1,0 +1,60 @@
+#include <cmath>
+
+#include "core/error.hpp"
+#include "krylov/solver.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace mcmi {
+
+SolveResult solve_cg(const CsrMatrix& a, const std::vector<real_t>& b,
+                     const Preconditioner& p, std::vector<real_t>& x,
+                     const SolveOptions& opt) {
+  const index_t n = a.rows();
+  MCMI_CHECK(a.cols() == n, "CG needs a square matrix");
+  MCMI_CHECK(static_cast<index_t>(b.size()) == n, "rhs size mismatch");
+
+  SolveResult result;
+  x.assign(static_cast<std::size_t>(n), 0.0);
+
+  // Preconditioned CG: r = b - A x, z = P r.
+  std::vector<real_t> r = b;
+  std::vector<real_t> z = p.apply(r);
+  std::vector<real_t> q = z;  // search direction
+  std::vector<real_t> aq(static_cast<std::size_t>(n));
+
+  const real_t norm_pb = norm2(z);
+  if (norm_pb == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  if (!std::isfinite(norm_pb)) {
+    result.iterations = opt.max_iterations;
+    return result;
+  }
+
+  real_t rho = dot(r, z);
+  for (index_t it = 0; it < opt.max_iterations; ++it) {
+    a.multiply(q, aq);
+    const real_t qaq = dot(q, aq);
+    if (qaq <= 0.0) break;  // lost positive definiteness: report divergence
+    const real_t alpha = rho / qaq;
+    axpy(alpha, q, x);
+    axpy(-alpha, aq, r);
+    p.apply(r, z);
+    const real_t rho_next = dot(r, z);
+    result.iterations = it + 1;
+    const real_t rel = norm2(z) / norm_pb;
+    result.residual = rel;
+    if (opt.record_history) result.history.push_back(rel);
+    if (rel < opt.tolerance) {
+      result.converged = true;
+      return result;
+    }
+    const real_t beta = rho_next / rho;
+    rho = rho_next;
+    xpby(z, beta, q);  // q = z + beta q
+  }
+  return result;
+}
+
+}  // namespace mcmi

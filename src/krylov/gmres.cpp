@@ -1,0 +1,148 @@
+#include <cmath>
+
+#include "core/error.hpp"
+#include "krylov/solver.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace mcmi {
+
+namespace {
+
+/// Apply the composed operator v -> P * (A * v).
+void apply_pa(const CsrMatrix& a, const Preconditioner& p,
+              const std::vector<real_t>& v, std::vector<real_t>& scratch,
+              std::vector<real_t>& out) {
+  a.multiply(v, scratch);
+  p.apply(scratch, out);
+}
+
+}  // namespace
+
+SolveResult solve_gmres(const CsrMatrix& a, const std::vector<real_t>& b,
+                        const Preconditioner& p, std::vector<real_t>& x,
+                        const SolveOptions& opt) {
+  const index_t n = a.rows();
+  MCMI_CHECK(a.cols() == n, "GMRES needs a square matrix");
+  MCMI_CHECK(static_cast<index_t>(b.size()) == n, "rhs size mismatch");
+  const index_t m = std::min(opt.restart, n);
+  MCMI_CHECK(m >= 1, "restart length must be positive");
+
+  SolveResult result;
+  x.assign(static_cast<std::size_t>(n), 0.0);
+
+  std::vector<real_t> scratch(static_cast<std::size_t>(n));
+  const std::vector<real_t> pb = p.apply(b);
+  const real_t norm_pb = norm2(pb);
+  if (norm_pb == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  if (!std::isfinite(norm_pb)) {
+    // Degenerate preconditioner (overflow/NaN): report failure instead of
+    // iterating on garbage.
+    result.iterations = opt.max_iterations;
+    return result;
+  }
+
+  // Krylov basis (m+1 vectors) and the Hessenberg matrix in factored form
+  // via Givens rotations.
+  std::vector<std::vector<real_t>> basis(
+      static_cast<std::size_t>(m) + 1,
+      std::vector<real_t>(static_cast<std::size_t>(n)));
+  std::vector<real_t> h((static_cast<std::size_t>(m) + 1) * m, 0.0);
+  std::vector<real_t> cs(static_cast<std::size_t>(m));
+  std::vector<real_t> sn(static_cast<std::size_t>(m));
+  std::vector<real_t> g(static_cast<std::size_t>(m) + 1);
+
+  while (result.iterations < opt.max_iterations) {
+    // Restart: r = P(b - A x).
+    a.multiply(x, scratch);
+    std::vector<real_t> pr = p.apply(subtract(b, scratch));
+    real_t beta = norm2(pr);
+    if (!std::isfinite(beta)) {
+      result.iterations = opt.max_iterations;
+      return result;
+    }
+    result.residual = beta / norm_pb;
+    if (result.residual < opt.tolerance) {
+      result.converged = true;
+      return result;
+    }
+    for (index_t i = 0; i < n; ++i) basis[0][i] = pr[i] / beta;
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    index_t k = 0;  // inner iterations completed in this cycle
+    for (; k < m && result.iterations < opt.max_iterations; ++k) {
+      // Arnoldi with modified Gram-Schmidt.
+      apply_pa(a, p, basis[k], scratch, basis[k + 1]);
+      for (index_t j = 0; j <= k; ++j) {
+        const real_t hjk = dot(basis[j], basis[k + 1]);
+        h[j * m + k] = hjk;
+        axpy(-hjk, basis[j], basis[k + 1]);
+      }
+      const real_t hk1 = norm2(basis[k + 1]);
+      h[(k + 1) * m + k] = hk1;
+      if (hk1 > 0.0) {
+        for (index_t i = 0; i < n; ++i) basis[k + 1][i] /= hk1;
+      }
+      // Apply previous Givens rotations to the new column.
+      for (index_t j = 0; j < k; ++j) {
+        const real_t t = cs[j] * h[j * m + k] + sn[j] * h[(j + 1) * m + k];
+        h[(j + 1) * m + k] =
+            -sn[j] * h[j * m + k] + cs[j] * h[(j + 1) * m + k];
+        h[j * m + k] = t;
+      }
+      // New rotation annihilating h(k+1, k).
+      const real_t denom =
+          std::hypot(h[k * m + k], h[(k + 1) * m + k]);
+      if (denom == 0.0) {
+        cs[k] = 1.0;
+        sn[k] = 0.0;
+      } else {
+        cs[k] = h[k * m + k] / denom;
+        sn[k] = h[(k + 1) * m + k] / denom;
+      }
+      h[k * m + k] = cs[k] * h[k * m + k] + sn[k] * h[(k + 1) * m + k];
+      h[(k + 1) * m + k] = 0.0;
+      g[k + 1] = -sn[k] * g[k];
+      g[k] = cs[k] * g[k];
+
+      result.iterations++;
+      result.residual = std::abs(g[k + 1]) / norm_pb;
+      if (opt.record_history) result.history.push_back(result.residual);
+      if (result.residual < opt.tolerance) {
+        ++k;
+        break;
+      }
+      if (hk1 == 0.0) {  // happy breakdown: exact solution in the subspace
+        ++k;
+        break;
+      }
+    }
+
+    // Solve the k x k triangular system and update x.  A singular or
+    // non-finite Hessenberg indicates the (possibly garbage) preconditioned
+    // operator destroyed the basis: report failure rather than update x.
+    std::vector<real_t> y(static_cast<std::size_t>(k));
+    for (index_t i = k - 1; i >= 0; --i) {
+      real_t sum = g[i];
+      for (index_t j = i + 1; j < k; ++j) sum -= h[i * m + j] * y[j];
+      if (h[i * m + i] == 0.0 || !std::isfinite(h[i * m + i])) {
+        result.converged = false;
+        result.iterations = opt.max_iterations;
+        return result;
+      }
+      y[i] = sum / h[i * m + i];
+    }
+    for (index_t j = 0; j < k; ++j) axpy(y[j], basis[j], x);
+
+    if (result.residual < opt.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace mcmi

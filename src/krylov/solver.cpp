@@ -1,0 +1,40 @@
+#include "krylov/solver.hpp"
+
+#include "core/error.hpp"
+
+namespace mcmi {
+
+std::string method_name(KrylovMethod method) {
+  switch (method) {
+    case KrylovMethod::kCG:
+      return "cg";
+    case KrylovMethod::kGMRES:
+      return "gmres";
+    case KrylovMethod::kBiCGStab:
+      return "bicgstab";
+  }
+  MCMI_FAIL("invalid KrylovMethod");
+}
+
+KrylovMethod parse_method(const std::string& name) {
+  if (name == "cg") return KrylovMethod::kCG;
+  if (name == "gmres") return KrylovMethod::kGMRES;
+  if (name == "bicgstab") return KrylovMethod::kBiCGStab;
+  MCMI_FAIL("unknown Krylov method '" << name << "'");
+}
+
+SolveResult solve(KrylovMethod method, const CsrMatrix& a,
+                  const std::vector<real_t>& b, const Preconditioner& p,
+                  std::vector<real_t>& x, const SolveOptions& options) {
+  switch (method) {
+    case KrylovMethod::kCG:
+      return solve_cg(a, b, p, x, options);
+    case KrylovMethod::kGMRES:
+      return solve_gmres(a, b, p, x, options);
+    case KrylovMethod::kBiCGStab:
+      return solve_bicgstab(a, b, p, x, options);
+  }
+  MCMI_FAIL("invalid KrylovMethod");
+}
+
+}  // namespace mcmi

@@ -1,0 +1,59 @@
+#pragma once
+// Krylov subspace solvers: CG, GMRES(m), BiCGStab.
+//
+// All three support left preconditioning — they iterate on P A x = P b —
+// which is the setting of §3: the MCMC machinery produces P ~ A^-1 and the
+// performance metric y(A, x_M) compares iteration counts with P against the
+// identity-preconditioned baseline.
+
+#include <string>
+#include <vector>
+
+#include "precond/preconditioner.hpp"
+#include "sparse/csr.hpp"
+
+namespace mcmi {
+
+/// Which Krylov method to run.  The solver type is also a categorical
+/// component of the MCMC parameter vector x_M fed to the surrogate (§4.1).
+enum class KrylovMethod { kCG, kGMRES, kBiCGStab };
+
+/// Human-readable method name ("cg", "gmres", "bicgstab").
+std::string method_name(KrylovMethod method);
+/// Parse a method name; throws for unknown names.
+KrylovMethod parse_method(const std::string& name);
+
+struct SolveOptions {
+  real_t tolerance = 1e-8;    ///< relative preconditioned-residual tolerance
+  index_t max_iterations = 5000;
+  index_t restart = 50;       ///< GMRES restart length m
+  bool record_history = false;  ///< store the residual at every step
+};
+
+struct SolveResult {
+  bool converged = false;
+  index_t iterations = 0;     ///< matrix-vector products consumed ("steps")
+  real_t residual = 0.0;      ///< final relative preconditioned residual
+  std::vector<real_t> history;  ///< per-step residuals when recorded
+};
+
+/// Solve P A x = P b starting from x = 0.
+/// `x` is overwritten with the solution approximation.
+SolveResult solve_cg(const CsrMatrix& a, const std::vector<real_t>& b,
+                     const Preconditioner& p, std::vector<real_t>& x,
+                     const SolveOptions& options = {});
+
+SolveResult solve_gmres(const CsrMatrix& a, const std::vector<real_t>& b,
+                        const Preconditioner& p, std::vector<real_t>& x,
+                        const SolveOptions& options = {});
+
+SolveResult solve_bicgstab(const CsrMatrix& a, const std::vector<real_t>& b,
+                           const Preconditioner& p, std::vector<real_t>& x,
+                           const SolveOptions& options = {});
+
+/// Dispatch on `method`.
+SolveResult solve(KrylovMethod method, const CsrMatrix& a,
+                  const std::vector<real_t>& b, const Preconditioner& p,
+                  std::vector<real_t>& x, const SolveOptions& options = {});
+
+}  // namespace mcmi

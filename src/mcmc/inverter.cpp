@@ -1,0 +1,259 @@
+#include "mcmc/inverter.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+#include "core/timer.hpp"
+
+namespace mcmi {
+
+namespace {
+
+/// The iteration matrix B = I - D^-1 A_a in a walk-friendly layout:
+/// per state, sorted successor states with signed values, cumulative
+/// |B| weights for inverse-CDF sampling, and the row absolute sum.
+struct WalkKernel {
+  std::vector<index_t> row_ptr;
+  std::vector<index_t> succ;      ///< successor state per transition
+  std::vector<real_t> value;      ///< signed B_uv
+  std::vector<real_t> cum_abs;    ///< running sum of |B_uv| within the row
+  std::vector<real_t> row_sum;    ///< S_u = sum_v |B_uv|
+  std::vector<real_t> inv_diag;   ///< 1 / d_u of the perturbed matrix
+  real_t norm_inf = 0.0;          ///< max_u S_u
+};
+
+WalkKernel build_kernel(const CsrMatrix& a, real_t alpha) {
+  const index_t n = a.rows();
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+
+  WalkKernel k;
+  k.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  k.row_sum.assign(static_cast<std::size_t>(n), 0.0);
+  k.inv_diag.assign(static_cast<std::size_t>(n), 0.0);
+  k.succ.reserve(values.size());
+  k.value.reserve(values.size());
+  k.cum_abs.reserve(values.size());
+
+  for (index_t i = 0; i < n; ++i) {
+    const real_t aii = a.at(i, i);
+    MCMI_CHECK(aii != 0.0,
+               "MCMCMI requires a nonzero diagonal; row " << i << " has none");
+    // Perturbed diagonal d_i = a_ii + alpha * |a_ii| keeps the sign of a_ii
+    // while increasing dominance, so the Jacobi iteration matrix shrinks.
+    const real_t d = aii + std::copysign(alpha * std::abs(aii), aii);
+    k.inv_diag[i] = 1.0 / d;
+    real_t cum = 0.0;
+    for (index_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const index_t j = col_idx[p];
+      if (j == i) continue;  // B has zero diagonal by construction
+      const real_t b = -values[p] / d;
+      if (b == 0.0) continue;
+      k.succ.push_back(j);
+      k.value.push_back(b);
+      cum += std::abs(b);
+      k.cum_abs.push_back(cum);
+    }
+    k.row_sum[i] = cum;
+    k.row_ptr[i + 1] = static_cast<index_t>(k.succ.size());
+    k.norm_inf = std::max(k.norm_inf, cum);
+  }
+  return k;
+}
+
+/// One (row, chain) random walk: accumulates W contributions into `accum`
+/// (dense workspace) and records freshly touched states in `touched`.
+/// Returns the number of transitions consumed.
+index_t run_walk(const WalkKernel& k, index_t start, index_t cutoff,
+                 real_t delta, Xoshiro256& rng, std::vector<real_t>& accum,
+                 std::vector<index_t>& touched) {
+  // k = 0 term of the Neumann series: the walk starts at `start` with W = 1.
+  if (accum[start] == 0.0) touched.push_back(start);
+  accum[start] += 1.0;
+
+  index_t state = start;
+  real_t weight = 1.0;
+  index_t steps = 0;
+  while (steps < cutoff) {
+    const index_t begin = k.row_ptr[state];
+    const index_t end = k.row_ptr[state + 1];
+    if (begin == end) break;  // absorbing state: no off-diagonal mass
+    const real_t s = k.row_sum[state];
+    // Inverse-CDF sampling of the successor under p_uv = |B_uv| / S_u.
+    const real_t target = uniform01(rng) * s;
+    const auto first = k.cum_abs.begin() + begin;
+    const auto last = k.cum_abs.begin() + end;
+    auto it = std::upper_bound(first, last, target);
+    if (it == last) --it;  // guard the rounding edge target ~= S_u
+    const index_t p = static_cast<index_t>(it - k.cum_abs.begin());
+    // Weight update W *= B_uv / p_uv = sign(B_uv) * S_u.
+    weight *= std::copysign(s, k.value[p]);
+    state = k.succ[p];
+    ++steps;
+    if (std::abs(weight) < delta) break;  // truncation criterion
+    // Divergent kernel (||B|| > 1): bound the blow-up so the estimate stays
+    // finite — the resulting garbage preconditioner is the intended failure
+    // signal for near-zero alpha, but it must not poison the solver with
+    // inf/nan.
+    if (std::abs(weight) > 1e30) break;
+    if (accum[state] == 0.0) touched.push_back(state);
+    accum[state] += weight;
+  }
+  return steps;
+}
+
+}  // namespace
+
+McmcInverter::McmcInverter(const CsrMatrix& a, McmcParams params,
+                           McmcOptions options)
+    : a_(a), params_(params), options_(options) {
+  MCMI_CHECK(a.rows() == a.cols(), "MCMCMI needs a square matrix");
+  MCMI_CHECK(params_.alpha >= 0.0, "alpha must be nonnegative");
+  MCMI_CHECK(params_.eps > 0.0 && params_.eps <= 1.0, "eps must be in (0,1]");
+  MCMI_CHECK(params_.delta > 0.0 && params_.delta <= 1.0,
+             "delta must be in (0,1]");
+  MCMI_CHECK(options_.filling_factor > 0.0, "filling factor must be positive");
+}
+
+CsrMatrix McmcInverter::compute() {
+  WallTimer timer;
+  const index_t n = a_.rows();
+  const WalkKernel kernel = build_kernel(a_, params_.alpha);
+
+  info_ = McmcBuildInfo{};
+  info_.b_norm_inf = kernel.norm_inf;
+  info_.neumann_convergent = kernel.norm_inf < 1.0;
+  info_.chains_per_row = chains_for_eps(params_.eps);
+  info_.walk_cutoff = walk_length_for_delta(params_.delta, kernel.norm_inf,
+                                            options_.walk_cap);
+
+  // Per-row nonzero budget from the filling factor: the paper caps the
+  // preconditioner at filling_factor * phi(A), i.e. on average
+  // filling_factor * nnz(A)/n entries per row.
+  const index_t row_budget = std::max<index_t>(
+      1, static_cast<index_t>(std::llround(
+             options_.filling_factor * static_cast<real_t>(a_.nnz()) /
+             static_cast<real_t>(n))));
+
+  const index_t chains = info_.chains_per_row;
+  const index_t cutoff = info_.walk_cutoff;
+  const real_t inv_chains = 1.0 / static_cast<real_t>(chains);
+
+  // Row results assembled independently, then concatenated.
+  std::vector<std::vector<index_t>> row_cols(static_cast<std::size_t>(n));
+  std::vector<std::vector<real_t>> row_vals(static_cast<std::size_t>(n));
+  std::atomic<long long> transitions{0};
+
+  // The rank loop mirrors the paper's 2-rank MPI decomposition; inside each
+  // rank block rows are OpenMP-parallel.  Results are identical at any
+  // rank/thread count because streams are keyed by (seed, row, chain).
+  const ChainPartition partition(n, options_.ranks);
+  for (index_t rank = 0; rank < options_.ranks; ++rank) {
+    const index_t begin = partition.begin(rank);
+    const index_t end = partition.end(rank);
+#pragma omp parallel
+    {
+      std::vector<real_t> accum(static_cast<std::size_t>(n), 0.0);
+      std::vector<index_t> touched;
+      long long local_transitions = 0;
+#pragma omp for schedule(dynamic, 8)
+      for (index_t i = begin; i < end; ++i) {
+        touched.clear();
+        for (index_t c = 0; c < chains; ++c) {
+          Xoshiro256 rng = make_stream(options_.seed, static_cast<u64>(i),
+                                       static_cast<u64>(c));
+          local_transitions += run_walk(kernel, i, cutoff, params_.delta, rng,
+                                        accum, touched);
+        }
+        // Integer weights can cancel to exactly zero and re-accumulate, in
+        // which case a state enters `touched` twice — deduplicate before
+        // emission so the CSR row stays well formed.
+        std::sort(touched.begin(), touched.end());
+        touched.erase(std::unique(touched.begin(), touched.end()),
+                      touched.end());
+        // Average over chains and map M -> P = M D^-1 (column scaling).
+        std::vector<index_t>& cols = row_cols[i];
+        std::vector<real_t>& vals = row_vals[i];
+        cols.reserve(touched.size());
+        vals.reserve(touched.size());
+        for (index_t j : touched) {
+          const real_t pij = accum[j] * inv_chains * kernel.inv_diag[j];
+          accum[j] = 0.0;
+          if (j != i && std::abs(pij) <= options_.truncation_threshold) {
+            continue;  // truncation threshold (diagonal always kept)
+          }
+          cols.push_back(j);
+          vals.push_back(pij);
+        }
+        // Filling-factor cap: keep the row_budget largest-magnitude entries.
+        if (static_cast<index_t>(cols.size()) > row_budget) {
+          std::vector<index_t> order(cols.size());
+          for (std::size_t q = 0; q < order.size(); ++q) {
+            order[q] = static_cast<index_t>(q);
+          }
+          std::nth_element(order.begin(), order.begin() + row_budget - 1,
+                           order.end(), [&](index_t x, index_t y) {
+                             return std::abs(vals[x]) > std::abs(vals[y]);
+                           });
+          order.resize(static_cast<std::size_t>(row_budget));
+          std::vector<index_t> kept_cols;
+          std::vector<real_t> kept_vals;
+          kept_cols.reserve(order.size());
+          kept_vals.reserve(order.size());
+          for (index_t q : order) {
+            kept_cols.push_back(cols[q]);
+            kept_vals.push_back(vals[q]);
+          }
+          cols = std::move(kept_cols);
+          vals = std::move(kept_vals);
+        }
+      }
+      transitions += local_transitions;
+    }
+  }
+
+  // Assemble CSR (rows must have sorted columns).
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t i = 0; i < n; ++i) {
+    row_ptr[i + 1] = row_ptr[i] + static_cast<index_t>(row_cols[i].size());
+  }
+  std::vector<index_t> col_idx(static_cast<std::size_t>(row_ptr[n]));
+  std::vector<real_t> values(static_cast<std::size_t>(row_ptr[n]));
+#pragma omp parallel for schedule(dynamic, 32)
+  for (index_t i = 0; i < n; ++i) {
+    std::vector<index_t> order(row_cols[i].size());
+    for (std::size_t q = 0; q < order.size(); ++q) {
+      order[q] = static_cast<index_t>(q);
+    }
+    std::sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+      return row_cols[i][x] < row_cols[i][y];
+    });
+    index_t pos = row_ptr[i];
+    for (index_t q : order) {
+      col_idx[pos] = row_cols[i][q];
+      values[pos] = row_vals[i][q];
+      ++pos;
+    }
+  }
+
+  info_.total_transitions = static_cast<index_t>(transitions.load());
+  info_.build_seconds = timer.seconds();
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+std::unique_ptr<SparseApproximateInverse> McmcInverter::build_preconditioner(
+    const CsrMatrix& a, const McmcParams& params, const McmcOptions& options) {
+  McmcInverter inverter(a, params, options);
+  CsrMatrix p = inverter.compute();
+  return std::make_unique<SparseApproximateInverse>(
+      std::move(p), "mcmcmi" + params.to_string());
+}
+
+}  // namespace mcmi

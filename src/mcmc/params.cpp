@@ -1,0 +1,54 @@
+#include "mcmc/params.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace mcmi {
+
+std::string McmcParams::to_string() const {
+  std::ostringstream os;
+  os << "(alpha=" << alpha << ", eps=" << eps << ", delta=" << delta << ")";
+  return os.str();
+}
+
+index_t chains_for_eps(real_t eps) {
+  MCMI_CHECK(eps > 0.0 && eps <= 1.0, "eps must be in (0,1], got " << eps);
+  // Probable error of the mean: 0.6745 * sigma / sqrt(N) <= eps * sigma.
+  const real_t q = 0.6745 / eps;
+  return std::max<index_t>(1, static_cast<index_t>(std::ceil(q * q)));
+}
+
+index_t walk_length_for_delta(real_t delta, real_t b_norm, index_t cap) {
+  MCMI_CHECK(delta > 0.0 && delta <= 1.0,
+             "delta must be in (0,1], got " << delta);
+  MCMI_CHECK(cap >= 1, "cap must be positive");
+  if (b_norm <= 0.0) return 1;
+  if (b_norm >= 1.0) return cap;  // series diverges: bounded by the cap only
+  const real_t t = std::log(delta) / std::log(b_norm);
+  if (!std::isfinite(t)) return 1;
+  return std::min<index_t>(cap,
+                           std::max<index_t>(1, static_cast<index_t>(std::ceil(t))));
+}
+
+std::vector<McmcParams> paper_parameter_grid() {
+  std::vector<McmcParams> grid;
+  grid.reserve(64);
+  for (real_t alpha : paper_alpha_values()) {
+    for (real_t eps : paper_eps_values()) {
+      for (real_t delta : paper_eps_values()) {
+        grid.push_back({alpha, eps, delta});
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<real_t> paper_alpha_values() { return {1.0, 2.0, 4.0, 5.0}; }
+
+std::vector<real_t> paper_eps_values() {
+  return {0.5, 0.25, 0.125, 0.0625};
+}
+
+}  // namespace mcmi

@@ -1,0 +1,47 @@
+#pragma once
+// MCMC matrix-inversion algorithmic parameters x_M (§4.1).
+//
+//   alpha — matrix perturbation scaling the added diagonal of A so the
+//           Neumann-series preconditioner converges;
+//   eps   — stochastic error, determines the number of independent Markov
+//           chains per row;
+//   delta — truncation error, determines the maximum walk length.
+//
+// The categorical Krylov solver type completes x_M for the surrogate but is
+// carried separately (krylov/solver.hpp).
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mcmi {
+
+/// Continuous MCMC parameters x_M = (alpha, eps, delta).
+struct McmcParams {
+  real_t alpha = 2.0;   ///< diagonal perturbation scale, alpha > 0
+  real_t eps = 0.25;    ///< stochastic error in (0, 1]
+  real_t delta = 0.25;  ///< truncation error in (0, 1]
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Number of independent chains per row implied by eps: the probable-error
+/// bound N = ceil((0.6745 / eps)^2) of the MCMCMI literature.
+index_t chains_for_eps(real_t eps);
+
+/// Walk-length cutoff implied by delta given the iteration-matrix norm:
+/// smallest T with ||B||^T <= delta (capped by `cap` when ||B|| >= 1 and the
+/// Neumann series diverges).
+index_t walk_length_for_delta(real_t delta, real_t b_norm, index_t cap);
+
+/// The 4x4x4 coarse training grid of §4.2:
+/// alpha in {1,2,4,5}, eps and delta in {1/2, 1/4, 1/8, 1/16}.
+std::vector<McmcParams> paper_parameter_grid();
+
+/// The alpha values of the grid, in order.
+std::vector<real_t> paper_alpha_values();
+/// The eps (= delta) values of the grid, in order.
+std::vector<real_t> paper_eps_values();
+
+}  // namespace mcmi

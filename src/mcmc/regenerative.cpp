@@ -1,0 +1,217 @@
+#include "mcmc/regenerative.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "core/timer.hpp"
+
+namespace mcmi {
+
+namespace {
+
+/// Same Jacobi-split kernel as the classic inverter, but the walk treats the
+/// leftover probability 1 - S_u as absorption, so ||B||_inf must be < 1.
+struct AbsorbingKernel {
+  std::vector<index_t> row_ptr;
+  std::vector<index_t> succ;
+  std::vector<real_t> sign;      ///< sign(B_uv) — the MAO weight is +-1
+  std::vector<real_t> cum_abs;   ///< cumulative |B_uv| within the row
+  std::vector<real_t> row_sum;   ///< S_u < 1 required
+  std::vector<real_t> inv_diag;
+  real_t norm_inf = 0.0;
+};
+
+AbsorbingKernel build_kernel(const CsrMatrix& a, real_t alpha) {
+  const index_t n = a.rows();
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+
+  AbsorbingKernel k;
+  k.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  k.row_sum.assign(static_cast<std::size_t>(n), 0.0);
+  k.inv_diag.assign(static_cast<std::size_t>(n), 0.0);
+
+  for (index_t i = 0; i < n; ++i) {
+    const real_t aii = a.at(i, i);
+    MCMI_CHECK(aii != 0.0, "regenerative MCMCMI: zero diagonal in row " << i);
+    const real_t d = aii + std::copysign(alpha * std::abs(aii), aii);
+    k.inv_diag[i] = 1.0 / d;
+    real_t cum = 0.0;
+    for (index_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const index_t j = col_idx[p];
+      if (j == i) continue;
+      const real_t b = -values[p] / d;
+      if (b == 0.0) continue;
+      k.succ.push_back(j);
+      k.sign.push_back(b > 0.0 ? 1.0 : -1.0);
+      cum += std::abs(b);
+      k.cum_abs.push_back(cum);
+    }
+    k.row_sum[i] = cum;
+    k.row_ptr[i + 1] = static_cast<index_t>(k.succ.size());
+    k.norm_inf = std::max(k.norm_inf, cum);
+  }
+  return k;
+}
+
+}  // namespace
+
+RegenerativeInverter::RegenerativeInverter(const CsrMatrix& a,
+                                           RegenerativeParams params,
+                                           RegenerativeOptions options)
+    : a_(a), params_(params), options_(options) {
+  MCMI_CHECK(a.rows() == a.cols(), "regenerative MCMCMI needs a square matrix");
+  MCMI_CHECK(params_.alpha >= 0.0, "alpha must be nonnegative");
+  MCMI_CHECK(params_.transition_budget >= 1,
+             "transition budget must be positive");
+}
+
+CsrMatrix RegenerativeInverter::compute() {
+  WallTimer timer;
+  const index_t n = a_.rows();
+  const AbsorbingKernel kernel = build_kernel(a_, params_.alpha);
+  MCMI_CHECK(kernel.norm_inf < 1.0,
+             "regenerative scheme requires ||B||_inf < 1 (got "
+                 << kernel.norm_inf
+                 << "); increase alpha until the Neumann series converges");
+
+  info_ = RegenerativeBuildInfo{};
+  info_.b_norm_inf = kernel.norm_inf;
+
+  const index_t row_budget = std::max<index_t>(
+      1, static_cast<index_t>(std::llround(
+             options_.filling_factor * static_cast<real_t>(a_.nnz()) /
+             static_cast<real_t>(n))));
+
+  std::vector<std::vector<index_t>> row_cols(static_cast<std::size_t>(n));
+  std::vector<std::vector<real_t>> row_vals(static_cast<std::size_t>(n));
+  std::atomic<long long> transitions{0};
+  std::atomic<long long> regenerations{0};
+
+#pragma omp parallel
+  {
+    std::vector<real_t> accum(static_cast<std::size_t>(n), 0.0);
+    std::vector<index_t> touched;
+    long long local_transitions = 0;
+    long long local_regens = 0;
+#pragma omp for schedule(dynamic, 8)
+    for (index_t i = 0; i < n; ++i) {
+      touched.clear();
+      Xoshiro256 rng = make_stream(options_.seed, 0x9e67u, static_cast<u64>(i));
+      index_t spent = 0;
+      index_t chains = 0;
+      // Regenerate from row i until the transition budget is exhausted;
+      // always complete the final cycle so every chain is unbiased.
+      while (spent < params_.transition_budget) {
+        ++chains;
+        index_t state = i;
+        real_t weight = 1.0;
+        if (accum[i] == 0.0) touched.push_back(i);
+        accum[i] += 1.0;
+        for (index_t step = 0; step < options_.walk_cap; ++step) {
+          const index_t begin = kernel.row_ptr[state];
+          const index_t end = kernel.row_ptr[state + 1];
+          const real_t s = kernel.row_sum[state];
+          // With probability 1 - S_u the walk is absorbed (regenerates).
+          const real_t u = uniform01(rng);
+          if (begin == end || u >= s) break;
+          const auto first = kernel.cum_abs.begin() + begin;
+          const auto last = kernel.cum_abs.begin() + end;
+          auto it = std::upper_bound(first, last, u);
+          if (it == last) --it;
+          const index_t p = static_cast<index_t>(it - kernel.cum_abs.begin());
+          // Under the absorbing kernel p_uv = |B_uv| the weight update is
+          // B_uv / |B_uv| = sign(B_uv): weights never grow.
+          weight *= kernel.sign[p];
+          state = kernel.succ[p];
+          ++spent;
+          if (accum[state] == 0.0) touched.push_back(state);
+          accum[state] += weight;
+        }
+      }
+      local_transitions += spent;
+      local_regens += chains;
+
+      // The +-1 MAO weights cancel to exactly zero routinely, so states can
+      // enter `touched` twice — deduplicate before emission.
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()),
+                    touched.end());
+      std::vector<index_t>& cols = row_cols[i];
+      std::vector<real_t>& vals = row_vals[i];
+      const real_t inv_chains = 1.0 / static_cast<real_t>(chains);
+      for (index_t j : touched) {
+        const real_t pij = accum[j] * inv_chains * kernel.inv_diag[j];
+        accum[j] = 0.0;
+        if (j != i && std::abs(pij) <= options_.truncation_threshold) continue;
+        cols.push_back(j);
+        vals.push_back(pij);
+      }
+      if (static_cast<index_t>(cols.size()) > row_budget) {
+        std::vector<index_t> order(cols.size());
+        for (std::size_t q = 0; q < order.size(); ++q) {
+          order[q] = static_cast<index_t>(q);
+        }
+        std::nth_element(order.begin(), order.begin() + row_budget - 1,
+                         order.end(), [&](index_t x, index_t y) {
+                           return std::abs(vals[x]) > std::abs(vals[y]);
+                         });
+        order.resize(static_cast<std::size_t>(row_budget));
+        std::vector<index_t> kept_cols;
+        std::vector<real_t> kept_vals;
+        for (index_t q : order) {
+          kept_cols.push_back(cols[q]);
+          kept_vals.push_back(vals[q]);
+        }
+        cols = std::move(kept_cols);
+        vals = std::move(kept_vals);
+      }
+    }
+    transitions += local_transitions;
+    regenerations += local_regens;
+  }
+
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t i = 0; i < n; ++i) {
+    row_ptr[i + 1] = row_ptr[i] + static_cast<index_t>(row_cols[i].size());
+  }
+  std::vector<index_t> col_idx(static_cast<std::size_t>(row_ptr[n]));
+  std::vector<real_t> values(static_cast<std::size_t>(row_ptr[n]));
+  for (index_t i = 0; i < n; ++i) {
+    std::vector<index_t> order(row_cols[i].size());
+    for (std::size_t q = 0; q < order.size(); ++q) {
+      order[q] = static_cast<index_t>(q);
+    }
+    std::sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+      return row_cols[i][x] < row_cols[i][y];
+    });
+    index_t pos = row_ptr[i];
+    for (index_t q : order) {
+      col_idx[pos] = row_cols[i][q];
+      values[pos] = row_vals[i][q];
+      ++pos;
+    }
+  }
+
+  info_.total_transitions = static_cast<index_t>(transitions.load());
+  info_.total_regenerations = static_cast<index_t>(regenerations.load());
+  info_.build_seconds = timer.seconds();
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+std::unique_ptr<SparseApproximateInverse>
+RegenerativeInverter::build_preconditioner(const CsrMatrix& a,
+                                           const RegenerativeParams& params,
+                                           const RegenerativeOptions& options) {
+  RegenerativeInverter inverter(a, params, options);
+  CsrMatrix p = inverter.compute();
+  return std::make_unique<SparseApproximateInverse>(std::move(p),
+                                                    "regenerative-mcmcmi");
+}
+
+}  // namespace mcmi

@@ -1,0 +1,58 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace mcmi::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
+  input_ = input;
+  Tensor out = input;
+  for (real_t& v : out.data()) v = v > 0.0 ? v : 0.0;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  MCMI_CHECK(grad_output.rows() == input_.rows() &&
+                 grad_output.cols() == input_.cols(),
+             "relu backward: shape mismatch");
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.data().size(); ++i) {
+    if (input_.data()[i] <= 0.0) grad.data()[i] = 0.0;
+  }
+  return grad;
+}
+
+real_t Softplus::value(real_t x) {
+  // ln(1 + e^x) = max(x, 0) + log1p(e^{-|x|}) avoids overflow either way.
+  return std::max(x, 0.0) + std::log1p(std::exp(-std::abs(x)));
+}
+
+real_t Softplus::derivative(real_t x) {
+  // sigmoid(x), stable in both tails.
+  if (x >= 0.0) {
+    const real_t e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const real_t e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+Tensor Softplus::forward(const Tensor& input, bool /*train*/) {
+  input_ = input;
+  Tensor out = input;
+  for (real_t& v : out.data()) v = value(v);
+  return out;
+}
+
+Tensor Softplus::backward(const Tensor& grad_output) {
+  MCMI_CHECK(grad_output.rows() == input_.rows() &&
+                 grad_output.cols() == input_.cols(),
+             "softplus backward: shape mismatch");
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.data().size(); ++i) {
+    grad.data()[i] *= derivative(input_.data()[i]);
+  }
+  return grad;
+}
+
+}  // namespace mcmi::nn

@@ -1,0 +1,36 @@
+#pragma once
+// Elementwise activations: ReLU and Softplus.
+//
+// Equation (1) of the paper: the mean head applies ReLU, the standard-
+// deviation head applies the softplus transform ln(1 + e^z) so sigma stays
+// strictly positive.
+
+#include "nn/layer.hpp"
+
+namespace mcmi::nn {
+
+/// max(0, x).
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor input_;
+};
+
+/// ln(1 + e^x), numerically stable for large |x|.
+class Softplus final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  /// Scalar helpers shared with the surrogate heads.
+  static real_t value(real_t x);
+  static real_t derivative(real_t x);  ///< sigmoid(x)
+
+ private:
+  Tensor input_;
+};
+
+}  // namespace mcmi::nn

@@ -1,0 +1,43 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace mcmi::nn {
+
+Adam::Adam(std::vector<Parameter*> parameters, AdamConfig config)
+    : params_(std::move(parameters)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const real_t bc1 = 1.0 - std::pow(config_.beta1, static_cast<real_t>(t_));
+  const real_t bc2 = 1.0 - std::pow(config_.beta2, static_cast<real_t>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter& p = *params_[k];
+    auto& value = p.value.data();
+    auto& grad = p.grad.data();
+    auto& m = m_[k].data();
+    auto& v = v_[k].data();
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      const real_t g = grad[i] + config_.weight_decay * value[i];
+      m[i] = config_.beta1 * m[i] + (1.0 - config_.beta1) * g;
+      v[i] = config_.beta2 * v[i] + (1.0 - config_.beta2) * g * g;
+      const real_t mhat = m[i] / bc1;
+      const real_t vhat = v[i] / bc2;
+      value[i] -= config_.learning_rate * mhat / (std::sqrt(vhat) + config_.eps);
+      grad[i] = 0.0;
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+}  // namespace mcmi::nn

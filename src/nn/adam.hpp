@@ -1,0 +1,40 @@
+#pragma once
+// Adam optimiser (Kingma & Ba, 2015) with L2 weight decay — the optimiser
+// used to train the graph neural surrogate (§4.4).
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace mcmi::nn {
+
+struct AdamConfig {
+  real_t learning_rate = 1e-3;
+  real_t beta1 = 0.9;
+  real_t beta2 = 0.999;
+  real_t eps = 1e-8;
+  real_t weight_decay = 0.0;  ///< L2 penalty added to gradients
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> parameters, AdamConfig config = {});
+
+  /// Apply one update from the accumulated gradients, then zero them.
+  void step();
+
+  /// Zero all gradients without stepping.
+  void zero_grad();
+
+  [[nodiscard]] const AdamConfig& config() const { return config_; }
+  void set_learning_rate(real_t lr) { config_.learning_rate = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  AdamConfig config_;
+  std::vector<Tensor> m_;  // first moments
+  std::vector<Tensor> v_;  // second moments
+  index_t t_ = 0;
+};
+
+}  // namespace mcmi::nn

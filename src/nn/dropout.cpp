@@ -1,0 +1,37 @@
+#include "nn/dropout.hpp"
+
+namespace mcmi::nn {
+
+Dropout::Dropout(real_t rate, u64 seed) : rate_(rate), seed_(seed) {
+  MCMI_CHECK(rate >= 0.0 && rate < 1.0, "dropout rate must be in [0,1)");
+}
+
+Tensor Dropout::forward(const Tensor& input, bool train) {
+  last_train_ = train && rate_ > 0.0;
+  if (!last_train_) return input;
+  Xoshiro256 rng = make_stream(seed_, 0xD0, calls_++);
+  const real_t keep = 1.0 - rate_;
+  const real_t scale = 1.0 / keep;
+  mask_ = Tensor(input.rows(), input.cols());
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.data().size(); ++i) {
+    const real_t m = uniform01(rng) < keep ? scale : 0.0;
+    mask_.data()[i] = m;
+    out.data()[i] *= m;
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (!last_train_) return grad_output;
+  MCMI_CHECK(grad_output.rows() == mask_.rows() &&
+                 grad_output.cols() == mask_.cols(),
+             "dropout backward: shape mismatch");
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.data().size(); ++i) {
+    grad.data()[i] *= mask_.data()[i];
+  }
+  return grad;
+}
+
+}  // namespace mcmi::nn

@@ -1,0 +1,29 @@
+#pragma once
+// Inverted dropout.
+//
+// §3.1 applies dropout in the combined FC stack.  Masks are drawn from a
+// stream keyed by (seed, forward-call counter), so training runs are
+// reproducible at any thread count.
+
+#include "nn/layer.hpp"
+
+namespace mcmi::nn {
+
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(real_t rate, u64 seed);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  [[nodiscard]] real_t rate() const { return rate_; }
+
+ private:
+  real_t rate_;
+  u64 seed_;
+  u64 calls_ = 0;
+  Tensor mask_;  // scaled keep mask used by the last training forward
+  bool last_train_ = false;
+};
+
+}  // namespace mcmi::nn

@@ -1,0 +1,86 @@
+#include "nn/gradient_check.hpp"
+
+#include <cmath>
+
+namespace mcmi::nn {
+
+namespace {
+
+real_t relative_error(real_t analytic, real_t numeric) {
+  const real_t denom = std::max({std::abs(analytic), std::abs(numeric), 1e-8});
+  return std::abs(analytic - numeric) / denom;
+}
+
+/// Scalar loss L = sum_ij grad_output_ij * forward(input)_ij, whose input
+/// gradient is exactly what backward(grad_output) returns.
+real_t probe_loss(Layer& layer, const Tensor& input,
+                  const Tensor& grad_output) {
+  const Tensor out = layer.forward(input, /*train=*/false);
+  real_t loss = 0.0;
+  for (std::size_t i = 0; i < out.data().size(); ++i) {
+    loss += out.data()[i] * grad_output.data()[i];
+  }
+  return loss;
+}
+
+}  // namespace
+
+GradCheckResult check_gradients(Layer& layer, const Tensor& input,
+                                const Tensor& grad_output, real_t h) {
+  GradCheckResult result;
+
+  for (Parameter* p : layer.parameters()) p->zero_grad();
+  layer.forward(input, /*train=*/false);
+  const Tensor grad_in = layer.backward(grad_output);
+
+  // Input gradient vs central differences.
+  Tensor probe = input;
+  for (std::size_t i = 0; i < probe.data().size(); ++i) {
+    const real_t orig = probe.data()[i];
+    probe.data()[i] = orig + h;
+    const real_t plus = probe_loss(layer, probe, grad_output);
+    probe.data()[i] = orig - h;
+    const real_t minus = probe_loss(layer, probe, grad_output);
+    probe.data()[i] = orig;
+    const real_t numeric = (plus - minus) / (2.0 * h);
+    result.max_input_error = std::max(
+        result.max_input_error, relative_error(grad_in.data()[i], numeric));
+  }
+
+  // Parameter gradients vs central differences.
+  for (Parameter* p : layer.parameters()) {
+    for (std::size_t i = 0; i < p->value.data().size(); ++i) {
+      const real_t orig = p->value.data()[i];
+      p->value.data()[i] = orig + h;
+      const real_t plus = probe_loss(layer, input, grad_output);
+      p->value.data()[i] = orig - h;
+      const real_t minus = probe_loss(layer, input, grad_output);
+      p->value.data()[i] = orig;
+      const real_t numeric = (plus - minus) / (2.0 * h);
+      result.max_param_error =
+          std::max(result.max_param_error,
+                   relative_error(p->grad.data()[i], numeric));
+    }
+  }
+  return result;
+}
+
+real_t check_scalar_gradient(
+    const std::function<real_t(const std::vector<real_t>&)>& f,
+    const std::vector<real_t>& x, const std::vector<real_t>& analytic_grad,
+    real_t h) {
+  real_t max_err = 0.0;
+  std::vector<real_t> probe = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    probe[i] = x[i] + h;
+    const real_t plus = f(probe);
+    probe[i] = x[i] - h;
+    const real_t minus = f(probe);
+    probe[i] = x[i];
+    const real_t numeric = (plus - minus) / (2.0 * h);
+    max_err = std::max(max_err, relative_error(analytic_grad[i], numeric));
+  }
+  return max_err;
+}
+
+}  // namespace mcmi::nn

@@ -1,0 +1,28 @@
+#pragma once
+// Central-difference gradient checking — used by the test suite to verify
+// every layer's backward pass against its forward pass.
+
+#include <functional>
+
+#include "nn/layer.hpp"
+
+namespace mcmi::nn {
+
+/// Maximum relative error between the analytic input gradient of `layer`
+/// and central differences, for a given input and upstream gradient.
+/// Also checks parameter gradients.  `h` is the finite-difference step.
+struct GradCheckResult {
+  real_t max_input_error = 0.0;
+  real_t max_param_error = 0.0;
+};
+
+GradCheckResult check_gradients(Layer& layer, const Tensor& input,
+                                const Tensor& grad_output, real_t h = 1e-5);
+
+/// Check the gradient of a scalar function f(x) against central differences.
+real_t check_scalar_gradient(
+    const std::function<real_t(const std::vector<real_t>&)>& f,
+    const std::vector<real_t>& x, const std::vector<real_t>& analytic_grad,
+    real_t h = 1e-6);
+
+}  // namespace mcmi::nn

@@ -1,0 +1,57 @@
+#pragma once
+// Layer and parameter abstractions.
+//
+// Each layer implements an explicit forward/backward pair.  backward()
+// receives dL/d(output), accumulates dL/d(parameters) into Parameter::grad,
+// and returns dL/d(input) — so stacking layers gives both training
+// gradients and the exact input gradients the EI maximiser needs (§3.2).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace mcmi::nn {
+
+/// A trainable tensor with its accumulated gradient.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)),
+        grad(value.rows(), value.cols()) {}
+
+  void zero_grad() { grad.fill(0.0); }
+};
+
+/// Abstract differentiable layer (batch-first: inputs are batch x features).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Compute outputs; `train` enables stochastic behaviour (dropout).
+  /// The layer caches whatever backward() needs.
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  /// Propagate: accumulate parameter gradients, return input gradient.
+  /// Must be called after forward() with a matching batch.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// All trainable parameters (empty for stateless layers).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+};
+
+/// Collect parameters from several layers.
+inline std::vector<Parameter*> collect_parameters(
+    const std::vector<Layer*>& layers) {
+  std::vector<Parameter*> out;
+  for (Layer* l : layers) {
+    for (Parameter* p : l->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace mcmi::nn

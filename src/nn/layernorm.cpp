@@ -1,0 +1,72 @@
+#include "nn/layernorm.hpp"
+
+#include <cmath>
+
+namespace mcmi::nn {
+
+LayerNorm::LayerNorm(index_t features, real_t eps)
+    : gamma_("layernorm.gamma", Tensor(1, features, 1.0)),
+      beta_("layernorm.beta", Tensor(1, features, 0.0)),
+      eps_(eps) {
+  MCMI_CHECK(features > 0, "empty layer norm");
+}
+
+Tensor LayerNorm::forward(const Tensor& input, bool /*train*/) {
+  const index_t d = gamma_.value.cols();
+  MCMI_CHECK(input.cols() == d, "layernorm: width mismatch");
+  const index_t batch = input.rows();
+  normalized_ = Tensor(batch, d);
+  inv_std_.assign(static_cast<std::size_t>(batch), 0.0);
+  Tensor out(batch, d);
+  for (index_t i = 0; i < batch; ++i) {
+    real_t mean = 0.0;
+    for (index_t j = 0; j < d; ++j) mean += input(i, j);
+    mean /= static_cast<real_t>(d);
+    real_t var = 0.0;
+    for (index_t j = 0; j < d; ++j) {
+      const real_t c = input(i, j) - mean;
+      var += c * c;
+    }
+    var /= static_cast<real_t>(d);
+    const real_t inv_std = 1.0 / std::sqrt(var + eps_);
+    inv_std_[i] = inv_std;
+    for (index_t j = 0; j < d; ++j) {
+      const real_t xhat = (input(i, j) - mean) * inv_std;
+      normalized_(i, j) = xhat;
+      out(i, j) = gamma_.value(0, j) * xhat + beta_.value(0, j);
+    }
+  }
+  return out;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_output) {
+  const index_t batch = normalized_.rows();
+  const index_t d = normalized_.cols();
+  MCMI_CHECK(grad_output.rows() == batch && grad_output.cols() == d,
+             "layernorm backward: shape mismatch");
+  Tensor grad_in(batch, d);
+  for (index_t i = 0; i < batch; ++i) {
+    // dgamma += g * xhat ; dbeta += g.
+    real_t sum_gx = 0.0;   // sum_j gamma_j g_ij
+    real_t sum_gxx = 0.0;  // sum_j gamma_j g_ij xhat_ij
+    for (index_t j = 0; j < d; ++j) {
+      const real_t g = grad_output(i, j);
+      gamma_.grad(0, j) += g * normalized_(i, j);
+      beta_.grad(0, j) += g;
+      const real_t gg = gamma_.value(0, j) * g;
+      sum_gx += gg;
+      sum_gxx += gg * normalized_(i, j);
+    }
+    const real_t inv_d = 1.0 / static_cast<real_t>(d);
+    for (index_t j = 0; j < d; ++j) {
+      const real_t gg = gamma_.value(0, j) * grad_output(i, j);
+      // Standard layer-norm input gradient:
+      // dx = inv_std * (gg - mean(gg) - xhat * mean(gg * xhat)).
+      grad_in(i, j) = inv_std_[i] *
+                      (gg - sum_gx * inv_d - normalized_(i, j) * sum_gxx * inv_d);
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace mcmi::nn

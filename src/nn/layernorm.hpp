@@ -1,0 +1,29 @@
+#pragma once
+// Layer normalisation.
+//
+// §3.1: "Layer normalisation is applied in both the message passing layers
+// and FC stacks to stabilise training and mitigate covariate shift."
+
+#include "nn/layer.hpp"
+
+namespace mcmi::nn {
+
+/// Per-row normalisation over the feature dimension with learnable
+/// gain/bias: y = gamma * (x - mean) / sqrt(var + eps) + beta.
+class LayerNorm final : public Layer {
+ public:
+  explicit LayerNorm(index_t features, real_t eps = 1e-5);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
+
+ private:
+  Parameter gamma_;
+  Parameter beta_;
+  real_t eps_;
+  Tensor normalized_;          // cached x_hat
+  std::vector<real_t> inv_std_;  // cached 1/sqrt(var+eps) per row
+};
+
+}  // namespace mcmi::nn

@@ -1,0 +1,46 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+namespace mcmi::nn {
+
+Linear::Linear(index_t in_features, index_t out_features, u64 seed)
+    : weight_("linear.weight", Tensor(in_features, out_features)),
+      bias_("linear.bias", Tensor(1, out_features)) {
+  MCMI_CHECK(in_features > 0 && out_features > 0, "empty linear layer");
+  // Kaiming-uniform fan-in initialisation (matches the ReLU activations
+  // used throughout the surrogate).
+  Xoshiro256 rng = make_stream(seed, 0x11);
+  const real_t limit = std::sqrt(6.0 / static_cast<real_t>(in_features));
+  weight_.value.fill_uniform(rng, limit);
+  bias_.value.fill(0.0);
+}
+
+Tensor Linear::forward(const Tensor& input, bool /*train*/) {
+  MCMI_CHECK(input.cols() == weight_.value.rows(),
+             "linear: input width " << input.cols() << " != in_features "
+                                    << weight_.value.rows());
+  input_ = input;
+  Tensor out = input.matmul(weight_.value);
+  for (index_t i = 0; i < out.rows(); ++i) {
+    for (index_t j = 0; j < out.cols(); ++j) {
+      out(i, j) += bias_.value(0, j);
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  MCMI_CHECK(grad_output.rows() == input_.rows(),
+             "linear backward: batch mismatch");
+  // dW += x^T g, db += column sums of g, dx = g W^T.
+  weight_.grad.add_scaled(input_.transposed_matmul(grad_output));
+  for (index_t i = 0; i < grad_output.rows(); ++i) {
+    for (index_t j = 0; j < grad_output.cols(); ++j) {
+      bias_.grad(0, j) += grad_output(i, j);
+    }
+  }
+  return grad_output.matmul_transposed(weight_.value);
+}
+
+}  // namespace mcmi::nn

@@ -1,0 +1,27 @@
+#pragma once
+// Fully connected (dense) layer.
+
+#include "nn/layer.hpp"
+
+namespace mcmi::nn {
+
+/// y = x W + b with W (in x out) and bias b (1 x out).
+/// Kaiming-uniform initialisation from a deterministic stream.
+class Linear final : public Layer {
+ public:
+  Linear(index_t in_features, index_t out_features, u64 seed);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+
+  [[nodiscard]] index_t in_features() const { return weight_.value.rows(); }
+  [[nodiscard]] index_t out_features() const { return weight_.value.cols(); }
+
+ private:
+  Parameter weight_;
+  Parameter bias_;
+  Tensor input_;  // cached for backward
+};
+
+}  // namespace mcmi::nn

@@ -1,0 +1,46 @@
+#include "nn/mlp.hpp"
+
+namespace mcmi::nn {
+
+Mlp::Mlp(const MlpConfig& c, u64 seed) : out_features_(c.out_features) {
+  MCMI_CHECK(c.hidden_layers >= 0, "negative layer count");
+  index_t width = c.in_features;
+  for (index_t l = 0; l < c.hidden_layers; ++l) {
+    layers_.push_back(
+        std::make_unique<Linear>(width, c.hidden, mix64(seed + 31 * l)));
+    if (c.layer_norm) layers_.push_back(std::make_unique<LayerNorm>(c.hidden));
+    layers_.push_back(std::make_unique<ReLU>());
+    if (c.dropout > 0.0) {
+      layers_.push_back(
+          std::make_unique<Dropout>(c.dropout, mix64(seed + 977 * l)));
+    }
+    width = c.hidden;
+  }
+  layers_.push_back(
+      std::make_unique<Linear>(width, c.out_features, mix64(seed + 7777)));
+  if (c.final_activation) layers_.push_back(std::make_unique<ReLU>());
+}
+
+Tensor Mlp::forward(const Tensor& input, bool train) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, train);
+  return x;
+}
+
+Tensor Mlp::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Mlp::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace mcmi::nn

@@ -1,0 +1,43 @@
+#pragma once
+// Multi-layer perceptron: the FC stacks of the surrogate model.
+//
+// Each hidden block is Linear -> LayerNorm -> ReLU (-> Dropout), matching
+// §3.1; the output block is Linear only.
+
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/dropout.hpp"
+#include "nn/layer.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/linear.hpp"
+
+namespace mcmi::nn {
+
+struct MlpConfig {
+  index_t in_features = 1;
+  index_t hidden = 16;
+  index_t hidden_layers = 1;  ///< number of hidden blocks
+  index_t out_features = 16;
+  real_t dropout = 0.0;
+  bool layer_norm = true;
+  bool final_activation = false;  ///< append ReLU after the output layer
+};
+
+/// Sequential MLP with the paper's hidden-block structure.
+class Mlp final : public Layer {
+ public:
+  Mlp(const MlpConfig& config, u64 seed);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+
+  [[nodiscard]] index_t out_features() const { return out_features_; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  index_t out_features_ = 0;
+};
+
+}  // namespace mcmi::nn

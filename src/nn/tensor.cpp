@@ -1,0 +1,119 @@
+#include "nn/tensor.hpp"
+
+namespace mcmi::nn {
+
+Tensor Tensor::matmul(const Tensor& other) const {
+  MCMI_CHECK(cols_ == other.rows_, "matmul: inner mismatch " << cols_ << " vs "
+                                                             << other.rows_);
+  Tensor out(rows_, other.cols_);
+#pragma omp parallel for schedule(static) if (rows_ > 64)
+  for (index_t i = 0; i < rows_; ++i) {
+    for (index_t k = 0; k < cols_; ++k) {
+      const real_t aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const real_t* brow = &other.data_[static_cast<std::size_t>(k) * other.cols_];
+      real_t* orow = &out.data_[static_cast<std::size_t>(i) * other.cols_];
+      for (index_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::matmul_transposed(const Tensor& other) const {
+  MCMI_CHECK(cols_ == other.cols_,
+             "matmul_transposed: inner mismatch " << cols_ << " vs "
+                                                  << other.cols_);
+  Tensor out(rows_, other.rows_);
+#pragma omp parallel for schedule(static) if (rows_ > 64)
+  for (index_t i = 0; i < rows_; ++i) {
+    for (index_t j = 0; j < other.rows_; ++j) {
+      const real_t* arow = &data_[static_cast<std::size_t>(i) * cols_];
+      const real_t* brow = &other.data_[static_cast<std::size_t>(j) * cols_];
+      real_t sum = 0.0;
+      for (index_t k = 0; k < cols_; ++k) sum += arow[k] * brow[k];
+      out(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::transposed_matmul(const Tensor& other) const {
+  MCMI_CHECK(rows_ == other.rows_,
+             "transposed_matmul: outer mismatch " << rows_ << " vs "
+                                                  << other.rows_);
+  Tensor out(cols_, other.cols_);
+  for (index_t r = 0; r < rows_; ++r) {
+    const real_t* arow = &data_[static_cast<std::size_t>(r) * cols_];
+    const real_t* brow = &other.data_[static_cast<std::size_t>(r) * other.cols_];
+    for (index_t i = 0; i < cols_; ++i) {
+      const real_t ai = arow[i];
+      if (ai == 0.0) continue;
+      real_t* orow = &out.data_[static_cast<std::size_t>(i) * other.cols_];
+      for (index_t j = 0; j < other.cols_; ++j) orow[j] += ai * brow[j];
+    }
+  }
+  return out;
+}
+
+void Tensor::add_scaled(const Tensor& other, real_t alpha) {
+  MCMI_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+             "add_scaled: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+std::vector<real_t> Tensor::row(index_t i) const {
+  MCMI_CHECK(i >= 0 && i < rows_, "row out of range");
+  const std::size_t begin = static_cast<std::size_t>(i) * cols_;
+  return {data_.begin() + begin, data_.begin() + begin + cols_};
+}
+
+void Tensor::set_row(index_t i, const std::vector<real_t>& values) {
+  MCMI_CHECK(i >= 0 && i < rows_, "row out of range");
+  MCMI_CHECK(static_cast<index_t>(values.size()) == cols_,
+             "row width mismatch");
+  std::copy(values.begin(), values.end(),
+            data_.begin() + static_cast<std::size_t>(i) * cols_);
+}
+
+Tensor Tensor::from_row(const std::vector<real_t>& values) {
+  Tensor t(1, static_cast<index_t>(values.size()));
+  t.data_ = values;
+  return t;
+}
+
+Tensor Tensor::from_rows(const std::vector<std::vector<real_t>>& rows) {
+  MCMI_CHECK(!rows.empty(), "from_rows: empty input");
+  Tensor t(static_cast<index_t>(rows.size()),
+           static_cast<index_t>(rows.front().size()));
+  for (index_t i = 0; i < t.rows(); ++i) t.set_row(i, rows[i]);
+  return t;
+}
+
+void Tensor::fill_uniform(Xoshiro256& rng, real_t limit) {
+  for (real_t& v : data_) v = uniform(rng, -limit, limit);
+}
+
+Tensor hconcat(const std::vector<const Tensor*>& parts) {
+  MCMI_CHECK(!parts.empty(), "hconcat: no parts");
+  const index_t rows = parts.front()->rows();
+  index_t cols = 0;
+  for (const Tensor* p : parts) {
+    MCMI_CHECK(p->rows() == rows, "hconcat: row mismatch");
+    cols += p->cols();
+  }
+  Tensor out(rows, cols);
+  for (index_t i = 0; i < rows; ++i) {
+    index_t offset = 0;
+    for (const Tensor* p : parts) {
+      for (index_t j = 0; j < p->cols(); ++j) {
+        out(i, offset + j) = (*p)(i, j);
+      }
+      offset += p->cols();
+    }
+  }
+  return out;
+}
+
+}  // namespace mcmi::nn

@@ -1,0 +1,77 @@
+#pragma once
+// Minimal dense tensor for the neural-network stack.
+//
+// Everything the surrogate needs is rank-2 (batch x features), so Tensor is
+// a row-major matrix with the handful of fused operations the layers use.
+// All gradients in this library are computed by explicit per-layer backward
+// passes over these tensors — no autograd graph, which keeps the code
+// auditable and makes exact input gradients (needed by the EI optimiser)
+// a by-product of the same code path used for training.
+
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace mcmi::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(index_t rows, index_t cols, real_t fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              fill) {
+    MCMI_CHECK(rows >= 0 && cols >= 0, "negative tensor shape");
+  }
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  real_t& operator()(index_t i, index_t j) {
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+  real_t operator()(index_t i, index_t j) const {
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+  [[nodiscard]] std::vector<real_t>& data() { return data_; }
+  [[nodiscard]] const std::vector<real_t>& data() const { return data_; }
+
+  void fill(real_t value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// this (r x k) times other (k x c).
+  [[nodiscard]] Tensor matmul(const Tensor& other) const;
+  /// this (r x k) times other^T (c x k).
+  [[nodiscard]] Tensor matmul_transposed(const Tensor& other) const;
+  /// this^T (k x r) times other (r x c) — the weight-gradient shape.
+  [[nodiscard]] Tensor transposed_matmul(const Tensor& other) const;
+
+  /// Elementwise in-place accumulate: this += alpha * other.
+  void add_scaled(const Tensor& other, real_t alpha = 1.0);
+
+  /// One row as a vector copy.
+  [[nodiscard]] std::vector<real_t> row(index_t i) const;
+  /// Overwrite one row.
+  void set_row(index_t i, const std::vector<real_t>& values);
+
+  /// Build a 1 x n tensor from a vector.
+  static Tensor from_row(const std::vector<real_t>& values);
+  /// Stack rows into a (v.size() x n) tensor.
+  static Tensor from_rows(const std::vector<std::vector<real_t>>& rows);
+
+  /// Fill with uniform samples in [-limit, limit].
+  void fill_uniform(Xoshiro256& rng, real_t limit);
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<real_t> data_;
+};
+
+/// Horizontal concatenation [a | b | ...] of equal-row-count tensors.
+Tensor hconcat(const std::vector<const Tensor*>& parts);
+
+}  // namespace mcmi::nn

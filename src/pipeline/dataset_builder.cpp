@@ -1,0 +1,108 @@
+#include "pipeline/dataset_builder.hpp"
+
+#include "features/matrix_features.hpp"
+#include "stats/summary.hpp"
+
+namespace mcmi {
+
+DatasetBuildOptions::DatasetBuildOptions() {
+  grid = paper_parameter_grid();
+  solve.max_iterations = 4000;
+  // Long restart: the study matrices have n <= ~1e3, so this is effectively
+  // full GMRES and the step counts are not polluted by restart stagnation.
+  solve.restart = 250;
+  solve.tolerance = 1e-8;
+}
+
+namespace {
+
+/// Measure one labelled sample: replicated y for (params, method).
+LabeledSample make_sample(PerformanceMeasurer& measurer, index_t matrix_id,
+                          const McmcParams& params, KrylovMethod method,
+                          index_t replicates) {
+  const std::vector<real_t> ys =
+      measurer.measure_replicates(params, method, replicates);
+  LabeledSample s;
+  s.matrix_id = matrix_id;
+  s.xm = encode_xm(params, method);
+  s.y_mean = mean(ys);
+  s.y_std = sample_std(ys);
+  return s;
+}
+
+}  // namespace
+
+index_t append_matrix_measurements(SurrogateDataset& dataset,
+                                   const NamedMatrix& matrix,
+                                   const std::vector<McmcParams>& grid,
+                                   const std::vector<KrylovMethod>& methods,
+                                   const DatasetBuildOptions& options) {
+  // Reuse the matrix entry if it is already registered.
+  index_t matrix_id = -1;
+  for (std::size_t i = 0; i < dataset.matrix_names.size(); ++i) {
+    if (dataset.matrix_names[i] == matrix.name) {
+      matrix_id = static_cast<index_t>(i);
+      break;
+    }
+  }
+  if (matrix_id < 0) {
+    matrix_id = dataset.add_matrix(
+        matrix.name, gnn::Graph::from_csr(matrix.matrix),
+        extract_features(matrix.matrix).to_vector());
+  }
+
+  McmcOptions mcmc = options.mcmc;
+  mcmc.seed = mix64(options.seed ^ static_cast<u64>(matrix_id + 1));
+  PerformanceMeasurer measurer(matrix.matrix, options.solve, mcmc);
+  index_t done = 0;
+  for (const McmcParams& params : grid) {
+    for (KrylovMethod method : methods) {
+      dataset.samples.push_back(make_sample(measurer, matrix_id, params,
+                                            method, options.replicates));
+      ++done;
+    }
+  }
+  if (options.on_matrix) options.on_matrix(matrix.name, done);
+  return matrix_id;
+}
+
+SurrogateDataset build_dataset(const std::vector<NamedMatrix>& matrices,
+                               const DatasetBuildOptions& options) {
+  SurrogateDataset dataset;
+  for (const NamedMatrix& m : matrices) {
+    std::vector<KrylovMethod> methods = {KrylovMethod::kGMRES,
+                                         KrylovMethod::kBiCGStab};
+    append_matrix_measurements(dataset, m, options.grid, methods, options);
+
+    const index_t matrix_id =
+        static_cast<index_t>(dataset.matrix_names.size()) - 1;
+    McmcOptions mcmc = options.mcmc;
+    mcmc.seed = mix64(options.seed ^ static_cast<u64>(matrix_id + 1));
+    PerformanceMeasurer measurer(m.matrix, options.solve, mcmc);
+
+    // SPD matrices additionally run CG at the small alpha of §4.2.
+    if (m.spd) {
+      for (real_t eps : paper_eps_values()) {
+        for (real_t delta : paper_eps_values()) {
+          dataset.samples.push_back(
+              make_sample(measurer, matrix_id, {options.cg_alpha, eps, delta},
+                          KrylovMethod::kCG, options.replicates));
+        }
+      }
+    }
+
+    // Near-zero-alpha probes: divergence scenarios for the surrogate.
+    for (index_t d = 0; d < options.divergence_samples; ++d) {
+      const real_t tiny_alpha = 0.01 + 0.01 * static_cast<real_t>(d);
+      for (KrylovMethod method :
+           {KrylovMethod::kGMRES, KrylovMethod::kBiCGStab}) {
+        dataset.samples.push_back(
+            make_sample(measurer, matrix_id, {tiny_alpha, 0.5, 0.5}, method,
+                        options.replicates));
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace mcmi

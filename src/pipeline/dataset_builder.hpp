@@ -1,0 +1,45 @@
+#pragma once
+// Training-dataset construction (§4.2).
+//
+// For every training matrix, every point of the 4x4x4 (alpha, eps, delta)
+// grid is executed `replicates` times with GMRES and BiCGStab; the sample
+// mean and standard deviation of y(A, x_M) form one labelled datum per
+// solver.  SPD matrices additionally run CG at alpha = 0.1, and a few
+// near-zero-alpha samples expose the surrogate to divergence scenarios.
+
+#include <functional>
+
+#include "gen/matrix_set.hpp"
+#include "pipeline/metric.hpp"
+#include "surrogate/dataset.hpp"
+
+namespace mcmi {
+
+struct DatasetBuildOptions {
+  std::vector<McmcParams> grid;    ///< defaults to paper_parameter_grid()
+  index_t replicates = 5;          ///< paper: 10
+  real_t cg_alpha = 0.1;           ///< CG runs for SPD matrices (§4.2)
+  index_t divergence_samples = 2;  ///< near-zero-alpha probes per solver
+  SolveOptions solve;              ///< shared solver settings
+  McmcOptions mcmc;                ///< shared sampler settings
+  u64 seed = 1318;                 ///< dataset size of the paper, as a nod
+  /// Progress callback (matrix name, samples done for it).
+  std::function<void(const std::string&, index_t)> on_matrix;
+
+  DatasetBuildOptions();
+};
+
+/// Build the labelled dataset over `matrices`.
+SurrogateDataset build_dataset(const std::vector<NamedMatrix>& matrices,
+                               const DatasetBuildOptions& options = {});
+
+/// Add grid-search measurements of one extra matrix into an existing
+/// dataset (used when folding BO-round measurements back in, and to build
+/// the ground-truth table on the unseen test matrix).  Returns the matrix id.
+index_t append_matrix_measurements(SurrogateDataset& dataset,
+                                   const NamedMatrix& matrix,
+                                   const std::vector<McmcParams>& grid,
+                                   const std::vector<KrylovMethod>& methods,
+                                   const DatasetBuildOptions& options);
+
+}  // namespace mcmi

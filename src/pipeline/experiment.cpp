@@ -1,0 +1,214 @@
+#include "pipeline/experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "core/env.hpp"
+#include "features/matrix_features.hpp"
+#include "stats/summary.hpp"
+
+namespace mcmi {
+
+ExperimentOptions::ExperimentOptions() {
+  surrogate = default_config();
+  pretrain.epochs = env_int("MCMI_EPOCHS", 40);
+  pretrain.batch_size = 128;
+  retrain = pretrain;
+  data.replicates = env_int("MCMI_REPLICATES", full_scale() ? 10 : 4);
+  test_replicates = data.replicates;
+  if (full_scale()) {
+    surrogate = paper_config();
+    pretrain.epochs = env_int("MCMI_EPOCHS", 150);
+    retrain = pretrain;
+  }
+}
+
+std::vector<real_t> StrategyResult::medians() const {
+  std::vector<real_t> out;
+  out.reserve(evaluated.size());
+  for (const GridObservation& g : evaluated) out.push_back(median(g.ys));
+  return out;
+}
+
+index_t StrategyResult::best_index() const {
+  MCMI_CHECK(!evaluated.empty(), "empty strategy result");
+  const std::vector<real_t> med = medians();
+  return static_cast<index_t>(
+      std::min_element(med.begin(), med.end()) - med.begin());
+}
+
+TuningExperiment::TuningExperiment(ExperimentOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<CalibrationSample> TuningExperiment::calibrate(
+    SurrogateModel& model) const {
+  std::vector<CalibrationSample> samples;
+  model.cache_matrix(test_graph_, test_features_);
+  for (const GridObservation& g : results_.test_grid) {
+    const Prediction p = model.predict_cached(
+        encode_xm(g.params, options_.test_method));
+    for (real_t y : g.ys) {
+      samples.push_back({y, p.mu, p.sigma});
+    }
+  }
+  return samples;
+}
+
+void TuningExperiment::fill_inclusion(SurrogateModel& pre,
+                                      SurrogateModel& post) {
+  results_.inclusion.clear();
+  pre.cache_matrix(test_graph_, test_features_);
+  std::vector<Prediction> pre_predictions;
+  for (const GridObservation& g : results_.test_grid) {
+    pre_predictions.push_back(
+        pre.predict_cached(encode_xm(g.params, options_.test_method)));
+  }
+  post.cache_matrix(test_graph_, test_features_);
+  for (std::size_t i = 0; i < results_.test_grid.size(); ++i) {
+    const GridObservation& g = results_.test_grid[i];
+    const Prediction pp =
+        post.predict_cached(encode_xm(g.params, options_.test_method));
+    InclusionCell cell;
+    cell.params = g.params;
+    cell.empirical_mean = mean(g.ys);
+    cell.empirical_std = sample_std(g.ys);
+    cell.predicted_pre = pre_predictions[i].mu;
+    cell.predicted_post = pp.mu;
+    cell.included_pre =
+        prediction_within_empirical_ci(cell.predicted_pre, g.ys, 0.99);
+    cell.included_post =
+        prediction_within_empirical_ci(cell.predicted_post, g.ys, 0.99);
+    results_.inclusion.push_back(cell);
+  }
+}
+
+StrategyResult TuningExperiment::run_bo_strategy(
+    SurrogateModel& model, const std::string& name, real_t xi, real_t y_min,
+    PerformanceMeasurer& measurer, std::vector<LabeledSample>& new_samples,
+    index_t test_matrix_id) {
+  model.cache_matrix(test_graph_, test_features_);
+  RecommendOptions rec_options;
+  rec_options.batch_size = options_.bo_batch;
+  rec_options.xi = xi;
+  rec_options.y_min = y_min;
+  rec_options.seed = mix64(options_.seed ^ static_cast<u64>(xi * 1e4));
+  const std::vector<Recommendation> recs = recommend_batch(
+      model, options_.test_method, options_.search_space, rec_options);
+
+  StrategyResult result;
+  result.name = name;
+  for (const Recommendation& rec : recs) {
+    GridObservation obs;
+    obs.params = rec.params;
+    obs.ys = measurer.measure_replicates(rec.params, options_.test_method,
+                                         options_.test_replicates);
+    LabeledSample sample;
+    sample.matrix_id = test_matrix_id;
+    sample.xm = encode_xm(rec.params, options_.test_method);
+    sample.y_mean = mean(obs.ys);
+    sample.y_std = sample_std(obs.ys);
+    new_samples.push_back(sample);
+    result.evaluated.push_back(std::move(obs));
+  }
+  return result;
+}
+
+void TuningExperiment::run() {
+  auto log = [&](const char* fmt, auto... args) {
+    if (options_.verbose) {
+      std::printf(fmt, args...);
+      std::fflush(stdout);
+    }
+  };
+
+  // ---- 1. Training dataset -------------------------------------------------
+  const std::vector<NamedMatrix> training =
+      training_matrix_set(options_.training_max_dim);
+  log("[experiment] building dataset on %zu matrices (replicates=%lld)\n",
+      training.size(), static_cast<long long>(options_.data.replicates));
+  SurrogateDataset dataset = build_dataset(training, options_.data);
+  log("[experiment] dataset: %lld labelled samples\n",
+      static_cast<long long>(dataset.size()));
+
+  // ---- 2. Pre-BO model -----------------------------------------------------
+  SurrogateModel pre_bo(options_.surrogate);
+  pre_bo.fit_standardizers(dataset);
+  std::vector<LabeledSample> train, validation;
+  dataset.split(0.2, options_.seed, train, validation);
+  results_.training_samples = static_cast<index_t>(train.size());
+  results_.validation_samples = static_cast<index_t>(validation.size());
+  TrainReport pre_report =
+      train_surrogate(pre_bo, dataset, train, validation, options_.pretrain);
+  results_.pre_bo_validation_loss = pre_report.final_validation_loss;
+  log("[experiment] Pre-BO trained: %lld epochs, val loss %.5f\n",
+      static_cast<long long>(pre_report.epochs_run),
+      pre_report.final_validation_loss);
+
+  // ---- 3. Ground truth on the unseen test matrix ---------------------------
+  test_ = make_matrix(options_.test_matrix, full_scale());
+  test_graph_ = gnn::Graph::from_csr(test_.matrix);
+  test_features_ = extract_features(test_.matrix).to_vector();
+
+  McmcOptions test_mcmc = options_.data.mcmc;
+  test_mcmc.seed = mix64(options_.seed ^ 0xF00D);
+  PerformanceMeasurer measurer(test_.matrix, options_.data.solve, test_mcmc);
+  results_.baseline_steps = measurer.baseline_steps(options_.test_method);
+  log("[experiment] test matrix %s: baseline %lld steps (%s)\n",
+      options_.test_matrix.c_str(),
+      static_cast<long long>(results_.baseline_steps),
+      method_name(options_.test_method).c_str());
+
+  results_.test_grid.clear();
+  for (const McmcParams& params : options_.data.grid) {
+    GridObservation obs;
+    obs.params = params;
+    obs.ys = measurer.measure_replicates(params, options_.test_method,
+                                         options_.test_replicates);
+    results_.test_grid.push_back(std::move(obs));
+  }
+  results_.grid_strategy.name = "grid-search(64)";
+  results_.grid_strategy.evaluated = results_.test_grid;
+
+  // ---- 4. Pre-BO calibration ------------------------------------------------
+  results_.calibration_pre = calibrate(pre_bo);
+
+  // ---- 5. BO round ----------------------------------------------------------
+  // Incumbent: best mean observed in the initial coarse grid records (D_0 of
+  // Algorithm 1).
+  real_t y_min = std::numeric_limits<real_t>::infinity();
+  for (const LabeledSample& s : dataset.samples) {
+    y_min = std::min(y_min, s.y_mean);
+  }
+  log("[experiment] incumbent y_min = %.4f\n", y_min);
+
+  const index_t test_matrix_id = dataset.add_matrix(
+      test_.name, test_graph_, test_features_);
+  std::vector<LabeledSample> new_samples;
+  results_.balanced_strategy = run_bo_strategy(
+      pre_bo, "bo-balanced(32, xi=0.05)", options_.xi_balanced, y_min,
+      measurer, new_samples, test_matrix_id);
+  results_.explore_strategy = run_bo_strategy(
+      pre_bo, "bo-explore(32, xi=1.00)", options_.xi_explore, y_min, measurer,
+      new_samples, test_matrix_id);
+  log("[experiment] BO round measured %zu new samples\n", new_samples.size());
+
+  // ---- 6. BO-enhanced retraining --------------------------------------------
+  for (const LabeledSample& s : new_samples) dataset.samples.push_back(s);
+  SurrogateModel bo_enhanced(options_.surrogate);
+  bo_enhanced.fit_standardizers(dataset);
+  std::vector<LabeledSample> train2, validation2;
+  dataset.split(0.2, mix64(options_.seed + 1), train2, validation2);
+  TrainReport post_report = train_surrogate(bo_enhanced, dataset, train2,
+                                            validation2, options_.retrain);
+  results_.bo_enhanced_validation_loss = post_report.final_validation_loss;
+  log("[experiment] BO-enhanced trained: %lld epochs, val loss %.5f\n",
+      static_cast<long long>(post_report.epochs_run),
+      post_report.final_validation_loss);
+
+  // ---- 7. Post calibration + inclusion ---------------------------------------
+  results_.calibration_post = calibrate(bo_enhanced);
+  fill_inclusion(pre_bo, bo_enhanced);
+}
+
+}  // namespace mcmi

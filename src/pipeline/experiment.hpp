@@ -1,0 +1,124 @@
+#pragma once
+// The full §4.4 tuning experiment, powering Figures 1–3.
+//
+// Workflow:
+//   1. build the labelled training dataset on the training matrices (§4.2);
+//   2. train the Pre-BO surrogate (80/20 split);
+//   3. grid-search ground truth on the unseen test matrix
+//      (64 x_M, R replicates each — the paper's 640 observations);
+//   4. one BO round: the Pre-BO model recommends a 32-candidate batch for
+//      each strategy (balanced xi=0.05, exploration xi=1.0); each candidate
+//      is measured with R replicates;
+//   5. fold the new measurements into the dataset and retrain with the same
+//      hyper-parameters -> the BO-enhanced model;
+//   6. calibration curves (Fig 1), CI-inclusion maps (Fig 2) and the
+//      search-strategy comparison (Fig 3) are exposed for the bench
+//      binaries to print.
+
+#include <string>
+#include <vector>
+
+#include "bo/recommender.hpp"
+#include "pipeline/dataset_builder.hpp"
+#include "stats/calibration.hpp"
+#include "surrogate/trainer.hpp"
+
+namespace mcmi {
+
+struct ExperimentOptions {
+  SurrogateConfig surrogate;      ///< architecture (default: CPU-sized)
+  TrainOptions pretrain;          ///< Pre-BO training
+  TrainOptions retrain;           ///< BO-enhanced retraining
+  DatasetBuildOptions data;       ///< grid/replicates for dataset building
+  index_t training_max_dim = 1100;  ///< matrices larger than this are skipped
+  std::string test_matrix = "unsteady_adv_diff_order2_0001";
+  KrylovMethod test_method = KrylovMethod::kGMRES;
+  index_t bo_batch = 32;          ///< recommendations per strategy
+  real_t xi_balanced = 0.05;
+  real_t xi_explore = 1.0;
+  index_t test_replicates = 5;    ///< paper: 10
+  McmcSearchSpace search_space;
+  u64 seed = 2025;
+  bool verbose = true;
+
+  ExperimentOptions();
+};
+
+/// One evaluated parameter point with its replicate observations.
+struct GridObservation {
+  McmcParams params;
+  std::vector<real_t> ys;  ///< replicate measurements of y(A, x_M)
+};
+
+/// Per-strategy outcome for Figure 3.
+struct StrategyResult {
+  std::string name;
+  std::vector<GridObservation> evaluated;
+  /// Sample median per evaluated point.
+  [[nodiscard]] std::vector<real_t> medians() const;
+  /// Index of the point with the minimum sample median.
+  [[nodiscard]] index_t best_index() const;
+};
+
+/// Figure 2 cell: grid point with empirical stats and per-model predictions.
+struct InclusionCell {
+  McmcParams params;
+  real_t empirical_mean = 0.0;
+  real_t empirical_std = 0.0;
+  real_t predicted_pre = 0.0;
+  real_t predicted_post = 0.0;
+  bool included_pre = false;   ///< Pre-BO mean inside the 99% empirical CI
+  bool included_post = false;  ///< BO-enhanced mean inside it
+};
+
+struct ExperimentResults {
+  // Dataset statistics.
+  index_t training_samples = 0;
+  index_t validation_samples = 0;
+  real_t pre_bo_validation_loss = 0.0;
+  real_t bo_enhanced_validation_loss = 0.0;
+
+  // Ground truth on the test matrix.
+  std::vector<GridObservation> test_grid;
+  index_t baseline_steps = 0;  ///< unpreconditioned step count
+
+  // Figure 1: calibration samples (one per observation) per model.
+  std::vector<CalibrationSample> calibration_pre;
+  std::vector<CalibrationSample> calibration_post;
+
+  // Figure 2: CI inclusion per grid point.
+  std::vector<InclusionCell> inclusion;
+
+  // Figure 3: strategies.
+  StrategyResult grid_strategy;
+  StrategyResult balanced_strategy;
+  StrategyResult explore_strategy;
+};
+
+class TuningExperiment {
+ public:
+  explicit TuningExperiment(ExperimentOptions options = {});
+
+  /// Execute the full workflow.  Idempotent: reruns recompute everything.
+  void run();
+
+  [[nodiscard]] const ExperimentResults& results() const { return results_; }
+  [[nodiscard]] const ExperimentOptions& options() const { return options_; }
+
+ private:
+  std::vector<CalibrationSample> calibrate(SurrogateModel& model) const;
+  void fill_inclusion(SurrogateModel& pre, SurrogateModel& post);
+  StrategyResult run_bo_strategy(SurrogateModel& model, const std::string& name,
+                                 real_t xi, real_t y_min,
+                                 PerformanceMeasurer& measurer,
+                                 std::vector<LabeledSample>& new_samples,
+                                 index_t test_matrix_id);
+
+  ExperimentOptions options_;
+  ExperimentResults results_;
+  NamedMatrix test_;
+  gnn::Graph test_graph_;
+  std::vector<real_t> test_features_;
+};
+
+}  // namespace mcmi

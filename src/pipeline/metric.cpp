@@ -1,0 +1,68 @@
+#include "pipeline/metric.hpp"
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace mcmi {
+
+PerformanceMeasurer::PerformanceMeasurer(const CsrMatrix& a,
+                                         SolveOptions solve_options,
+                                         McmcOptions mcmc_options,
+                                         real_t y_cap)
+    : a_(a), solve_options_(solve_options), mcmc_options_(mcmc_options),
+      y_cap_(y_cap) {
+  MCMI_CHECK(a.rows() == a.cols(), "metric needs a square system");
+  // Fixed right-hand side b = (1, ..., 1): deterministic across replicates,
+  // so all randomness comes from the preconditioner sampler.
+  rhs_.assign(static_cast<std::size_t>(a.rows()), 1.0);
+}
+
+index_t PerformanceMeasurer::baseline_steps(KrylovMethod method) {
+  const int m = static_cast<int>(method);
+  if (baseline_[m] < 0) {
+    IdentityPreconditioner identity;
+    std::vector<real_t> x;
+    const SolveResult res =
+        solve(method, a_, rhs_, identity, x, solve_options_);
+    baseline_[m] =
+        res.converged ? res.iterations : solve_options_.max_iterations;
+  }
+  return baseline_[m];
+}
+
+MetricResult PerformanceMeasurer::measure(const McmcParams& params,
+                                          KrylovMethod method,
+                                          index_t replicate) {
+  MetricResult result;
+  result.steps_without = baseline_steps(method);
+
+  McmcOptions options = mcmc_options_;
+  options.seed = mix64(mcmc_options_.seed + 0x9e3779b9 * static_cast<u64>(replicate + 1));
+  McmcInverter inverter(a_, params, options);
+  const CsrMatrix p = inverter.compute();
+  result.build = inverter.info();
+  const SparseApproximateInverse precond(p, "mcmcmi");
+
+  std::vector<real_t> x;
+  const SolveResult res = solve(method, a_, rhs_, precond, x, solve_options_);
+  result.preconditioned_converged = res.converged;
+  result.baseline_converged = true;  // baseline counted even when saturated
+  result.steps_with =
+      res.converged ? res.iterations : solve_options_.max_iterations;
+  result.y = std::min(y_cap_, static_cast<real_t>(result.steps_with) /
+                                  static_cast<real_t>(result.steps_without));
+  return result;
+}
+
+std::vector<real_t> PerformanceMeasurer::measure_replicates(
+    const McmcParams& params, KrylovMethod method, index_t replicates) {
+  MCMI_CHECK(replicates >= 1, "need at least one replicate");
+  std::vector<real_t> ys;
+  ys.reserve(static_cast<std::size_t>(replicates));
+  for (index_t r = 0; r < replicates; ++r) {
+    ys.push_back(measure(params, method, r).y);
+  }
+  return ys;
+}
+
+}  // namespace mcmi

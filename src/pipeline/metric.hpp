@@ -1,0 +1,65 @@
+#pragma once
+// The MCMC preconditioning performance metric (eq. 4):
+//
+//   y(A, x_M) = (# Krylov steps with preconditioner)
+//             / (# Krylov steps without preconditioner)
+//
+// Lower is better; y >= 1 means the preconditioner did not help (including
+// the divergence scenarios deliberately present in the training data).
+
+#include <vector>
+
+#include "krylov/solver.hpp"
+#include "mcmc/inverter.hpp"
+#include "mcmc/params.hpp"
+#include "sparse/csr.hpp"
+
+namespace mcmi {
+
+struct MetricResult {
+  real_t y = 0.0;                ///< the eq. (4) ratio
+  index_t steps_with = 0;
+  index_t steps_without = 0;
+  bool preconditioned_converged = false;
+  bool baseline_converged = false;
+  McmcBuildInfo build;           ///< sampler diagnostics
+};
+
+/// Measures y(A, x_M) with replicate-seeded MCMC preconditioners.
+/// The unpreconditioned baseline is deterministic and cached per solver.
+class PerformanceMeasurer {
+ public:
+  /// `solve_options` applies to both baseline and preconditioned runs;
+  /// non-convergent runs count max_iterations steps.  The ratio is capped
+  /// at `y_cap` so divergence scenarios stay a bounded failure signal for
+  /// the surrogate instead of dominating its loss.
+  PerformanceMeasurer(const CsrMatrix& a, SolveOptions solve_options = {},
+                      McmcOptions mcmc_options = {}, real_t y_cap = 4.0);
+
+  /// One replicate.  The MCMC seed is keyed by (base seed, replicate).
+  MetricResult measure(const McmcParams& params, KrylovMethod method,
+                       index_t replicate);
+
+  /// y over `replicates` runs (vector of length `replicates`).
+  std::vector<real_t> measure_replicates(const McmcParams& params,
+                                         KrylovMethod method,
+                                         index_t replicates);
+
+  /// Baseline (unpreconditioned) step count for a solver.
+  index_t baseline_steps(KrylovMethod method);
+
+  [[nodiscard]] const CsrMatrix& matrix() const { return a_; }
+  [[nodiscard]] const SolveOptions& solve_options() const {
+    return solve_options_;
+  }
+
+ private:
+  const CsrMatrix& a_;
+  SolveOptions solve_options_;
+  McmcOptions mcmc_options_;
+  real_t y_cap_;
+  std::vector<real_t> rhs_;
+  index_t baseline_[3] = {-1, -1, -1};  // lazily computed per method
+};
+
+}  // namespace mcmi

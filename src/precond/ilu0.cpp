@@ -1,0 +1,81 @@
+#include "precond/ilu0.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace mcmi {
+
+Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a) : factors_(a) {
+  MCMI_CHECK(a.rows() == a.cols(), "ILU(0) needs a square matrix");
+  const index_t n = a.rows();
+  const auto& row_ptr = factors_.row_ptr();
+  const auto& col_idx = factors_.col_idx();
+  auto& values = factors_.values();
+
+  diag_pos_.assign(static_cast<std::size_t>(n), -1);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      if (col_idx[k] == i) diag_pos_[i] = k;
+    }
+    MCMI_CHECK(diag_pos_[i] >= 0,
+               "ILU(0) breakdown: missing diagonal in row " << i);
+  }
+
+  // IKJ-variant incomplete factorisation restricted to the pattern of A.
+  std::vector<index_t> pos_in_row(static_cast<std::size_t>(n), -1);
+  for (index_t i = 0; i < n; ++i) {
+    // Mark the columns present in row i for O(1) pattern lookups.
+    for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      pos_in_row[col_idx[k]] = k;
+    }
+    for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const index_t j = col_idx[k];
+      if (j >= i) break;  // only eliminate with rows above the diagonal
+      const real_t ujj = values[diag_pos_[j]];
+      MCMI_CHECK(ujj != 0.0, "ILU(0) breakdown: zero pivot at row " << j);
+      const real_t lij = values[k] / ujj;
+      values[k] = lij;
+      // Subtract lij * U(j, j+1:) on the pattern of row i.
+      for (index_t m = diag_pos_[j] + 1; m < row_ptr[j + 1]; ++m) {
+        const index_t c = col_idx[m];
+        const index_t p = pos_in_row[c];
+        if (p >= 0) values[p] -= lij * values[m];
+      }
+    }
+    MCMI_CHECK(values[diag_pos_[i]] != 0.0,
+               "ILU(0) breakdown: zero pivot at row " << i);
+    for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      pos_in_row[col_idx[k]] = -1;
+    }
+  }
+}
+
+void Ilu0Preconditioner::apply(const std::vector<real_t>& x,
+                               std::vector<real_t>& y) const {
+  const index_t n = factors_.rows();
+  MCMI_CHECK(static_cast<index_t>(x.size()) == n, "size mismatch in ILU apply");
+  const auto& row_ptr = factors_.row_ptr();
+  const auto& col_idx = factors_.col_idx();
+  const auto& values = factors_.values();
+
+  // Forward solve L z = x (unit diagonal).
+  y = x;
+  for (index_t i = 0; i < n; ++i) {
+    real_t sum = y[i];
+    for (index_t k = row_ptr[i]; k < diag_pos_[i]; ++k) {
+      sum -= values[k] * y[col_idx[k]];
+    }
+    y[i] = sum;
+  }
+  // Backward solve U y = z.
+  for (index_t i = n - 1; i >= 0; --i) {
+    real_t sum = y[i];
+    for (index_t k = diag_pos_[i] + 1; k < row_ptr[i + 1]; ++k) {
+      sum -= values[k] * y[col_idx[k]];
+    }
+    y[i] = sum / values[diag_pos_[i]];
+  }
+}
+
+}  // namespace mcmi

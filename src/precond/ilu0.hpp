@@ -1,0 +1,32 @@
+#pragma once
+// ILU(0) — incomplete LU factorisation with zero fill-in.
+//
+// The classical algebraic baseline the paper contrasts with (§2): powerful,
+// but serial in its triangular solves and liable to break down on indefinite
+// matrices — which is exactly the niche MCMC-based inversion targets.
+
+#include "precond/preconditioner.hpp"
+#include "sparse/csr.hpp"
+
+namespace mcmi {
+
+/// P x = U^-1 L^-1 x with L, U restricted to the sparsity pattern of A.
+class Ilu0Preconditioner final : public Preconditioner {
+ public:
+  /// Factorise.  Throws mcmi::Error on structural/numerical breakdown
+  /// (zero pivot), mirroring ILU's documented failure mode.
+  explicit Ilu0Preconditioner(const CsrMatrix& a);
+
+  using Preconditioner::apply;
+  void apply(const std::vector<real_t>& x,
+             std::vector<real_t>& y) const override;
+  [[nodiscard]] std::string name() const override { return "ilu0"; }
+
+ private:
+  // Combined LU factors in the pattern of A: strictly-lower entries hold L
+  // (unit diagonal implied), diagonal + upper hold U.
+  CsrMatrix factors_;
+  std::vector<index_t> diag_pos_;  ///< position of the diagonal in each row
+};
+
+}  // namespace mcmi

@@ -1,0 +1,25 @@
+#include "precond/jacobi.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace mcmi {
+
+JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& a) {
+  MCMI_CHECK(a.rows() == a.cols(), "Jacobi needs a square matrix");
+  inv_diag_ = a.diag();
+  for (index_t i = 0; i < static_cast<index_t>(inv_diag_.size()); ++i) {
+    MCMI_CHECK(inv_diag_[i] != 0.0, "zero diagonal at row " << i);
+    inv_diag_[i] = 1.0 / inv_diag_[i];
+  }
+}
+
+void JacobiPreconditioner::apply(const std::vector<real_t>& x,
+                                 std::vector<real_t>& y) const {
+  MCMI_CHECK(x.size() == inv_diag_.size(), "size mismatch in Jacobi apply");
+  y.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = inv_diag_[i] * x[i];
+}
+
+}  // namespace mcmi

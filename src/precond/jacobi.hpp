@@ -1,0 +1,23 @@
+#pragma once
+// Jacobi (diagonal) preconditioner — the cheapest classical baseline.
+
+#include "precond/preconditioner.hpp"
+#include "sparse/csr.hpp"
+
+namespace mcmi {
+
+/// P = diag(A)^-1.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const CsrMatrix& a);
+
+  using Preconditioner::apply;
+  void apply(const std::vector<real_t>& x,
+             std::vector<real_t>& y) const override;
+  [[nodiscard]] std::string name() const override { return "jacobi"; }
+
+ private:
+  std::vector<real_t> inv_diag_;
+};
+
+}  // namespace mcmi

@@ -1,0 +1,46 @@
+#pragma once
+// Preconditioner interface.
+//
+// A preconditioner is an operator P ~ A^-1 applied from the left:
+// the Krylov solvers iterate on P A x = P b (§3 of the paper).
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mcmi {
+
+/// Abstract left preconditioner: y = P x with P ~ A^-1.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+
+  /// Apply the preconditioner: y = P x.  `y` is resized as needed.
+  virtual void apply(const std::vector<real_t>& x,
+                     std::vector<real_t>& y) const = 0;
+
+  /// Descriptive name for logging/tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Convenience overload returning a fresh vector.
+  [[nodiscard]] std::vector<real_t> apply(const std::vector<real_t>& x) const {
+    std::vector<real_t> y;
+    apply(x, y);
+    return y;
+  }
+};
+
+/// The identity "preconditioner" (P = I): the unpreconditioned baseline that
+/// the performance metric y(A, x_M) divides by.
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  using Preconditioner::apply;
+  void apply(const std::vector<real_t>& x,
+             std::vector<real_t>& y) const override {
+    y = x;
+  }
+  [[nodiscard]] std::string name() const override { return "identity"; }
+};
+
+}  // namespace mcmi

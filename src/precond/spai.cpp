@@ -1,0 +1,144 @@
+#include "precond/spai.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+#include "dense/lu.hpp"
+#include "dense/matrix.hpp"
+
+namespace mcmi {
+
+namespace {
+
+/// Sparsity pattern for row i: columns of A's row i (level 1), optionally
+/// expanded one more hop (level 2), capped at `cap` by |a_ij| magnitude.
+std::vector<index_t> row_pattern(const CsrMatrix& a, index_t i, index_t level,
+                                 index_t cap) {
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+
+  std::vector<index_t> pattern(col_idx.begin() + row_ptr[i],
+                               col_idx.begin() + row_ptr[i + 1]);
+  if (level >= 2) {
+    std::vector<index_t> expanded = pattern;
+    for (index_t j : pattern) {
+      expanded.insert(expanded.end(), col_idx.begin() + row_ptr[j],
+                      col_idx.begin() + row_ptr[j + 1]);
+    }
+    std::sort(expanded.begin(), expanded.end());
+    expanded.erase(std::unique(expanded.begin(), expanded.end()),
+                   expanded.end());
+    pattern = std::move(expanded);
+  }
+  if (static_cast<index_t>(pattern.size()) > cap) {
+    // Keep the diagonal plus the largest |a_ij| couplings.
+    std::vector<std::pair<real_t, index_t>> weighted;
+    for (index_t j : pattern) {
+      real_t w = (j == i) ? std::numeric_limits<real_t>::infinity() : 0.0;
+      for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        if (col_idx[k] == j) w = std::abs(values[k]);
+      }
+      weighted.emplace_back(w, j);
+    }
+    std::partial_sort(weighted.begin(), weighted.begin() + cap,
+                      weighted.end(), std::greater<>());
+    pattern.clear();
+    for (index_t c = 0; c < cap; ++c) pattern.push_back(weighted[c].second);
+    std::sort(pattern.begin(), pattern.end());
+  }
+  return pattern;
+}
+
+}  // namespace
+
+SpaiPreconditioner::SpaiPreconditioner(const CsrMatrix& a,
+                                       SpaiOptions options) {
+  MCMI_CHECK(a.rows() == a.cols(), "SPAI needs a square matrix");
+  MCMI_CHECK(options.pattern_level >= 1 && options.pattern_level <= 2,
+             "pattern level must be 1 or 2");
+  const index_t n = a.rows();
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+
+  std::vector<std::vector<index_t>> cols(static_cast<std::size_t>(n));
+  std::vector<std::vector<real_t>> vals(static_cast<std::size_t>(n));
+
+#pragma omp parallel for schedule(dynamic, 16)
+  for (index_t i = 0; i < n; ++i) {
+    // Unknown support J and constrained rows I:
+    //   row i of P minimises || sum_{j in J} p_j A_j,: - e_i ||_2,
+    // so I is the union of the patterns of the rows j in J.
+    const std::vector<index_t> support =
+        row_pattern(a, i, options.pattern_level, options.max_row_nnz);
+    std::vector<index_t> constrained;
+    for (index_t j : support) {
+      constrained.insert(constrained.end(), col_idx.begin() + row_ptr[j],
+                         col_idx.begin() + row_ptr[j + 1]);
+    }
+    std::sort(constrained.begin(), constrained.end());
+    constrained.erase(std::unique(constrained.begin(), constrained.end()),
+                      constrained.end());
+
+    const index_t m = static_cast<index_t>(constrained.size());
+    const index_t w = static_cast<index_t>(support.size());
+    // Local dense system M (m x w): M[r][c] = A(support[c], constrained[r]).
+    DenseMatrix local(m, w);
+    for (index_t c = 0; c < w; ++c) {
+      const index_t j = support[c];
+      for (index_t k = row_ptr[j]; k < row_ptr[j + 1]; ++k) {
+        const auto it = std::lower_bound(constrained.begin(),
+                                         constrained.end(), col_idx[k]);
+        local(static_cast<index_t>(it - constrained.begin()), c) = values[k];
+      }
+    }
+    // Normal equations (M^T M) p = M^T e_i; the support is small so the
+    // dense solve is cheap and well conditioned enough in practice.
+    DenseMatrix gram(w, w);
+    std::vector<real_t> rhs(static_cast<std::size_t>(w), 0.0);
+    const auto it = std::lower_bound(constrained.begin(), constrained.end(),
+                                     i);
+    const index_t e_row = static_cast<index_t>(it - constrained.begin());
+    for (index_t c1 = 0; c1 < w; ++c1) {
+      for (index_t c2 = 0; c2 < w; ++c2) {
+        real_t sum = 0.0;
+        for (index_t r = 0; r < m; ++r) sum += local(r, c1) * local(r, c2);
+        gram(c1, c2) = sum;
+      }
+      gram(c1, c1) += 1e-12;  // tiny ridge against rank deficiency
+      rhs[c1] = local(e_row, c1);
+    }
+    const std::vector<real_t> p = dense_solve(gram, rhs);
+    for (index_t c = 0; c < w; ++c) {
+      if (p[c] != 0.0) {
+        cols[i].push_back(support[c]);
+        vals[i].push_back(p[c]);
+      }
+    }
+  }
+
+  std::vector<index_t> p_row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t i = 0; i < n; ++i) {
+    p_row_ptr[i + 1] = p_row_ptr[i] + static_cast<index_t>(cols[i].size());
+  }
+  std::vector<index_t> p_cols(static_cast<std::size_t>(p_row_ptr[n]));
+  std::vector<real_t> p_vals(static_cast<std::size_t>(p_row_ptr[n]));
+  for (index_t i = 0; i < n; ++i) {
+    std::copy(cols[i].begin(), cols[i].end(),
+              p_cols.begin() + p_row_ptr[i]);
+    std::copy(vals[i].begin(), vals[i].end(),
+              p_vals.begin() + p_row_ptr[i]);
+  }
+  p_ = CsrMatrix(n, n, std::move(p_row_ptr), std::move(p_cols),
+                 std::move(p_vals));
+}
+
+void SpaiPreconditioner::apply(const std::vector<real_t>& x,
+                               std::vector<real_t>& y) const {
+  p_.multiply(x, y);
+}
+
+}  // namespace mcmi

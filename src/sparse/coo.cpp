@@ -1,0 +1,42 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace mcmi {
+
+CooMatrix::CooMatrix(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+  MCMI_CHECK(rows >= 0 && cols >= 0,
+             "invalid dimensions " << rows << "x" << cols);
+}
+
+void CooMatrix::add(index_t i, index_t j, real_t value) {
+  MCMI_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+             "entry (" << i << "," << j << ") outside " << rows_ << "x"
+                       << cols_);
+  entries_.push_back({i, j, value});
+}
+
+void CooMatrix::compress() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::vector<Triplet> merged;
+  merged.reserve(entries_.size());
+  for (const Triplet& t : entries_) {
+    if (!merged.empty() && merged.back().row == t.row &&
+        merged.back().col == t.col) {
+      merged.back().value += t.value;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const Triplet& t) { return t.value == 0.0; }),
+               merged.end());
+  entries_ = std::move(merged);
+}
+
+}  // namespace mcmi

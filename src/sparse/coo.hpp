@@ -1,0 +1,51 @@
+#pragma once
+// Coordinate (triplet) sparse matrix — the assembly format.
+//
+// Generators and the Matrix Market reader assemble entries in arbitrary
+// order; CooMatrix collects them, then `compress()` sorts, merges duplicates
+// (summing values, as finite-element assembly requires) and drops explicit
+// zeros, ready for conversion to CSR.
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mcmi {
+
+/// One (row, col, value) triplet.
+struct Triplet {
+  index_t row = 0;
+  index_t col = 0;
+  real_t value = 0.0;
+};
+
+/// Mutable triplet-format sparse matrix used during assembly.
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(index_t rows, index_t cols);
+
+  /// Accumulate a value at (i, j).  Duplicate coordinates are summed by
+  /// compress().
+  void add(index_t i, index_t j, real_t value);
+
+  /// Sort entries row-major, merge duplicates by summing and remove entries
+  /// whose merged value is exactly zero.
+  void compress();
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t nnz() const {
+    return static_cast<index_t>(entries_.size());
+  }
+  [[nodiscard]] const std::vector<Triplet>& entries() const {
+    return entries_;
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<Triplet> entries_;
+};
+
+}  // namespace mcmi

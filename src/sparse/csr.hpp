@@ -1,0 +1,121 @@
+#pragma once
+// Compressed sparse row matrix — the workhorse format.
+//
+// All solver-facing operations (SpMV, transpose, diagonal manipulation,
+// norms) live here.  SpMV is OpenMP-parallel over rows; everything else is
+// deterministic single-pass code.  Column indices within each row are kept
+// sorted, which the MCMC sampler and ILU(0) rely on for binary search.
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sparse/coo.hpp"
+
+namespace mcmi {
+
+/// Immutable-shape CSR sparse matrix (values may be modified in place).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from a triplet matrix; compresses it first.
+  static CsrMatrix from_coo(CooMatrix coo);
+
+  /// Build directly from CSR arrays (validated).
+  CsrMatrix(index_t rows, index_t cols, std::vector<index_t> row_ptr,
+            std::vector<index_t> col_idx, std::vector<real_t> values);
+
+  /// n x n identity.
+  static CsrMatrix identity(index_t n);
+
+  /// Square diagonal matrix from a vector.
+  static CsrMatrix diagonal(const std::vector<real_t>& d);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t nnz() const {
+    return static_cast<index_t>(values_.size());
+  }
+  /// Fill ratio phi(A) = nnz / (rows*cols), as reported in Table 1.
+  [[nodiscard]] real_t fill() const;
+
+  [[nodiscard]] const std::vector<index_t>& row_ptr() const {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<index_t>& col_idx() const {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<real_t>& values() const { return values_; }
+  [[nodiscard]] std::vector<real_t>& values() { return values_; }
+
+  /// Number of stored entries in row i.
+  [[nodiscard]] index_t row_nnz(index_t i) const {
+    return row_ptr_[i + 1] - row_ptr_[i];
+  }
+
+  /// Value at (i, j); zero if the position is not stored.  O(log row_nnz).
+  [[nodiscard]] real_t at(index_t i, index_t j) const;
+
+  /// y = A * x.  OpenMP-parallel over rows.
+  void multiply(const std::vector<real_t>& x, std::vector<real_t>& y) const;
+  [[nodiscard]] std::vector<real_t> multiply(
+      const std::vector<real_t>& x) const;
+
+  /// y = A^T * x (computed without materialising the transpose).
+  void multiply_transpose(const std::vector<real_t>& x,
+                          std::vector<real_t>& y) const;
+
+  /// Explicit transpose.
+  [[nodiscard]] CsrMatrix transpose() const;
+
+  /// C = A * B (sparse-sparse product); used to form P*A when analysing
+  /// preconditioned spectra in tests.
+  [[nodiscard]] CsrMatrix multiply(const CsrMatrix& other) const;
+
+  /// C = alpha*A + beta*B, with identical dimensions.
+  [[nodiscard]] static CsrMatrix add(real_t alpha, const CsrMatrix& a,
+                                     real_t beta, const CsrMatrix& b);
+
+  /// Main diagonal as a dense vector (zeros for missing entries).
+  [[nodiscard]] std::vector<real_t> diag() const;
+
+  /// A + alpha*diag(d) for a dense vector d (structure is extended when the
+  /// diagonal entry is missing).
+  [[nodiscard]] CsrMatrix add_diagonal(real_t alpha,
+                                       const std::vector<real_t>& d) const;
+
+  /// Scale row i by s[i] (i.e. diag(s) * A).
+  void scale_rows(const std::vector<real_t>& s);
+
+  /// Matrix norms.
+  [[nodiscard]] real_t norm_inf() const;  ///< max row sum of |a_ij|
+  [[nodiscard]] real_t norm_one() const;  ///< max column sum of |a_ij|
+  [[nodiscard]] real_t norm_frobenius() const;
+
+  /// Relative symmetricity score in [0, 1]: 1 - ||A - A^T||_F / (2||A||_F).
+  /// Returns 1 for exactly symmetric matrices, ~0 for skew ones.
+  [[nodiscard]] real_t symmetry_score() const;
+  /// True when the sparsity pattern and values are symmetric to `tol`.
+  [[nodiscard]] bool is_symmetric(real_t tol = 1e-12) const;
+
+  /// Dense row-major copy (small matrices / tests only).
+  [[nodiscard]] std::vector<real_t> to_dense() const;
+
+  /// Drop stored entries with |a_ij| <= threshold (diagonal never dropped).
+  [[nodiscard]] CsrMatrix dropped(real_t threshold) const;
+
+  /// Human-readable summary, e.g. "csr 225x225 nnz=1065 fill=0.021".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  void validate() const;
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<index_t> row_ptr_{0};
+  std::vector<index_t> col_idx_;
+  std::vector<real_t> values_;
+};
+
+}  // namespace mcmi

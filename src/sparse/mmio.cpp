@@ -1,0 +1,74 @@
+#include "sparse/mmio.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace mcmi {
+
+CsrMatrix read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  MCMI_CHECK(in.good(), "cannot open " << path);
+
+  std::string line;
+  MCMI_CHECK(static_cast<bool>(std::getline(in, line)), "empty file " << path);
+  std::istringstream banner(line);
+  std::string tag, object, format, field, storage;
+  banner >> tag >> object >> format >> field >> storage;
+  std::transform(format.begin(), format.end(), format.begin(), ::tolower);
+  std::transform(field.begin(), field.end(), field.begin(), ::tolower);
+  std::transform(storage.begin(), storage.end(), storage.begin(), ::tolower);
+  MCMI_CHECK(tag == "%%MatrixMarket" && object == "matrix",
+             "not a MatrixMarket matrix file: " << path);
+  MCMI_CHECK(format == "coordinate", "only coordinate format supported");
+  MCMI_CHECK(field == "real" || field == "integer" || field == "pattern",
+             "unsupported field type '" << field << "'");
+  MCMI_CHECK(storage == "general" || storage == "symmetric",
+             "unsupported storage '" << storage << "'");
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  index_t rows = 0, cols = 0, entries = 0;
+  size_line >> rows >> cols >> entries;
+  MCMI_CHECK(rows > 0 && cols > 0, "bad size line in " << path);
+
+  CooMatrix coo(rows, cols);
+  for (index_t e = 0; e < entries; ++e) {
+    MCMI_CHECK(static_cast<bool>(std::getline(in, line)),
+               "truncated file " << path << " at entry " << e);
+    std::istringstream entry(line);
+    index_t i = 0, j = 0;
+    real_t v = 1.0;
+    entry >> i >> j;
+    if (field != "pattern") entry >> v;
+    MCMI_CHECK(i >= 1 && i <= rows && j >= 1 && j <= cols,
+               "entry out of range in " << path);
+    coo.add(i - 1, j - 1, v);
+    if (storage == "symmetric" && i != j) coo.add(j - 1, i - 1, v);
+  }
+  return CsrMatrix::from_coo(std::move(coo));
+}
+
+void write_matrix_market(const CsrMatrix& matrix, const std::string& path) {
+  std::ofstream out(path);
+  MCMI_CHECK(out.good(), "cannot open " << path << " for writing");
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << matrix.rows() << " " << matrix.cols() << " " << matrix.nnz() << "\n";
+  out << std::setprecision(17);
+  const auto& row_ptr = matrix.row_ptr();
+  const auto& col_idx = matrix.col_idx();
+  const auto& values = matrix.values();
+  for (index_t i = 0; i < matrix.rows(); ++i) {
+    for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      out << i + 1 << " " << col_idx[k] + 1 << " " << values[k] << "\n";
+    }
+  }
+}
+
+}  // namespace mcmi

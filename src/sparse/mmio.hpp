@@ -1,0 +1,22 @@
+#pragma once
+// Matrix Market (.mtx) I/O.
+//
+// Supports the coordinate format with real values in `general` or
+// `symmetric` storage — the subset covering every matrix family the paper
+// uses.  Writing always emits `coordinate real general`.
+
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace mcmi {
+
+/// Read a Matrix Market coordinate file into CSR.  Symmetric storage is
+/// expanded to full form.  Throws mcmi::Error on malformed input.
+CsrMatrix read_matrix_market(const std::string& path);
+
+/// Write a CSR matrix as `matrix coordinate real general` with 1-based
+/// indices.
+void write_matrix_market(const CsrMatrix& matrix, const std::string& path);
+
+}  // namespace mcmi

@@ -1,0 +1,63 @@
+#pragma once
+// Dense vector kernels used by the Krylov solvers.
+//
+// These are deliberately simple loops: at the sizes the paper studies
+// (n <= ~2e4) memory traffic dominates and the compiler vectorises them.
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/types.hpp"
+
+namespace mcmi {
+
+/// Euclidean dot product.
+inline real_t dot(const std::vector<real_t>& a, const std::vector<real_t>& b) {
+  MCMI_CHECK(a.size() == b.size(), "dot: size mismatch");
+  real_t sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+/// 2-norm.
+inline real_t norm2(const std::vector<real_t>& a) {
+  return std::sqrt(dot(a, a));
+}
+
+/// Infinity norm.
+inline real_t norm_inf(const std::vector<real_t>& a) {
+  real_t best = 0.0;
+  for (real_t v : a) best = std::max(best, std::abs(v));
+  return best;
+}
+
+/// y += alpha * x.
+inline void axpy(real_t alpha, const std::vector<real_t>& x,
+                 std::vector<real_t>& y) {
+  MCMI_CHECK(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// y = x + beta * y (the BiCGStab / CG update shape).
+inline void xpby(const std::vector<real_t>& x, real_t beta,
+                 std::vector<real_t>& y) {
+  MCMI_CHECK(x.size() == y.size(), "xpby: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
+}
+
+/// x *= alpha.
+inline void scale(real_t alpha, std::vector<real_t>& x) {
+  for (real_t& v : x) v *= alpha;
+}
+
+/// Elementwise difference a - b.
+inline std::vector<real_t> subtract(const std::vector<real_t>& a,
+                                    const std::vector<real_t>& b) {
+  MCMI_CHECK(a.size() == b.size(), "subtract: size mismatch");
+  std::vector<real_t> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+}  // namespace mcmi

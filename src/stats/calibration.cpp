@@ -1,0 +1,60 @@
+#include "stats/calibration.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "stats/normal.hpp"
+#include "stats/summary.hpp"
+
+namespace mcmi {
+
+std::vector<real_t> paper_confidence_levels() {
+  return {0.50, 0.68, 0.80, 0.90, 0.95, 0.99};
+}
+
+std::vector<CoveragePoint> calibration_curve(
+    const std::vector<CalibrationSample>& samples,
+    const std::vector<real_t>& taus) {
+  MCMI_CHECK(!samples.empty(), "calibration curve needs samples");
+  std::vector<CoveragePoint> curve;
+  curve.reserve(taus.size());
+  for (real_t tau : taus) {
+    const real_t z = normal_quantile(0.5 * (1.0 + tau));
+    index_t inside = 0;
+    for (const CalibrationSample& s : samples) {
+      const real_t half = z * s.sigma;
+      if (s.observed >= s.mu - half && s.observed <= s.mu + half) ++inside;
+    }
+    CoveragePoint point;
+    point.expected = tau;
+    point.observed =
+        static_cast<real_t>(inside) / static_cast<real_t>(samples.size());
+    point.wilson = wilson_interval(point.observed,
+                                   static_cast<index_t>(samples.size()));
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+real_t calibration_error(const std::vector<CoveragePoint>& curve) {
+  MCMI_CHECK(!curve.empty(), "empty calibration curve");
+  real_t err = 0.0;
+  for (const CoveragePoint& p : curve) {
+    err += std::abs(p.observed - p.expected);
+  }
+  return err / static_cast<real_t>(curve.size());
+}
+
+bool prediction_within_empirical_ci(real_t predicted_mu,
+                                    const std::vector<real_t>& replicates,
+                                    real_t confidence) {
+  MCMI_CHECK(!replicates.empty(), "need replicates");
+  const real_t ybar = mean(replicates);
+  const real_t s = sample_std(replicates);
+  const real_t z = normal_quantile(0.5 * (1.0 + confidence));
+  const real_t half =
+      z * s / std::sqrt(static_cast<real_t>(replicates.size()));
+  return predicted_mu >= ybar - half && predicted_mu <= ybar + half;
+}
+
+}  // namespace mcmi

@@ -1,0 +1,54 @@
+#pragma once
+// Calibration analysis for probabilistic predictions (Figure 1 and 2).
+//
+// Figure 1: for each confidence level tau, the symmetric prediction
+// interval mu_j +- z_{(1+tau)/2} sigma_j (eq. 5) should contain the
+// observation y_j a fraction tau of the time; empirical coverage with
+// Wilson bands diagnoses over/under-confidence.
+//
+// Figure 2: for each parameter point, does the model's predicted mean fall
+// inside the *empirical* confidence interval of the replicated solver runs?
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "stats/wilson.hpp"
+
+namespace mcmi {
+
+/// One (observation, prediction) pair: y_j observed, (mu_j, sigma_j)
+/// predicted by the surrogate.
+struct CalibrationSample {
+  real_t observed = 0.0;
+  real_t mu = 0.0;
+  real_t sigma = 0.0;
+};
+
+/// One point of the Figure 1 calibration curve.
+struct CoveragePoint {
+  real_t expected = 0.0;   ///< tau
+  real_t observed = 0.0;   ///< empirical coverage p_hat
+  Interval wilson;         ///< Wilson 95% band on p_hat
+};
+
+/// The default confidence ladder of the paper:
+/// tau in {0.50, 0.68, 0.80, 0.90, 0.95, 0.99}.
+std::vector<real_t> paper_confidence_levels();
+
+/// Empirical coverage of the symmetric prediction intervals at each tau.
+std::vector<CoveragePoint> calibration_curve(
+    const std::vector<CalibrationSample>& samples,
+    const std::vector<real_t>& taus = paper_confidence_levels());
+
+/// Mean absolute calibration error: average |observed - expected| over the
+/// curve (0 = perfectly calibrated).
+real_t calibration_error(const std::vector<CoveragePoint>& curve);
+
+/// Figure 2 primitive: is the predicted mean inside the empirical
+/// confidence interval of the replicates?  The interval is
+/// ybar +- z_{(1+conf)/2} * s / sqrt(R) for R replicates.
+bool prediction_within_empirical_ci(real_t predicted_mu,
+                                    const std::vector<real_t>& replicates,
+                                    real_t confidence = 0.99);
+
+}  // namespace mcmi

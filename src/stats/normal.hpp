@@ -1,0 +1,23 @@
+#pragma once
+// Standard normal distribution functions.
+//
+// Phi and phi appear in the closed-form Expected Improvement (eq. 3); the
+// quantile z_tau defines the symmetric prediction intervals of the
+// calibration analysis (eq. 5).
+
+#include "core/types.hpp"
+
+namespace mcmi {
+
+/// Standard normal probability density phi(x).
+real_t normal_pdf(real_t x);
+
+/// Standard normal cumulative distribution Phi(x) (erfc-based, accurate to
+/// machine precision).
+real_t normal_cdf(real_t x);
+
+/// Standard normal quantile Phi^-1(p) for p in (0, 1)
+/// (Acklam's rational approximation polished with one Halley step).
+real_t normal_quantile(real_t p);
+
+}  // namespace mcmi

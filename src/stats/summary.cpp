@@ -1,0 +1,70 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace mcmi {
+
+real_t mean(const std::vector<real_t>& xs) {
+  MCMI_CHECK(!xs.empty(), "mean of empty sample");
+  real_t sum = 0.0;
+  for (real_t x : xs) sum += x;
+  return sum / static_cast<real_t>(xs.size());
+}
+
+real_t sample_std(const std::vector<real_t>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const real_t m = mean(xs);
+  real_t ss = 0.0;
+  for (real_t x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<real_t>(xs.size() - 1));
+}
+
+real_t quantile(std::vector<real_t> xs, real_t q) {
+  MCMI_CHECK(!xs.empty(), "quantile of empty sample");
+  MCMI_CHECK(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const real_t pos = q * static_cast<real_t>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const real_t frac = pos - static_cast<real_t>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+real_t median(std::vector<real_t> xs) { return quantile(std::move(xs), 0.5); }
+
+BoxStats box_stats(std::vector<real_t> xs) {
+  MCMI_CHECK(!xs.empty(), "box stats of empty sample");
+  std::sort(xs.begin(), xs.end());
+  BoxStats b;
+  b.minimum = xs.front();
+  b.maximum = xs.back();
+  b.q1 = quantile(xs, 0.25);
+  b.median = quantile(xs, 0.5);
+  b.q3 = quantile(xs, 0.75);
+  const real_t iqr = b.q3 - b.q1;
+  const real_t lo_fence = b.q1 - 1.5 * iqr;
+  const real_t hi_fence = b.q3 + 1.5 * iqr;
+  b.whisker_low = b.maximum;
+  b.whisker_high = b.minimum;
+  for (real_t x : xs) {
+    if (x >= lo_fence) {
+      b.whisker_low = std::min(b.whisker_low, x);
+      break;
+    }
+  }
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) {
+    if (*it <= hi_fence) {
+      b.whisker_high = *it;
+      break;
+    }
+  }
+  for (real_t x : xs) {
+    if (x < lo_fence || x > hi_fence) b.outliers.push_back(x);
+  }
+  return b;
+}
+
+}  // namespace mcmi

@@ -1,0 +1,39 @@
+#pragma once
+// Sample summaries: means, quantiles and box-plot statistics.
+//
+// Figure 3 of the paper is a box plot of per-x_M sample medians; this module
+// provides the exact summaries that figure needs.
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mcmi {
+
+/// Arithmetic mean.  Empty input throws.
+real_t mean(const std::vector<real_t>& xs);
+
+/// Unbiased sample standard deviation (n-1 denominator); 0 for n < 2.
+real_t sample_std(const std::vector<real_t>& xs);
+
+/// Linear-interpolated quantile, q in [0, 1] (type-7, the numpy default).
+real_t quantile(std::vector<real_t> xs, real_t q);
+
+/// Median (quantile 0.5).
+real_t median(std::vector<real_t> xs);
+
+/// Five-number box-plot summary with 1.5*IQR whiskers and outliers.
+struct BoxStats {
+  real_t minimum = 0.0;
+  real_t q1 = 0.0;
+  real_t median = 0.0;
+  real_t q3 = 0.0;
+  real_t maximum = 0.0;
+  real_t whisker_low = 0.0;   ///< smallest point >= q1 - 1.5 IQR
+  real_t whisker_high = 0.0;  ///< largest point <= q3 + 1.5 IQR
+  std::vector<real_t> outliers;
+};
+
+BoxStats box_stats(std::vector<real_t> xs);
+
+}  // namespace mcmi

@@ -1,0 +1,29 @@
+#include "stats/wilson.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "stats/normal.hpp"
+
+namespace mcmi {
+
+Interval wilson_interval(real_t p_hat, index_t n, real_t confidence) {
+  MCMI_CHECK(n > 0, "Wilson interval needs at least one trial");
+  MCMI_CHECK(p_hat >= 0.0 && p_hat <= 1.0, "proportion must be in [0,1]");
+  MCMI_CHECK(confidence > 0.0 && confidence < 1.0,
+             "confidence must be in (0,1)");
+  const real_t z = normal_quantile(0.5 * (1.0 + confidence));
+  const real_t nn = static_cast<real_t>(n);
+  const real_t z2 = z * z;
+  const real_t denom = 1.0 + z2 / nn;
+  const real_t centre = p_hat + z2 / (2.0 * nn);
+  const real_t margin =
+      z * std::sqrt(p_hat * (1.0 - p_hat) / nn + z2 / (4.0 * nn * nn));
+  Interval ci;
+  ci.low = std::max(0.0, (centre - margin) / denom);
+  ci.high = std::min(1.0, (centre + margin) / denom);
+  return ci;
+}
+
+}  // namespace mcmi

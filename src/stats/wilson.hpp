@@ -1,0 +1,21 @@
+#pragma once
+// Wilson score confidence interval for a binomial proportion (eq. 6).
+//
+// The paper prefers Wilson over the normal approximation "because it
+// produces well-behaved bounds in [0,1], even for small n or extreme
+// proportions"; it forms the shaded bands of the Figure 1 calibration plot.
+
+#include "core/types.hpp"
+
+namespace mcmi {
+
+struct Interval {
+  real_t low = 0.0;
+  real_t high = 0.0;
+};
+
+/// Two-sided Wilson score interval for an observed proportion p_hat out of n
+/// trials at confidence `confidence` (default 95%, z = z_{0.975}).
+Interval wilson_interval(real_t p_hat, index_t n, real_t confidence = 0.95);
+
+}  // namespace mcmi

@@ -1,0 +1,56 @@
+#include "surrogate/dataset.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace mcmi {
+
+std::vector<real_t> encode_xm(const McmcParams& params, KrylovMethod method) {
+  std::vector<real_t> xm(static_cast<std::size_t>(kXmWidth), 0.0);
+  xm[0] = params.alpha;
+  xm[1] = params.eps;
+  xm[2] = params.delta;
+  switch (method) {
+    case KrylovMethod::kCG: xm[3] = 1.0; break;
+    case KrylovMethod::kGMRES: xm[4] = 1.0; break;
+    case KrylovMethod::kBiCGStab: xm[5] = 1.0; break;
+  }
+  return xm;
+}
+
+index_t SurrogateDataset::add_matrix(std::string name, gnn::Graph graph,
+                                     std::vector<real_t> xa) {
+  matrix_names.push_back(std::move(name));
+  graphs.push_back(std::move(graph));
+  features.push_back(std::move(xa));
+  return static_cast<index_t>(graphs.size()) - 1;
+}
+
+void SurrogateDataset::split(real_t validation_fraction, u64 seed,
+                             std::vector<LabeledSample>& train,
+                             std::vector<LabeledSample>& validation) const {
+  MCMI_CHECK(validation_fraction >= 0.0 && validation_fraction < 1.0,
+             "validation fraction must be in [0,1)");
+  std::vector<index_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<index_t>(i);
+  }
+  // Fisher-Yates with a deterministic stream.
+  Xoshiro256 rng = make_stream(seed, 0x51);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(uniform_index(rng, i));
+    std::swap(order[i - 1], order[j]);
+  }
+  const std::size_t n_val = static_cast<std::size_t>(
+      validation_fraction * static_cast<real_t>(samples.size()));
+  train.clear();
+  validation.clear();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i < n_val) validation.push_back(samples[order[i]]);
+    else train.push_back(samples[order[i]]);
+  }
+}
+
+}  // namespace mcmi

@@ -1,0 +1,59 @@
+#pragma once
+// Labelled dataset for the surrogate: D = {(G_i, x_A,i, x_M,i, ybar_i, s_i)}.
+//
+// Each sample couples one matrix (graph + features) with one MCMC parameter
+// vector and the sample mean / standard deviation of the performance metric
+// y(A, x_M) over repeated solver runs (§3.1, §4.2).
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "gnn/graph.hpp"
+#include "krylov/solver.hpp"
+#include "mcmc/params.hpp"
+
+namespace mcmi {
+
+/// Width of the encoded x_M vector: (alpha, eps, delta) + one-hot solver.
+inline constexpr index_t kXmWidth = 6;
+
+/// Encode x_M = (alpha, eps, delta, solver) for the surrogate.
+std::vector<real_t> encode_xm(const McmcParams& params, KrylovMethod method);
+
+/// One labelled observation.
+struct LabeledSample {
+  index_t matrix_id = 0;          ///< index into SurrogateDataset::graphs
+  std::vector<real_t> xm;         ///< encoded x_M (kXmWidth)
+  real_t y_mean = 0.0;            ///< ybar over replicates
+  real_t y_std = 0.0;             ///< s over replicates
+};
+
+/// The dataset: per-matrix graphs/features plus the labelled samples.
+struct SurrogateDataset {
+  std::vector<std::string> matrix_names;
+  std::vector<gnn::Graph> graphs;             ///< one per matrix
+  std::vector<std::vector<real_t>> features;  ///< x_A per matrix
+
+  std::vector<LabeledSample> samples;
+
+  /// Register a matrix; returns its id.
+  index_t add_matrix(std::string name, gnn::Graph graph,
+                     std::vector<real_t> xa);
+
+  [[nodiscard]] index_t num_matrices() const {
+    return static_cast<index_t>(graphs.size());
+  }
+  [[nodiscard]] index_t size() const {
+    return static_cast<index_t>(samples.size());
+  }
+
+  /// Deterministic shuffled split of the samples (graphs are shared by
+  /// reference semantics: both halves keep all graphs).  The paper uses
+  /// 80/20 train/validation.
+  void split(real_t validation_fraction, u64 seed,
+             std::vector<LabeledSample>& train,
+             std::vector<LabeledSample>& validation) const;
+};
+
+}  // namespace mcmi

@@ -1,0 +1,336 @@
+#include "surrogate/model.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "core/error.hpp"
+#include "features/matrix_features.hpp"
+
+namespace mcmi {
+
+SurrogateConfig paper_config() {
+  SurrogateConfig c;
+  c.gnn.kind = gnn::LayerKind::kEdgeConv;
+  c.gnn.aggregation = gnn::Aggregation::kMean;
+  c.gnn.hidden = 256;
+  c.gnn.layers = 1;
+  c.xa_hidden = 64;
+  c.xa_layers = 1;
+  c.xm_hidden = 16;
+  c.xm_layers = 3;
+  c.combined_hidden = 128;
+  c.combined_layers = 2;
+  c.dropout = 0.1;
+  return c;
+}
+
+SurrogateConfig default_config() {
+  SurrogateConfig c;
+  c.gnn.kind = gnn::LayerKind::kEdgeConv;
+  c.gnn.aggregation = gnn::Aggregation::kMean;
+  c.gnn.hidden = 32;
+  c.gnn.layers = 1;
+  c.xa_hidden = 16;
+  c.xa_layers = 1;
+  c.xm_hidden = 16;
+  c.xm_layers = 2;
+  c.combined_hidden = 32;
+  c.combined_layers = 2;
+  c.dropout = 0.05;
+  return c;
+}
+
+namespace {
+
+nn::MlpConfig branch_config(index_t in, index_t hidden, index_t layers,
+                            real_t dropout = 0.0) {
+  nn::MlpConfig m;
+  m.in_features = in;
+  m.hidden = hidden;
+  m.hidden_layers = layers;
+  m.out_features = hidden;
+  m.dropout = dropout;
+  m.layer_norm = true;
+  m.final_activation = true;
+  return m;
+}
+
+}  // namespace
+
+SurrogateModel::SurrogateModel(const SurrogateConfig& config)
+    : config_(config),
+      gnn_(config.gnn, /*node_feature_width=*/1, mix64(config.seed + 1)),
+      xa_mlp_(branch_config(MatrixFeatures::count(), config.xa_hidden,
+                            config.xa_layers),
+              mix64(config.seed + 2)),
+      xm_mlp_(branch_config(kXmWidth, config.xm_hidden, config.xm_layers),
+              mix64(config.seed + 3)),
+      combined_(branch_config(config.gnn.hidden + config.xa_hidden +
+                                  config.xm_hidden,
+                              config.combined_hidden, config.combined_layers,
+                              config.dropout),
+                mix64(config.seed + 4)),
+      head_mu_(config.combined_hidden, 1, mix64(config.seed + 5)),
+      head_sigma_(config.combined_hidden, 1, mix64(config.seed + 6)) {}
+
+void SurrogateModel::fit_standardizers(const SurrogateDataset& dataset) {
+  MCMI_CHECK(!dataset.samples.empty(), "empty dataset");
+  xa_std_.fit(dataset.features);
+  std::vector<std::vector<real_t>> xms;
+  xms.reserve(dataset.samples.size());
+  for (const auto& s : dataset.samples) xms.push_back(s.xm);
+  xm_std_.fit(xms);
+}
+
+Prediction SurrogateModel::predict(const gnn::Graph& graph,
+                                   const std::vector<real_t>& xa,
+                                   const std::vector<real_t>& xm) {
+  cache_matrix(graph, xa);
+  return predict_cached(xm);
+}
+
+void SurrogateModel::cache_matrix(const gnn::Graph& graph,
+                                  const std::vector<real_t>& xa) {
+  MCMI_CHECK(xa_std_.fitted(), "standardizers not fitted");
+  cached_hg_ = gnn_.forward(graph, /*train=*/false);
+  cached_ha_ = xa_mlp_.forward(nn::Tensor::from_row(xa_std_.transform(xa)),
+                               /*train=*/false);
+  has_cache_ = true;
+}
+
+Prediction SurrogateModel::predict_cached(const std::vector<real_t>& xm) {
+  MCMI_CHECK(has_cache_, "no cached matrix; call cache_matrix first");
+  const nn::Tensor hm = xm_mlp_.forward(
+      nn::Tensor::from_row(xm_std_.transform(xm)), /*train=*/false);
+  const nn::Tensor fused = nn::hconcat({&cached_hg_, &cached_ha_, &hm});
+  const nn::Tensor hc = combined_.forward(fused, /*train=*/false);
+  const nn::Tensor pre_mu = head_mu_.forward(hc, false);
+  const nn::Tensor pre_sigma = head_sigma_.forward(hc, false);
+  Prediction p;
+  p.mu = std::max(0.0, pre_mu(0, 0));
+  p.sigma = nn::Softplus::value(pre_sigma(0, 0));
+  return p;
+}
+
+PredictionWithGrad SurrogateModel::predict_cached_with_grad(
+    const std::vector<real_t>& xm) {
+  MCMI_CHECK(has_cache_, "no cached matrix; call cache_matrix first");
+  const std::vector<real_t> xm_standardised = xm_std_.transform(xm);
+  const nn::Tensor xm_in = nn::Tensor::from_row(xm_standardised);
+
+  // Forward (eval mode).
+  const nn::Tensor hm = xm_mlp_.forward(xm_in, false);
+  const nn::Tensor fused = nn::hconcat({&cached_hg_, &cached_ha_, &hm});
+  const nn::Tensor hc = combined_.forward(fused, false);
+  const nn::Tensor pre_mu = head_mu_.forward(hc, false);
+  const nn::Tensor pre_sigma = head_sigma_.forward(hc, false);
+
+  PredictionWithGrad out;
+  out.value.mu = std::max(0.0, pre_mu(0, 0));
+  out.value.sigma = nn::Softplus::value(pre_sigma(0, 0));
+
+  const index_t hg_w = cached_hg_.cols();
+  const index_t ha_w = cached_ha_.cols();
+  const index_t hm_w = hm.cols();
+
+  // Backward pass per head.  Parameter gradients accumulate but callers in
+  // the BO loop zero them before training, so only input grads matter here.
+  auto input_grad = [&](nn::Linear& head, real_t outer) {
+    nn::Tensor g(1, 1);
+    g(0, 0) = outer;
+    nn::Tensor ghc = head.backward(g);
+    nn::Tensor gfused = combined_.backward(ghc);
+    nn::Tensor ghm(1, hm_w);
+    for (index_t c = 0; c < hm_w; ++c) ghm(0, c) = gfused(0, hg_w + ha_w + c);
+    const nn::Tensor gxm = xm_mlp_.backward(ghm);
+    std::vector<real_t> grad(static_cast<std::size_t>(kXmWidth), 0.0);
+    for (index_t c = 0; c < kXmWidth; ++c) {
+      // Chain rule back to raw parameter space through the standardiser.
+      grad[c] = gxm(0, c) * xm_std_.scale(c);
+    }
+    return grad;
+  };
+
+  // d mu / d pre_mu: ReLU gate.
+  const real_t mu_gate = pre_mu(0, 0) > 0.0 ? 1.0 : 0.0;
+  out.dmu_dxm = input_grad(head_mu_, mu_gate);
+
+  // Re-run the forward of the shared trunk so the caches match before the
+  // second backward (backward() consumes the cached activations).
+  xm_mlp_.forward(xm_in, false);
+  combined_.forward(fused, false);
+  head_sigma_.forward(hc, false);
+  const real_t sigma_gate = nn::Softplus::derivative(pre_sigma(0, 0));
+  out.dsigma_dxm = input_grad(head_sigma_, sigma_gate);
+  return out;
+}
+
+real_t SurrogateModel::train_batch(
+    const gnn::Graph& graph, const std::vector<real_t>& xa,
+    const std::vector<const LabeledSample*>& batch, SurrogateLoss loss_kind) {
+  MCMI_CHECK(!batch.empty(), "empty batch");
+  MCMI_CHECK(xa_std_.fitted(), "standardizers not fitted");
+  const index_t b = static_cast<index_t>(batch.size());
+
+  // Branch forwards.  h_g and h_A are shared by every row of the batch.
+  const nn::Tensor hg = gnn_.forward(graph, /*train=*/true);
+  const nn::Tensor ha = xa_mlp_.forward(
+      nn::Tensor::from_row(xa_std_.transform(xa)), /*train=*/true);
+  nn::Tensor xm_in(b, kXmWidth);
+  for (index_t r = 0; r < b; ++r) {
+    xm_in.set_row(r, xm_std_.transform(batch[r]->xm));
+  }
+  const nn::Tensor hm = xm_mlp_.forward(xm_in, /*train=*/true);
+
+  nn::Tensor fused(b, hg.cols() + ha.cols() + hm.cols());
+  for (index_t r = 0; r < b; ++r) {
+    index_t off = 0;
+    for (index_t c = 0; c < hg.cols(); ++c) fused(r, off++) = hg(0, c);
+    for (index_t c = 0; c < ha.cols(); ++c) fused(r, off++) = ha(0, c);
+    for (index_t c = 0; c < hm.cols(); ++c) fused(r, off++) = hm(r, c);
+  }
+
+  const nn::Tensor hc = combined_.forward(fused, /*train=*/true);
+  last_pre_mu_ = head_mu_.forward(hc, true);
+  // head_sigma_ shares hc; its Linear caches hc internally.
+  last_pre_sigma_ = head_sigma_.forward(hc, true);
+
+  // Loss and its head gradients.  kMse is eq. (2): mean over the batch of
+  // (mu - ybar)^2 + (sigma - s)^2.  kGaussianNll is the per-sample
+  // ln(v) + (ybar - mu)^2 / v with v = sigma^2 + floor (the floor supplies
+  // the numerical stability the paper flags as the NLL's weakness).
+  real_t loss = 0.0;
+  nn::Tensor gmu(b, 1), gsigma(b, 1);
+  const real_t inv_b = 1.0 / static_cast<real_t>(b);
+  constexpr real_t kVarianceFloor = 1e-6;
+  for (index_t r = 0; r < b; ++r) {
+    const real_t mu = std::max(0.0, last_pre_mu_(r, 0));
+    const real_t sigma = nn::Softplus::value(last_pre_sigma_(r, 0));
+    const real_t mu_gate = last_pre_mu_(r, 0) > 0.0 ? 1.0 : 0.0;
+    const real_t sigma_gate =
+        nn::Softplus::derivative(last_pre_sigma_(r, 0));
+    if (loss_kind == SurrogateLoss::kMse) {
+      const real_t dmu = mu - batch[r]->y_mean;
+      const real_t dsigma = sigma - batch[r]->y_std;
+      loss += (dmu * dmu + dsigma * dsigma) * inv_b;
+      gmu(r, 0) = 2.0 * dmu * inv_b * mu_gate;
+      gsigma(r, 0) = 2.0 * dsigma * inv_b * sigma_gate;
+    } else {
+      const real_t v = sigma * sigma + kVarianceFloor;
+      const real_t resid = batch[r]->y_mean - mu;
+      loss += (std::log(v) + resid * resid / v) * inv_b;
+      gmu(r, 0) = -2.0 * resid / v * inv_b * mu_gate;
+      gsigma(r, 0) =
+          (2.0 * sigma / v) * (1.0 - resid * resid / v) * inv_b * sigma_gate;
+    }
+  }
+
+  // Backward: heads share the combined output, so their input grads add.
+  nn::Tensor ghc = head_mu_.backward(gmu);
+  ghc.add_scaled(head_sigma_.backward(gsigma));
+  const nn::Tensor gfused = combined_.backward(ghc);
+
+  nn::Tensor ghg(1, hg.cols()), gha(1, ha.cols()), ghm(b, hm.cols());
+  for (index_t r = 0; r < b; ++r) {
+    index_t off = 0;
+    for (index_t c = 0; c < hg.cols(); ++c) ghg(0, c) += gfused(r, off++);
+    for (index_t c = 0; c < ha.cols(); ++c) gha(0, c) += gfused(r, off++);
+    for (index_t c = 0; c < hm.cols(); ++c) ghm(r, c) = gfused(r, off++);
+  }
+  xm_mlp_.backward(ghm);
+  xa_mlp_.backward(gha);
+  gnn_.backward(graph, ghg);
+  return loss;
+}
+
+std::vector<nn::Parameter*> SurrogateModel::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (auto* p : gnn_.parameters()) out.push_back(p);
+  for (auto* p : xa_mlp_.parameters()) out.push_back(p);
+  for (auto* p : xm_mlp_.parameters()) out.push_back(p);
+  for (auto* p : combined_.parameters()) out.push_back(p);
+  for (auto* p : head_mu_.parameters()) out.push_back(p);
+  for (auto* p : head_sigma_.parameters()) out.push_back(p);
+  return out;
+}
+
+namespace {
+
+void write_tensor(std::ofstream& out, const nn::Tensor& t) {
+  const index_t r = t.rows(), c = t.cols();
+  out.write(reinterpret_cast<const char*>(&r), sizeof(r));
+  out.write(reinterpret_cast<const char*>(&c), sizeof(c));
+  out.write(reinterpret_cast<const char*>(t.data().data()),
+            static_cast<std::streamsize>(t.size() * sizeof(real_t)));
+}
+
+nn::Tensor read_tensor(std::ifstream& in) {
+  index_t r = 0, c = 0;
+  in.read(reinterpret_cast<char*>(&r), sizeof(r));
+  in.read(reinterpret_cast<char*>(&c), sizeof(c));
+  MCMI_CHECK(in.good() && r >= 0 && c >= 0, "corrupt model file");
+  nn::Tensor t(r, c);
+  in.read(reinterpret_cast<char*>(t.data().data()),
+          static_cast<std::streamsize>(t.size() * sizeof(real_t)));
+  MCMI_CHECK(in.good(), "corrupt model file (truncated tensor)");
+  return t;
+}
+
+void write_vector(std::ofstream& out, const std::vector<real_t>& v) {
+  const index_t n = static_cast<index_t>(v.size());
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(real_t)));
+}
+
+std::vector<real_t> read_vector(std::ifstream& in) {
+  index_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  MCMI_CHECK(in.good() && n >= 0, "corrupt model file");
+  std::vector<real_t> v(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(real_t)));
+  MCMI_CHECK(in.good(), "corrupt model file (truncated vector)");
+  return v;
+}
+
+}  // namespace
+
+void SurrogateModel::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  MCMI_CHECK(out.good(), "cannot open " << path << " for writing");
+  const char magic[8] = {'m', 'c', 'm', 'i', 's', 'g', 't', '1'};
+  out.write(magic, sizeof(magic));
+  auto* self = const_cast<SurrogateModel*>(this);
+  for (const nn::Parameter* p : self->parameters()) {
+    write_tensor(out, p->value);
+  }
+  write_vector(out, xa_std_.means());
+  write_vector(out, xa_std_.stds());
+  write_vector(out, xm_std_.means());
+  write_vector(out, xm_std_.stds());
+}
+
+void SurrogateModel::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MCMI_CHECK(in.good(), "cannot open " << path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  MCMI_CHECK(std::string(magic, 8) == "mcmisgt1",
+             "not an mcmi surrogate file: " << path);
+  for (nn::Parameter* p : parameters()) {
+    nn::Tensor t = read_tensor(in);
+    MCMI_CHECK(t.rows() == p->value.rows() && t.cols() == p->value.cols(),
+               "architecture mismatch loading " << path);
+    p->value = std::move(t);
+  }
+  std::vector<real_t> xa_mean = read_vector(in);
+  std::vector<real_t> xa_stdv = read_vector(in);
+  std::vector<real_t> xm_mean = read_vector(in);
+  std::vector<real_t> xm_stdv = read_vector(in);
+  xa_std_.restore(std::move(xa_mean), std::move(xa_stdv));
+  xm_std_.restore(std::move(xm_mean), std::move(xm_stdv));
+  has_cache_ = false;
+}
+
+}  // namespace mcmi

@@ -1,0 +1,130 @@
+#pragma once
+// The graph neural surrogate model f_theta (§3.1).
+//
+// Three branches processed separately before fusion:
+//   G   --(l_g message-passing layers + mean pooling)-->  h_g
+//   x_A --(l_A FC layers)-->                              h_A
+//   x_M --(l_M FC layers)-->                              h_M
+// concat(h_g, h_A, h_M) --(l_c FC layers with dropout)--> h_combined
+//
+// Two linear heads give the prediction (eq. 1):
+//   mu_hat    = ReLU(W_mu h + b_mu)
+//   sigma_hat = softplus(W_sigma h + b_sigma)
+//
+// The paper's selected architecture (§4.4) is one EdgeConv layer with mean
+// aggregation (hidden 256), one 64-wide FC layer for x_A, three 16-wide FC
+// layers for x_M and two 128-wide combined layers; `paper_config()` returns
+// exactly that, `default_config()` a CPU-friendly scaled-down twin.
+
+#include <string>
+#include <vector>
+
+#include "gnn/stack.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/mlp.hpp"
+#include "surrogate/dataset.hpp"
+#include "surrogate/standardizer.hpp"
+
+namespace mcmi {
+
+struct SurrogateConfig {
+  gnn::GnnConfig gnn;            ///< graph branch
+  index_t xa_hidden = 32;        ///< FC width for x_A
+  index_t xa_layers = 1;
+  index_t xm_hidden = 16;        ///< FC width for x_M
+  index_t xm_layers = 3;
+  index_t combined_hidden = 64;  ///< FC width after fusion
+  index_t combined_layers = 2;
+  real_t dropout = 0.1;          ///< dropout in the combined stack
+  u64 seed = 42;
+};
+
+/// The architecture selected by the paper's HPO (§4.4).
+SurrogateConfig paper_config();
+/// Scaled-down configuration for CPU-sized experiments.
+SurrogateConfig default_config();
+
+/// Predicted mean and standard deviation of y(A, x_M).
+struct Prediction {
+  real_t mu = 0.0;
+  real_t sigma = 0.0;
+};
+
+/// Training objective.  The paper trains with the eq. (2) MSE on
+/// (mu - ybar, sigma - s) and notes a Gaussian negative log-likelihood
+/// "could also be considered" but is numerically delicate for tiny s;
+/// kGaussianNll implements it with a variance floor.
+enum class SurrogateLoss { kMse, kGaussianNll };
+
+/// Prediction together with gradients w.r.t. the raw continuous x_M
+/// components (alpha, eps, delta) — what the EI maximiser consumes.
+struct PredictionWithGrad {
+  Prediction value;
+  std::vector<real_t> dmu_dxm;     ///< size kXmWidth (raw space)
+  std::vector<real_t> dsigma_dxm;  ///< size kXmWidth (raw space)
+};
+
+class SurrogateModel {
+ public:
+  explicit SurrogateModel(const SurrogateConfig& config);
+
+  /// Fit the x_A / x_M standardisers (must precede training/prediction).
+  void fit_standardizers(const SurrogateDataset& dataset);
+
+  /// Predict for one (graph, x_A, x_M) triple (eval mode, no dropout).
+  Prediction predict(const gnn::Graph& graph, const std::vector<real_t>& xa,
+                     const std::vector<real_t>& xm);
+
+  /// Cache h_g and h_A for a fixed matrix so that repeated x_M queries (the
+  /// BO inner loop) cost only the small FC stacks.
+  void cache_matrix(const gnn::Graph& graph, const std::vector<real_t>& xa);
+
+  /// Predict using the cached matrix embedding.
+  Prediction predict_cached(const std::vector<real_t>& xm);
+
+  /// Predict + exact input gradients via backprop (cached matrix).
+  PredictionWithGrad predict_cached_with_grad(const std::vector<real_t>& xm);
+
+  /// One training minibatch on a single graph: forward + backward of the
+  /// selected objective (eq. (2) MSE by default).  Returns the batch loss.
+  /// Gradients accumulate into the parameters (caller runs the optimiser
+  /// step).
+  real_t train_batch(const gnn::Graph& graph, const std::vector<real_t>& xa,
+                     const std::vector<const LabeledSample*>& batch,
+                     SurrogateLoss loss = SurrogateLoss::kMse);
+
+  /// All trainable parameters.
+  std::vector<nn::Parameter*> parameters();
+
+  [[nodiscard]] const SurrogateConfig& config() const { return config_; }
+  [[nodiscard]] const Standardizer& xm_standardizer() const {
+    return xm_std_;
+  }
+
+  /// Binary serialisation of weights + standardisers.
+  void save(const std::string& path) const;
+  void load(const std::string& path);
+
+ private:
+  SurrogateConfig config_;
+  gnn::GnnStack gnn_;
+  nn::Mlp xa_mlp_;
+  nn::Mlp xm_mlp_;
+  nn::Mlp combined_;
+  nn::Linear head_mu_;
+  nn::Linear head_sigma_;
+  Standardizer xa_std_;
+  Standardizer xm_std_;
+
+  // Cached matrix embedding for the BO inner loop.
+  nn::Tensor cached_hg_;
+  nn::Tensor cached_ha_;
+  bool has_cache_ = false;
+
+  // Caches of the last forward pass (training path).
+  nn::Tensor last_pre_mu_;
+  nn::Tensor last_pre_sigma_;
+};
+
+}  // namespace mcmi

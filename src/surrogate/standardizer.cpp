@@ -1,0 +1,61 @@
+#include "surrogate/standardizer.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace mcmi {
+
+void Standardizer::fit(const std::vector<std::vector<real_t>>& rows) {
+  MCMI_CHECK(!rows.empty(), "standardizer: no rows to fit");
+  const std::size_t d = rows.front().size();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  for (const auto& row : rows) {
+    MCMI_CHECK(row.size() == d, "standardizer: ragged rows");
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  const real_t inv_n = 1.0 / static_cast<real_t>(rows.size());
+  for (real_t& m : mean_) m *= inv_n;
+  for (const auto& row : rows) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const real_t c = row[j] - mean_[j];
+      std_[j] += c * c;
+    }
+  }
+  for (real_t& s : std_) {
+    s = std::sqrt(s * inv_n);
+    if (s < 1e-12) s = 1.0;  // constant column: pass through
+  }
+}
+
+std::vector<real_t> Standardizer::transform(
+    const std::vector<real_t>& row) const {
+  MCMI_CHECK(fitted(), "standardizer not fitted");
+  MCMI_CHECK(row.size() == mean_.size(), "standardizer: width mismatch");
+  std::vector<real_t> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) / std_[j];
+  }
+  return out;
+}
+
+std::vector<real_t> Standardizer::inverse(
+    const std::vector<real_t>& row) const {
+  MCMI_CHECK(fitted(), "standardizer not fitted");
+  MCMI_CHECK(row.size() == mean_.size(), "standardizer: width mismatch");
+  std::vector<real_t> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    out[j] = row[j] * std_[j] + mean_[j];
+  }
+  return out;
+}
+
+void Standardizer::restore(std::vector<real_t> means,
+                           std::vector<real_t> stds) {
+  MCMI_CHECK(means.size() == stds.size(), "standardizer: size mismatch");
+  mean_ = std::move(means);
+  std_ = std::move(stds);
+}
+
+}  // namespace mcmi

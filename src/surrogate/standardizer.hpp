@@ -1,0 +1,48 @@
+#pragma once
+// Feature standardisation (§3.1): "All features are standardised — each
+// value is rescaled to zero mean and unit variance — so that they contribute
+// on a comparable scale during training."
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mcmi {
+
+/// Per-column z-score transform fitted on training data.
+class Standardizer {
+ public:
+  Standardizer() = default;
+
+  /// Fit column means/stds on a set of rows (all the same width).
+  /// Constant columns get std 1 so they pass through unchanged.
+  void fit(const std::vector<std::vector<real_t>>& rows);
+
+  /// (x - mean) / std, elementwise.
+  [[nodiscard]] std::vector<real_t> transform(
+      const std::vector<real_t>& row) const;
+
+  /// Inverse transform.
+  [[nodiscard]] std::vector<real_t> inverse(
+      const std::vector<real_t>& row) const;
+
+  /// d(standardised)/d(raw) for feature j — the chain-rule factor the EI
+  /// gradient needs when optimising in raw parameter space.
+  [[nodiscard]] real_t scale(index_t j) const { return 1.0 / std_[j]; }
+
+  [[nodiscard]] bool fitted() const { return !mean_.empty(); }
+  [[nodiscard]] index_t width() const {
+    return static_cast<index_t>(mean_.size());
+  }
+  [[nodiscard]] const std::vector<real_t>& means() const { return mean_; }
+  [[nodiscard]] const std::vector<real_t>& stds() const { return std_; }
+
+  /// Restore from saved statistics.
+  void restore(std::vector<real_t> means, std::vector<real_t> stds);
+
+ private:
+  std::vector<real_t> mean_;
+  std::vector<real_t> std_;
+};
+
+}  // namespace mcmi

@@ -1,0 +1,130 @@
+#include "surrogate/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "core/rng.hpp"
+#include "nn/adam.hpp"
+
+namespace mcmi {
+
+namespace {
+
+/// Group sample pointers by matrix id and cut each group into minibatches.
+std::vector<std::vector<const LabeledSample*>> make_batches(
+    const std::vector<LabeledSample>& samples, index_t batch_size,
+    Xoshiro256& rng) {
+  std::map<index_t, std::vector<const LabeledSample*>> by_matrix;
+  for (const LabeledSample& s : samples) by_matrix[s.matrix_id].push_back(&s);
+
+  std::vector<std::vector<const LabeledSample*>> batches;
+  for (auto& [id, group] : by_matrix) {
+    // Shuffle within the group so batch composition varies across epochs.
+    for (std::size_t i = group.size(); i > 1; --i) {
+      std::swap(group[i - 1], group[uniform_index(rng, i)]);
+    }
+    for (std::size_t begin = 0; begin < group.size();
+         begin += static_cast<std::size_t>(batch_size)) {
+      const std::size_t end =
+          std::min(group.size(), begin + static_cast<std::size_t>(batch_size));
+      batches.emplace_back(group.begin() + begin, group.begin() + end);
+    }
+  }
+  // Shuffle batch order.
+  for (std::size_t i = batches.size(); i > 1; --i) {
+    std::swap(batches[i - 1], batches[uniform_index(rng, i)]);
+  }
+  return batches;
+}
+
+}  // namespace
+
+real_t evaluate_loss(SurrogateModel& model, const SurrogateDataset& dataset,
+                     const std::vector<LabeledSample>& samples) {
+  if (samples.empty()) return 0.0;
+  real_t loss = 0.0;
+  index_t cached = -1;
+  for (const LabeledSample& s : samples) {
+    if (s.matrix_id != cached) {
+      model.cache_matrix(dataset.graphs[s.matrix_id],
+                         dataset.features[s.matrix_id]);
+      cached = s.matrix_id;
+    }
+    const Prediction p = model.predict_cached(s.xm);
+    loss += (p.mu - s.y_mean) * (p.mu - s.y_mean) +
+            (p.sigma - s.y_std) * (p.sigma - s.y_std);
+  }
+  return loss / static_cast<real_t>(samples.size());
+}
+
+real_t evaluate_rmse(SurrogateModel& model, const SurrogateDataset& dataset,
+                     const std::vector<LabeledSample>& samples) {
+  if (samples.empty()) return 0.0;
+  real_t se = 0.0;
+  index_t cached = -1;
+  for (const LabeledSample& s : samples) {
+    if (s.matrix_id != cached) {
+      model.cache_matrix(dataset.graphs[s.matrix_id],
+                         dataset.features[s.matrix_id]);
+      cached = s.matrix_id;
+    }
+    const Prediction p = model.predict_cached(s.xm);
+    se += (p.mu - s.y_mean) * (p.mu - s.y_mean);
+  }
+  return std::sqrt(se / static_cast<real_t>(samples.size()));
+}
+
+TrainReport train_surrogate(SurrogateModel& model,
+                            const SurrogateDataset& dataset,
+                            const std::vector<LabeledSample>& train,
+                            const std::vector<LabeledSample>& validation,
+                            const TrainOptions& options) {
+  MCMI_CHECK(!train.empty(), "no training samples");
+
+  nn::AdamConfig adam_config;
+  adam_config.learning_rate = options.learning_rate;
+  adam_config.weight_decay = options.weight_decay;
+  nn::Adam adam(model.parameters(), adam_config);
+  adam.zero_grad();
+
+  // Evaluation order: sort by matrix so cache_matrix is amortised.
+  std::vector<LabeledSample> val_sorted = validation;
+  std::sort(val_sorted.begin(), val_sorted.end(),
+            [](const LabeledSample& a, const LabeledSample& b) {
+              return a.matrix_id < b.matrix_id;
+            });
+
+  TrainReport report;
+  report.best_validation_loss = std::numeric_limits<real_t>::infinity();
+  Xoshiro256 rng = make_stream(options.seed, 0x7e);
+
+  for (index_t epoch = 0; epoch < options.epochs; ++epoch) {
+    real_t train_loss = 0.0;
+    index_t batch_count = 0;
+    for (const auto& batch : make_batches(train, options.batch_size, rng)) {
+      const index_t matrix_id = batch.front()->matrix_id;
+      train_loss += model.train_batch(dataset.graphs[matrix_id],
+                                      dataset.features[matrix_id], batch,
+                                      options.loss);
+      adam.step();
+      ++batch_count;
+    }
+    train_loss /= std::max<index_t>(1, batch_count);
+
+    const real_t val_loss = evaluate_loss(model, dataset, val_sorted);
+    report.epochs_run = epoch + 1;
+    report.final_train_loss = train_loss;
+    report.final_validation_loss = val_loss;
+    report.best_validation_loss =
+        std::min(report.best_validation_loss, val_loss);
+
+    if (options.on_epoch && !options.on_epoch(epoch, train_loss, val_loss)) {
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace mcmi

@@ -1,0 +1,50 @@
+#pragma once
+// Surrogate training loop: minibatch Adam on the eq. (2) objective.
+//
+// Minibatches group samples by matrix so the graph branch runs once per
+// batch (the dominant cost).  The paper trains with batch size 128, Adam,
+// and early stopping under ASHA; `TrainOptions` exposes the same knobs and
+// an epoch callback that the HPO scheduler hooks into.
+
+#include <functional>
+
+#include "surrogate/dataset.hpp"
+#include "surrogate/model.hpp"
+
+namespace mcmi {
+
+struct TrainOptions {
+  index_t epochs = 60;
+  index_t batch_size = 128;
+  real_t learning_rate = 1.848e-3;  ///< the paper's selected LR
+  real_t weight_decay = 1e-4;
+  SurrogateLoss loss = SurrogateLoss::kMse;  ///< eq. (2) by default
+  u64 seed = 7;
+  /// Called after each epoch with (epoch, train_loss, val_loss); returning
+  /// false stops training early (ASHA pruning / early stopping).
+  std::function<bool(index_t, real_t, real_t)> on_epoch;
+};
+
+struct TrainReport {
+  index_t epochs_run = 0;
+  real_t final_train_loss = 0.0;
+  real_t final_validation_loss = 0.0;
+  real_t best_validation_loss = 0.0;
+};
+
+/// Mean eq.-(2) loss of `model` over `samples` (eval mode).
+real_t evaluate_loss(SurrogateModel& model, const SurrogateDataset& dataset,
+                     const std::vector<LabeledSample>& samples);
+
+/// Root-mean-square error of the mean prediction over `samples`.
+real_t evaluate_rmse(SurrogateModel& model, const SurrogateDataset& dataset,
+                     const std::vector<LabeledSample>& samples);
+
+/// Train on `train`, monitoring `validation`.
+TrainReport train_surrogate(SurrogateModel& model,
+                            const SurrogateDataset& dataset,
+                            const std::vector<LabeledSample>& train,
+                            const std::vector<LabeledSample>& validation,
+                            const TrainOptions& options = {});
+
+}  // namespace mcmi

@@ -1,0 +1,242 @@
+// Tests for src/bo: closed-form EI properties and gradients, the projected
+// L-BFGS-B optimiser on bound-constrained references, and batch
+// recommendation diversity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bo/expected_improvement.hpp"
+#include "bo/lbfgsb.hpp"
+#include "bo/recommender.hpp"
+#include "features/matrix_features.hpp"
+#include "gen/laplace.hpp"
+#include "stats/normal.hpp"
+
+namespace mcmi {
+namespace {
+
+TEST(Ei, NonNegativeEverywhere) {
+  const EiContext ctx{1.0, 0.0};
+  for (real_t mu : {0.0, 0.5, 1.0, 2.0, 10.0}) {
+    for (real_t sigma : {0.0, 0.01, 0.5, 3.0}) {
+      EXPECT_GE(expected_improvement(mu, sigma, ctx), 0.0)
+          << "mu=" << mu << " sigma=" << sigma;
+    }
+  }
+}
+
+TEST(Ei, DegenerateSigmaIsDeterministicImprovement) {
+  const EiContext ctx{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(expected_improvement(0.3, 0.0, ctx), 0.7);
+  EXPECT_DOUBLE_EQ(expected_improvement(1.5, 0.0, ctx), 0.0);
+}
+
+TEST(Ei, MonotoneIncreasingInSigma) {
+  const EiContext ctx{1.0, 0.0};
+  real_t prev = expected_improvement(1.2, 0.01, ctx);
+  for (real_t sigma : {0.1, 0.3, 1.0, 3.0}) {
+    const real_t ei = expected_improvement(1.2, sigma, ctx);
+    EXPECT_GT(ei, prev);
+    prev = ei;
+  }
+}
+
+TEST(Ei, XiShiftsTowardExploration) {
+  // Larger xi reduces EI of a known-good mean more than of an uncertain one.
+  const real_t good = expected_improvement(0.5, 0.01, {1.0, 0.0}) -
+                      expected_improvement(0.5, 0.01, {1.0, 0.3});
+  const real_t uncertain = expected_improvement(0.5, 1.0, {1.0, 0.0}) -
+                           expected_improvement(0.5, 1.0, {1.0, 0.3});
+  EXPECT_GT(good, uncertain);
+}
+
+TEST(Ei, ClosedFormMatchesMonteCarlo) {
+  // EI = E[max(0, y_min - xi - Y)], Y ~ N(mu, sigma^2).
+  const EiContext ctx{0.8, 0.05};
+  const real_t mu = 0.7, sigma = 0.4;
+  Xoshiro256 rng = make_stream(201);
+  real_t sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    sum += std::max(0.0, ctx.y_min - ctx.xi - normal(rng, mu, sigma));
+  }
+  EXPECT_NEAR(expected_improvement(mu, sigma, ctx), sum / n, 2e-3);
+}
+
+TEST(Ei, GradientMatchesFiniteDifferences) {
+  const EiContext ctx{1.0, 0.05};
+  // mu(x), sigma(x) linear in a 2-vector x for the check.
+  auto mu_of = [](const std::vector<real_t>& x) {
+    return 0.5 + 0.3 * x[0] - 0.2 * x[1];
+  };
+  auto sigma_of = [](const std::vector<real_t>& x) {
+    return 0.4 + 0.1 * x[0] + 0.25 * x[1];
+  };
+  const std::vector<real_t> x = {0.3, 0.7};
+  const std::vector<real_t> dmu = {0.3, -0.2};
+  const std::vector<real_t> dsigma = {0.1, 0.25};
+  std::vector<real_t> grad;
+  const real_t ei = expected_improvement_grad(mu_of(x), sigma_of(x), dmu,
+                                              dsigma, ctx, grad);
+  const real_t h = 1e-6;
+  for (int j = 0; j < 2; ++j) {
+    std::vector<real_t> xp = x, xm = x;
+    xp[j] += h;
+    xm[j] -= h;
+    const real_t fd = (expected_improvement(mu_of(xp), sigma_of(xp), ctx) -
+                       expected_improvement(mu_of(xm), sigma_of(xm), ctx)) /
+                      (2.0 * h);
+    EXPECT_NEAR(grad[j], fd, 1e-6);
+  }
+  EXPECT_NEAR(ei, expected_improvement(mu_of(x), sigma_of(x), ctx), 1e-14);
+}
+
+TEST(Lbfgsb, UnconstrainedQuadratic) {
+  Bounds bounds{{-10.0, -10.0}, {10.0, 10.0}};
+  auto f = [](const std::vector<real_t>& x, std::vector<real_t>& g) {
+    g = {2.0 * (x[0] - 1.0), 2.0 * (x[1] + 2.0)};
+    return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] + 2.0) * (x[1] + 2.0);
+  };
+  const LbfgsbResult res = minimize_lbfgsb(f, {5.0, 5.0}, bounds);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(res.x[1], -2.0, 1e-6);
+}
+
+TEST(Lbfgsb, ActiveBoundIsRespected) {
+  // Unconstrained optimum at (1, -2); box forces x1 >= 0.
+  Bounds bounds{{-10.0, 0.0}, {10.0, 10.0}};
+  auto f = [](const std::vector<real_t>& x, std::vector<real_t>& g) {
+    g = {2.0 * (x[0] - 1.0), 2.0 * (x[1] + 2.0)};
+    return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] + 2.0) * (x[1] + 2.0);
+  };
+  const LbfgsbResult res = minimize_lbfgsb(f, {5.0, 5.0}, bounds);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(res.x[1], 0.0, 1e-9);  // pinned at the lower bound
+}
+
+TEST(Lbfgsb, RosenbrockInBox) {
+  Bounds bounds{{-2.0, -2.0}, {2.0, 2.0}};
+  auto f = [](const std::vector<real_t>& x, std::vector<real_t>& g) {
+    const real_t a = 1.0 - x[0];
+    const real_t b = x[1] - x[0] * x[0];
+    g = {-2.0 * a - 400.0 * x[0] * b, 200.0 * b};
+    return a * a + 100.0 * b * b;
+  };
+  LbfgsbOptions opt;
+  opt.max_iterations = 500;
+  const LbfgsbResult res = minimize_lbfgsb(f, {-1.2, 1.0}, bounds, opt);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(res.x[1], 1.0, 1e-4);
+  EXPECT_LT(res.value, 1e-8);
+}
+
+TEST(Lbfgsb, RosenbrockWithActiveBound) {
+  // Constrain x0 <= 0.5: the constrained optimum sits on that face at
+  // (0.5, 0.25).
+  Bounds bounds{{-2.0, -2.0}, {0.5, 2.0}};
+  auto f = [](const std::vector<real_t>& x, std::vector<real_t>& g) {
+    const real_t a = 1.0 - x[0];
+    const real_t b = x[1] - x[0] * x[0];
+    g = {-2.0 * a - 400.0 * x[0] * b, 200.0 * b};
+    return a * a + 100.0 * b * b;
+  };
+  LbfgsbOptions opt;
+  opt.max_iterations = 500;
+  const LbfgsbResult res = minimize_lbfgsb(f, {-1.0, 1.5}, bounds, opt);
+  EXPECT_NEAR(res.x[0], 0.5, 1e-5);
+  EXPECT_NEAR(res.x[1], 0.25, 1e-4);
+}
+
+TEST(Lbfgsb, StartOutsideBoxIsProjected) {
+  Bounds bounds{{0.0}, {1.0}};
+  auto f = [](const std::vector<real_t>& x, std::vector<real_t>& g) {
+    g = {2.0 * x[0]};
+    return x[0] * x[0];
+  };
+  const LbfgsbResult res = minimize_lbfgsb(f, {25.0}, bounds);
+  EXPECT_NEAR(res.x[0], 0.0, 1e-8);
+}
+
+TEST(Lbfgsb, DimensionMismatchThrows) {
+  Bounds bounds{{0.0, 0.0}, {1.0, 1.0}};
+  auto f = [](const std::vector<real_t>&, std::vector<real_t>& g) {
+    g = {0.0, 0.0};
+    return 0.0;
+  };
+  EXPECT_THROW(minimize_lbfgsb(f, {0.5}, bounds), Error);
+}
+
+TEST(SearchSpace, SampleStaysInBox) {
+  McmcSearchSpace space;
+  Xoshiro256 rng = make_stream(211);
+  for (int i = 0; i < 200; ++i) {
+    const McmcParams p = space.sample(rng);
+    EXPECT_GE(p.alpha, space.alpha_min);
+    EXPECT_LE(p.alpha, space.alpha_max);
+    EXPECT_GE(p.eps, space.eps_min);
+    EXPECT_LE(p.eps, space.eps_max);
+    EXPECT_GE(p.delta, space.delta_min);
+    EXPECT_LE(p.delta, space.delta_max);
+  }
+}
+
+TEST(Recommender, ProducesDiverseInBoundsBatch) {
+  // Tiny trained-free surrogate: predictions are whatever the random
+  // initialisation gives; the recommender must still return a full batch of
+  // distinct in-bounds candidates.
+  SurrogateConfig config;
+  config.gnn.hidden = 8;
+  config.xa_hidden = 8;
+  config.xm_hidden = 8;
+  config.combined_hidden = 16;
+  config.combined_layers = 1;
+  config.dropout = 0.0;
+  SurrogateModel model(config);
+
+  SurrogateDataset ds;
+  const CsrMatrix a = laplace_2d(5);
+  ds.add_matrix("lap", gnn::Graph::from_csr(a),
+                extract_features(a).to_vector());
+  Xoshiro256 rng = make_stream(213);
+  McmcSearchSpace space;
+  for (int k = 0; k < 30; ++k) {
+    LabeledSample s;
+    s.matrix_id = 0;
+    s.xm = encode_xm(space.sample(rng), KrylovMethod::kGMRES);
+    s.y_mean = uniform(rng, 0.3, 1.2);
+    s.y_std = 0.05;
+    ds.samples.push_back(std::move(s));
+  }
+  model.fit_standardizers(ds);
+  model.cache_matrix(ds.graphs[0], ds.features[0]);
+
+  RecommendOptions options;
+  options.batch_size = 8;
+  options.xi = 0.05;
+  const std::vector<Recommendation> recs =
+      recommend_batch(model, KrylovMethod::kGMRES, space, options);
+  ASSERT_EQ(recs.size(), 8u);
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const McmcParams& p = recs[i].params;
+    EXPECT_GE(p.alpha, space.alpha_min);
+    EXPECT_LE(p.alpha, space.alpha_max);
+    EXPECT_GE(p.eps, space.eps_min);
+    EXPECT_LE(p.delta, space.delta_max);
+    EXPECT_GE(recs[i].ei, 0.0);
+    for (std::size_t j = i + 1; j < recs.size(); ++j) {
+      const real_t d = std::abs(p.alpha - recs[j].params.alpha) +
+                       std::abs(p.eps - recs[j].params.eps) +
+                       std::abs(p.delta - recs[j].params.delta);
+      EXPECT_GT(d, 1e-4) << "duplicate recommendations " << i << "," << j;
+    }
+  }
+  // Batch is sorted by EI, best first.
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_GE(recs[i - 1].ei, recs[i].ei);
+  }
+}
+
+}  // namespace
+}  // namespace mcmi

@@ -1,0 +1,215 @@
+// Tests for src/gen: every Table 1 matrix family at its published shape —
+// dimensions, symmetry, fill bands and condition-number bands.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dense/matrix.hpp"
+#include "dense/svd.hpp"
+#include "gen/adv_diff.hpp"
+#include "gen/climate.hpp"
+#include "gen/laplace.hpp"
+#include "gen/matrix_set.hpp"
+#include "gen/plasma.hpp"
+#include "gen/random_sparse.hpp"
+
+namespace mcmi {
+namespace {
+
+TEST(Laplace2d, DimensionAndStencil) {
+  const CsrMatrix a = laplace_2d(16);
+  EXPECT_EQ(a.rows(), 225);  // (16-1)^2, matching 2DFDLaplace_16
+  EXPECT_TRUE(a.is_symmetric());
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 15), -1.0);  // vertical neighbour
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 0.0);
+}
+
+TEST(Laplace2d, ConditionNumberLadder) {
+  // Table 1: kappa ~ 1.0e2 at m=16, 4.1e2 at m=32 — the O(h^-2) ladder.
+  const real_t k16 =
+      condition_number_exact(DenseMatrix::from_csr(laplace_2d(16)));
+  const real_t k32 =
+      condition_number_exact(DenseMatrix::from_csr(laplace_2d(32)));
+  EXPECT_NEAR(k16, 1.0e2, 0.3e2);
+  EXPECT_NEAR(k32, 4.1e2, 1.0e2);
+  EXPECT_NEAR(k32 / k16, 4.0, 0.5);  // doubling the mesh quadruples kappa
+}
+
+TEST(Laplace2d, PositiveDefinite) {
+  // All eigenvalues of the 5-point Laplacian are positive: check via the
+  // smallest singular value of the symmetric matrix.
+  const std::vector<real_t> s =
+      singular_values(DenseMatrix::from_csr(laplace_2d(8)));
+  EXPECT_GT(s.back(), 0.0);
+}
+
+TEST(Laplace1d, Tridiagonal) {
+  const CsrMatrix a = laplace_1d(5);
+  EXPECT_EQ(a.nnz(), 13);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 1), -1.0);
+}
+
+TEST(AdvDiff, PaperShapes) {
+  const CsrMatrix a1 = unsteady_adv_diff_order1();
+  const CsrMatrix a2 = unsteady_adv_diff_order2();
+  EXPECT_EQ(a1.rows(), 225);
+  EXPECT_EQ(a2.rows(), 225);
+  EXPECT_FALSE(a1.is_symmetric());
+  EXPECT_FALSE(a2.is_symmetric());
+  // Table 1 fill is 0.646; the all-at-once memory structure gives ~0.53.
+  EXPECT_GT(a1.fill(), 0.45);
+  EXPECT_LT(a1.fill(), 0.75);
+}
+
+TEST(AdvDiff, ConditionNumberBands) {
+  // Table 1: kappa ~ 4.1e6 (order 1) and 6.6e6 (order 2); we require the
+  // same orders of magnitude and the order-2 > order-1 ordering.
+  const real_t k1 = condition_number_exact(
+      DenseMatrix::from_csr(unsteady_adv_diff_order1()));
+  const real_t k2 = condition_number_exact(
+      DenseMatrix::from_csr(unsteady_adv_diff_order2()));
+  EXPECT_GT(k1, 5e5);
+  EXPECT_LT(k1, 5e7);
+  EXPECT_GT(k2, 1e6);
+  EXPECT_LT(k2, 5e7);
+  EXPECT_GT(k2, k1);
+}
+
+TEST(AdvDiff, GradingControlsConditioning) {
+  AdvDiffOptions mild;
+  mild.grading = 1.2;
+  AdvDiffOptions steep;
+  steep.grading = 2.0;
+  const real_t k_mild =
+      condition_number_exact(DenseMatrix::from_csr(unsteady_adv_diff(mild)));
+  const real_t k_steep =
+      condition_number_exact(DenseMatrix::from_csr(unsteady_adv_diff(steep)));
+  EXPECT_GT(k_steep, 10.0 * k_mild);
+}
+
+TEST(AdvDiff, RejectsBadOptions) {
+  AdvDiffOptions o;
+  o.order = 3;
+  EXPECT_THROW(unsteady_adv_diff(o), Error);
+  o.order = 1;
+  o.space = 2;
+  EXPECT_THROW(unsteady_adv_diff(o), Error);
+}
+
+TEST(Plasma, PaperShapes) {
+  const CsrMatrix a512 = plasma_a00512();
+  const CsrMatrix a8192 = plasma_a08192();
+  EXPECT_EQ(a512.rows(), 512);
+  EXPECT_EQ(a8192.rows(), 8192);
+  EXPECT_FALSE(a512.is_symmetric());
+  EXPECT_FALSE(a8192.is_symmetric());
+  // Fill targets: 0.059 and 0.0007 in Table 1.
+  EXPECT_GT(a512.fill(), 0.02);
+  EXPECT_LT(a512.fill(), 0.09);
+  EXPECT_GT(a8192.fill(), 3e-4);
+  EXPECT_LT(a8192.fill(), 1.2e-3);
+}
+
+TEST(Plasma, CoarseConditionBand) {
+  const real_t k =
+      condition_number_exact(DenseMatrix::from_csr(plasma_a00512()));
+  EXPECT_GT(k, 50.0);   // Table 1: 1.9e3; same operator family, kappa grows
+  EXPECT_LT(k, 5e4);    // with resolution (checked in features tests)
+}
+
+TEST(Climate, ShapeAndAsymmetry) {
+  const CsrMatrix a = climate_nonsym_r3_a11(false);
+  EXPECT_EQ(a.rows(), 2116);  // reduced default
+  EXPECT_FALSE(a.is_symmetric());
+  EXPECT_GT(a.fill(), 0.001);
+  EXPECT_LT(a.fill(), 0.05);
+  // Nonzero diagonal everywhere (required by the MCMC preconditioner).
+  for (index_t i = 0; i < a.rows(); ++i) {
+    ASSERT_NE(a.at(i, i), 0.0) << "zero diagonal at " << i;
+  }
+}
+
+TEST(PddRealSparse, PaperShapes) {
+  for (index_t n : {64, 128, 256}) {
+    const CsrMatrix a = pdd_real_sparse(n);
+    EXPECT_EQ(a.rows(), n);
+    EXPECT_NEAR(a.fill(), 0.1, 0.02);
+    const real_t k = condition_number_exact(DenseMatrix::from_csr(a));
+    EXPECT_GT(k, 1.5);   // Table 1: 5.0 - 1.3e1
+    EXPECT_LT(k, 50.0);
+  }
+}
+
+TEST(PddRealSparse, Deterministic) {
+  const CsrMatrix a = pdd_real_sparse(64, 0.1, 9);
+  const CsrMatrix b = pdd_real_sparse(64, 0.1, 9);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(a.values(), b.values());
+  const CsrMatrix c = pdd_real_sparse(64, 0.1, 10);
+  EXPECT_NE(a.values(), c.values());
+}
+
+TEST(RandomSpd, IsSymmetricPositiveDefinite) {
+  const CsrMatrix a = random_spd(40, 4, 0.5, 21);
+  EXPECT_TRUE(a.is_symmetric(1e-12));
+  const std::vector<real_t> s = singular_values(DenseMatrix::from_csr(a));
+  EXPECT_GT(s.back(), 0.0);
+}
+
+TEST(RandomDiagDominant, DominanceHolds) {
+  const CsrMatrix a = random_diag_dominant(50, 6, 1.5, 23);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    real_t off = 0.0;
+    for (index_t j = 0; j < a.cols(); ++j) {
+      if (j != i) off += std::abs(a.at(i, j));
+    }
+    EXPECT_GT(std::abs(a.at(i, i)), off * 0.999);
+  }
+}
+
+TEST(MatrixSet, AllPaperNamesConstruct) {
+  for (const std::string& name : paper_matrix_names()) {
+    const NamedMatrix m = make_matrix(name);
+    EXPECT_EQ(m.name, name);
+    EXPECT_GT(m.matrix.rows(), 0);
+  }
+  EXPECT_THROW(make_matrix("no_such_matrix"), Error);
+}
+
+TEST(MatrixSet, SpdFlagsMatchSymmetry) {
+  for (const std::string& name : paper_matrix_names()) {
+    const NamedMatrix m = make_matrix(name);
+    if (m.spd) EXPECT_TRUE(m.matrix.is_symmetric()) << name;
+  }
+}
+
+TEST(MatrixSet, TrainingSetExcludesTestMatrix) {
+  const auto training = training_matrix_set(1200);
+  for (const NamedMatrix& m : training) {
+    EXPECT_NE(m.name, "unsteady_adv_diff_order2_0001");
+    EXPECT_LE(m.matrix.rows(), 1200);
+  }
+  EXPECT_GE(training.size(), 5u);
+}
+
+/// Property sweep over Laplacian sizes: dimension, symmetry and
+/// O(h^-2) kappa growth.
+class LaplaceLadder : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(LaplaceLadder, Invariants) {
+  const index_t m = GetParam();
+  const CsrMatrix a = laplace_2d(m);
+  EXPECT_EQ(a.rows(), (m - 1) * (m - 1));
+  EXPECT_TRUE(a.is_symmetric());
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 8.0);  // interior row: 4 + 4x|-1|
+}
+
+INSTANTIATE_TEST_SUITE_P(Meshes, LaplaceLadder,
+                         ::testing::Values(4, 8, 16, 24, 32));
+
+}  // namespace
+}  // namespace mcmi

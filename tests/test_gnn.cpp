@@ -1,0 +1,284 @@
+// Tests for src/gnn: graph construction, aggregation semantics, gradient
+// checks for every (layer kind x aggregation) combination, and stack-level
+// invariants such as permutation invariance of the pooled embedding.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/laplace.hpp"
+#include "gen/random_sparse.hpp"
+#include "gnn/graph.hpp"
+#include "gnn/layers.hpp"
+#include "gnn/stack.hpp"
+
+namespace mcmi::gnn {
+namespace {
+
+nn::Tensor random_features(index_t n, index_t d, u64 seed) {
+  nn::Tensor h(n, d);
+  Xoshiro256 rng = make_stream(seed);
+  for (real_t& v : h.data()) v = normal01(rng);
+  return h;
+}
+
+Graph test_graph() { return Graph::from_csr(laplace_2d(5)); }
+
+TEST(GraphFromCsr, MatchesMatrixStructure) {
+  const CsrMatrix a = laplace_2d(5);
+  const Graph g = Graph::from_csr(a);
+  EXPECT_EQ(g.num_nodes, a.rows());
+  EXPECT_EQ(g.num_edges(), a.nnz());
+  // Node feature is the unweighted row degree.
+  for (index_t i = 0; i < g.num_nodes; ++i) {
+    EXPECT_DOUBLE_EQ(g.node_features(i, 0),
+                     static_cast<real_t>(a.row_nnz(i)));
+  }
+  // Edge weights carry A_ij.
+  EXPECT_DOUBLE_EQ(g.weight[g.edge_ptr[0]], a.values()[0]);
+}
+
+TEST(Aggregation, MeanSumMaxSemantics) {
+  // Two-node graph: node 0 has two edges, node 1 has one.
+  Graph g;
+  g.num_nodes = 2;
+  g.edge_ptr = {0, 2, 3};
+  g.dst = {0, 1, 0};
+  g.weight = {1.0, 1.0, 1.0};
+  nn::Tensor messages(3, 2);
+  messages(0, 0) = 1.0; messages(0, 1) = -2.0;
+  messages(1, 0) = 3.0; messages(1, 1) = 4.0;
+  messages(2, 0) = 5.0; messages(2, 1) = -6.0;
+
+  std::vector<index_t> argmax;
+  const nn::Tensor mean_out =
+      aggregate_messages(g, messages, Aggregation::kMean, argmax);
+  EXPECT_DOUBLE_EQ(mean_out(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(mean_out(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(mean_out(1, 0), 5.0);
+
+  const nn::Tensor sum_out =
+      aggregate_messages(g, messages, Aggregation::kSum, argmax);
+  EXPECT_DOUBLE_EQ(sum_out(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sum_out(0, 1), 2.0);
+
+  const nn::Tensor max_out =
+      aggregate_messages(g, messages, Aggregation::kMax, argmax);
+  EXPECT_DOUBLE_EQ(max_out(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(max_out(0, 1), 4.0);
+  EXPECT_EQ(argmax[0 * 2 + 0], 1);  // edge 1 wins channel 0 of node 0
+
+  const nn::Tensor multi_out =
+      aggregate_messages(g, messages, Aggregation::kMulti, argmax);
+  EXPECT_EQ(multi_out.cols(), 6);
+  EXPECT_DOUBLE_EQ(multi_out(0, 0), 2.0);   // mean section
+  EXPECT_DOUBLE_EQ(multi_out(0, 2), 3.0);   // max section
+  EXPECT_DOUBLE_EQ(multi_out(0, 4), 4.0);   // sum section
+}
+
+TEST(Aggregation, ScatterIsAdjointOfAggregate) {
+  // <scatter(g_nodes), messages> == <g_nodes, aggregate(messages)> — the
+  // defining adjoint identity that makes the backward pass correct.
+  const Graph g = test_graph();
+  Xoshiro256 rng = make_stream(51);
+  const nn::Tensor messages = random_features(g.num_edges(), 3, 52);
+  for (Aggregation agg : {Aggregation::kMean, Aggregation::kSum,
+                          Aggregation::kMax, Aggregation::kMulti}) {
+    std::vector<index_t> argmax;
+    const nn::Tensor agg_out = aggregate_messages(g, messages, agg, argmax);
+    const nn::Tensor grad_nodes =
+        random_features(g.num_nodes, agg_out.cols(), 53);
+    const nn::Tensor grad_edges =
+        scatter_gradients(g, grad_nodes, agg, 3, argmax);
+    real_t lhs = 0.0, rhs = 0.0;
+    for (std::size_t i = 0; i < grad_edges.data().size(); ++i) {
+      lhs += grad_edges.data()[i] * messages.data()[i];
+    }
+    for (std::size_t i = 0; i < grad_nodes.data().size(); ++i) {
+      rhs += grad_nodes.data()[i] * agg_out.data()[i];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-9) << aggregation_name(agg);
+  }
+}
+
+TEST(Names, ParseRoundTrip) {
+  for (Aggregation a : {Aggregation::kMean, Aggregation::kSum,
+                        Aggregation::kMax, Aggregation::kMulti}) {
+    EXPECT_EQ(parse_aggregation(aggregation_name(a)), a);
+  }
+  for (LayerKind k : {LayerKind::kEdgeConv, LayerKind::kGine,
+                      LayerKind::kGcn, LayerKind::kGatv2}) {
+    EXPECT_EQ(parse_layer_kind(layer_kind_name(k)), k);
+  }
+  EXPECT_THROW(parse_aggregation("median"), Error);
+  EXPECT_THROW(parse_layer_kind("gat"), Error);
+}
+
+/// Central-difference gradient check for GNN layers: the probe loss is
+/// sum(grad_out . forward(h)) whose input gradient is backward(grad_out).
+struct GnnGradCheck {
+  real_t max_input_error = 0.0;
+  real_t max_param_error = 0.0;
+};
+
+GnnGradCheck check_gnn_gradients(GnnLayer& layer, const Graph& g,
+                                 const nn::Tensor& h,
+                                 const nn::Tensor& grad_out,
+                                 real_t step = 1e-5) {
+  auto probe = [&](const nn::Tensor& input) {
+    const nn::Tensor out = layer.forward(g, input, /*train=*/false);
+    real_t loss = 0.0;
+    for (std::size_t i = 0; i < out.data().size(); ++i) {
+      loss += out.data()[i] * grad_out.data()[i];
+    }
+    return loss;
+  };
+  for (nn::Parameter* p : layer.parameters()) p->zero_grad();
+  layer.forward(g, h, /*train=*/false);
+  const nn::Tensor grad_in = layer.backward(g, grad_out);
+
+  GnnGradCheck result;
+  auto rel = [](real_t a, real_t b) {
+    return std::abs(a - b) / std::max({std::abs(a), std::abs(b), 1e-7});
+  };
+  nn::Tensor probe_h = h;
+  for (std::size_t i = 0; i < probe_h.data().size(); ++i) {
+    const real_t orig = probe_h.data()[i];
+    probe_h.data()[i] = orig + step;
+    const real_t plus = probe(probe_h);
+    probe_h.data()[i] = orig - step;
+    const real_t minus = probe(probe_h);
+    probe_h.data()[i] = orig;
+    result.max_input_error =
+        std::max(result.max_input_error,
+                 rel(grad_in.data()[i], (plus - minus) / (2.0 * step)));
+  }
+  for (nn::Parameter* p : layer.parameters()) {
+    for (std::size_t i = 0; i < p->value.data().size(); ++i) {
+      const real_t orig = p->value.data()[i];
+      p->value.data()[i] = orig + step;
+      const real_t plus = probe(h);
+      p->value.data()[i] = orig - step;
+      const real_t minus = probe(h);
+      p->value.data()[i] = orig;
+      result.max_param_error =
+          std::max(result.max_param_error,
+                   rel(p->grad.data()[i], (plus - minus) / (2.0 * step)));
+    }
+  }
+  return result;
+}
+
+using LayerAgg = std::tuple<LayerKind, Aggregation>;
+
+class GnnLayerGrad : public ::testing::TestWithParam<LayerAgg> {};
+
+TEST_P(GnnLayerGrad, BackwardMatchesFiniteDifferences) {
+  const auto [kind, agg] = GetParam();
+  // Small irregular graph keeps the finite-difference sweep fast; random
+  // features stay away from ReLU kinks with high probability, and the
+  // tolerance absorbs the rest.
+  const Graph g = Graph::from_csr(pdd_real_sparse(8, 0.35, 61));
+  const index_t in = 3, out = 4;
+  auto layer = make_gnn_layer(kind, agg, in, out, 71);
+  const nn::Tensor h = random_features(g.num_nodes, in, 63);
+  const nn::Tensor grad_out = random_features(g.num_nodes, out, 65);
+  const GnnGradCheck r = check_gnn_gradients(*layer, g, h, grad_out);
+  EXPECT_LT(r.max_input_error, 2e-4)
+      << layer_kind_name(kind) << "/" << aggregation_name(agg);
+  EXPECT_LT(r.max_param_error, 2e-4)
+      << layer_kind_name(kind) << "/" << aggregation_name(agg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, GnnLayerGrad,
+    ::testing::Combine(::testing::Values(LayerKind::kEdgeConv,
+                                         LayerKind::kGine, LayerKind::kGcn),
+                       ::testing::Values(Aggregation::kMean, Aggregation::kSum,
+                                         Aggregation::kMax,
+                                         Aggregation::kMulti)));
+
+TEST(Gatv2Grad, BackwardMatchesFiniteDifferences) {
+  // GATv2 ignores the aggregation argument (softmax attention aggregates).
+  const Graph g = Graph::from_csr(pdd_real_sparse(8, 0.35, 67));
+  auto layer = make_gnn_layer(LayerKind::kGatv2, Aggregation::kMean, 3, 4, 83);
+  const nn::Tensor h = random_features(g.num_nodes, 3, 85);
+  const nn::Tensor grad_out = random_features(g.num_nodes, 4, 87);
+  const GnnGradCheck r = check_gnn_gradients(*layer, g, h, grad_out);
+  EXPECT_LT(r.max_input_error, 2e-4);
+  EXPECT_LT(r.max_param_error, 2e-4);
+}
+
+TEST(Gatv2, AttentionSumsToOnePerNode) {
+  const Graph g = test_graph();
+  auto layer = make_gnn_layer(LayerKind::kGatv2, Aggregation::kMean, 1, 4, 89);
+  const nn::Tensor h = random_features(g.num_nodes, 1, 91);
+  const nn::Tensor out = layer->forward(g, h, false);
+  for (real_t v : out.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(GnnStack, ProducesPooledEmbedding) {
+  GnnConfig config;
+  config.hidden = 8;
+  config.layers = 2;
+  GnnStack stack(config, 1, 73);
+  const Graph g = test_graph();
+  const nn::Tensor emb = stack.forward(g, /*train=*/false);
+  EXPECT_EQ(emb.rows(), 1);
+  EXPECT_EQ(emb.cols(), 8);
+  for (real_t v : emb.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(GnnStack, DeterministicForward) {
+  GnnConfig config;
+  config.hidden = 8;
+  GnnStack s1(config, 1, 75);
+  GnnStack s2(config, 1, 75);
+  const Graph g = test_graph();
+  EXPECT_EQ(s1.forward(g, false).data(), s2.forward(g, false).data());
+}
+
+TEST(GnnStack, PermutationInvariantEmbedding) {
+  // Relabelling the matrix rows permutes graph nodes; mean pooling over
+  // EdgeConv features must give the same embedding.
+  const CsrMatrix a = pdd_real_sparse(12, 0.3, 77);
+  // Build the permuted matrix PAP^T with a fixed permutation.
+  std::vector<index_t> perm(12);
+  for (index_t i = 0; i < 12; ++i) perm[i] = (i * 5 + 3) % 12;
+  CooMatrix coo(12, 12);
+  for (index_t i = 0; i < 12; ++i) {
+    for (index_t j = 0; j < 12; ++j) {
+      const real_t v = a.at(i, j);
+      if (v != 0.0) coo.add(perm[i], perm[j], v);
+    }
+  }
+  const CsrMatrix b = CsrMatrix::from_coo(std::move(coo));
+
+  GnnConfig config;
+  config.hidden = 6;
+  GnnStack stack(config, 1, 79);
+  const nn::Tensor ea = stack.forward(Graph::from_csr(a), false);
+  const nn::Tensor eb = stack.forward(Graph::from_csr(b), false);
+  for (index_t c = 0; c < 6; ++c) {
+    EXPECT_NEAR(ea(0, c), eb(0, c), 1e-9);
+  }
+}
+
+TEST(GnnStack, BackwardAccumulatesParameterGradients) {
+  GnnConfig config;
+  config.hidden = 4;
+  GnnStack stack(config, 1, 81);
+  const Graph g = test_graph();
+  for (nn::Parameter* p : stack.parameters()) p->zero_grad();
+  stack.forward(g, /*train=*/true);
+  nn::Tensor grad(1, 4, 1.0);
+  stack.backward(g, grad);
+  real_t total = 0.0;
+  for (nn::Parameter* p : stack.parameters()) {
+    for (real_t v : p->grad.data()) total += std::abs(v);
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace mcmi::gnn

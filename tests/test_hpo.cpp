@@ -1,0 +1,174 @@
+// Tests for src/hpo: search-space sampling, TPE against random search on a
+// synthetic objective, and ASHA promotion/pruning behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "hpo/asha.hpp"
+#include "hpo/space.hpp"
+#include "hpo/tpe.hpp"
+
+namespace mcmi::hpo {
+namespace {
+
+TEST(Space, SamplesRespectKinds) {
+  SearchSpace space = surrogate_search_space();
+  Xoshiro256 rng = make_stream(301);
+  for (int i = 0; i < 100; ++i) {
+    const Assignment a = space.sample(rng);
+    ASSERT_EQ(static_cast<index_t>(a.size()), space.dim());
+    for (index_t d = 0; d < space.dim(); ++d) {
+      const ParamSpec& spec = space.params[d];
+      switch (spec.kind) {
+        case ParamKind::kCategorical:
+        case ParamKind::kChoice: {
+          const index_t idx = static_cast<index_t>(std::llround(a[d]));
+          EXPECT_GE(idx, 0);
+          EXPECT_LT(idx, spec.cardinality());
+          break;
+        }
+        case ParamKind::kUniform:
+        case ParamKind::kLogUniform:
+          EXPECT_GE(a[d], spec.low);
+          EXPECT_LE(a[d], spec.high);
+          break;
+      }
+    }
+  }
+}
+
+TEST(Space, PaperSpaceContents) {
+  SearchSpace space = surrogate_search_space();
+  EXPECT_EQ(space.params[space.index_of("layer")].cardinality(), 4);
+  EXPECT_EQ(space.params[space.index_of("aggregation")].cardinality(), 4);
+  const ParamSpec& lr = space.params[space.index_of("learning_rate")];
+  EXPECT_EQ(lr.kind, ParamKind::kLogUniform);
+  EXPECT_DOUBLE_EQ(lr.low, 1e-4);
+  EXPECT_DOUBLE_EQ(lr.high, 1e-1);
+  EXPECT_THROW(space.index_of("bogus"), Error);
+}
+
+TEST(Space, LogUniformSpreadsOverDecades) {
+  const ParamSpec lr = ParamSpec::log_uniform("lr", 1e-4, 1e-1);
+  Xoshiro256 rng = make_stream(303);
+  int low_decade = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    if (lr.sample(rng) < 1e-3) ++low_decade;
+  }
+  // One of three decades: about a third of the samples.
+  EXPECT_NEAR(static_cast<real_t>(low_decade) / n, 1.0 / 3.0, 0.05);
+}
+
+/// Synthetic HPO objective: quadratic bowl in the continuous parameters
+/// plus a categorical bonus, minimised at ("b", x = 0.3).
+real_t synthetic_objective(const Assignment& a) {
+  const real_t cat_penalty = (std::llround(a[0]) == 1) ? 0.0 : 0.5;
+  const real_t x = a[1];
+  return cat_penalty + (x - 0.3) * (x - 0.3);
+}
+
+SearchSpace synthetic_space() {
+  SearchSpace s;
+  s.params.push_back(ParamSpec::categorical("cat", {"a", "b", "c"}));
+  s.params.push_back(ParamSpec::uniform("x", 0.0, 1.0));
+  return s;
+}
+
+TEST(Tpe, ImprovesOverRandomSearch) {
+  const index_t budget = 60;
+  // TPE run.
+  TpeOptions topt;
+  topt.startup_trials = 10;
+  topt.seed = 305;
+  TpeSampler tpe(synthetic_space(), topt);
+  for (index_t t = 0; t < budget; ++t) {
+    const Assignment a = tpe.suggest();
+    tpe.record(a, synthetic_objective(a));
+  }
+  // Random search with the same budget.
+  SearchSpace space = synthetic_space();
+  Xoshiro256 rng = make_stream(307);
+  real_t best_random = 1e9;
+  for (index_t t = 0; t < budget; ++t) {
+    best_random = std::min(best_random,
+                           synthetic_objective(space.sample(rng)));
+  }
+  EXPECT_LE(tpe.best().objective, best_random + 0.02);
+  EXPECT_LT(tpe.best().objective, 0.05);
+  // TPE should have concentrated on the right categorical arm.
+  EXPECT_EQ(std::llround(tpe.best().assignment[0]), 1);
+}
+
+TEST(Tpe, StartupPhaseIsRandom) {
+  TpeOptions topt;
+  topt.startup_trials = 5;
+  topt.seed = 309;
+  TpeSampler tpe(synthetic_space(), topt);
+  // Suggestions are valid even with an empty history.
+  for (int i = 0; i < 5; ++i) {
+    const Assignment a = tpe.suggest();
+    EXPECT_EQ(a.size(), 2u);
+    tpe.record(a, synthetic_objective(a));
+  }
+}
+
+TEST(Tpe, BestThrowsWithoutHistory) {
+  TpeSampler tpe(synthetic_space());
+  EXPECT_THROW(tpe.best(), Error);
+}
+
+TEST(Tpe, RecordValidatesDimension) {
+  TpeSampler tpe(synthetic_space());
+  EXPECT_THROW(tpe.record({1.0}, 0.5), Error);
+}
+
+TEST(Asha, RungLadderMatchesPaperSettings) {
+  // grace 20, eta 3, max 150 -> rungs at 20, 60, 180(>150 excluded).
+  AshaScheduler asha({20, 150, 3.0});
+  ASSERT_EQ(asha.rungs().size(), 2u);
+  EXPECT_EQ(asha.rungs()[0], 20);
+  EXPECT_EQ(asha.rungs()[1], 60);
+}
+
+TEST(Asha, BelowGraceAlwaysContinues) {
+  AshaScheduler asha({20, 150, 3.0});
+  EXPECT_TRUE(asha.report(1, 5, 100.0));
+  EXPECT_TRUE(asha.report(1, 19, 100.0));
+}
+
+TEST(Asha, PrunesBottomOfRung) {
+  AshaScheduler asha({10, 100, 2.0});
+  // Six trials reach rung 10 with increasing (worse) scores.
+  EXPECT_TRUE(asha.report(0, 10, 0.1));   // first arrival always kept
+  EXPECT_FALSE(asha.report(1, 10, 0.9));  // bottom half: pruned
+  EXPECT_TRUE(asha.report(2, 10, 0.05));  // new best: kept
+  EXPECT_FALSE(asha.report(3, 10, 0.5));  // 0.5 not in top 1/2 of {.05,.1,.5,.9}
+  EXPECT_EQ(asha.rung_size(0), 4);
+}
+
+TEST(Asha, EachRungJudgedOnce) {
+  AshaScheduler asha({10, 100, 2.0});
+  EXPECT_TRUE(asha.report(7, 10, 0.3));
+  const index_t size_before = asha.rung_size(0);
+  // Same trial reporting again at the same rung: no double counting.
+  EXPECT_TRUE(asha.report(7, 15, 0.3));
+  EXPECT_EQ(asha.rung_size(0), size_before);
+}
+
+TEST(Asha, GoodTrialSurvivesAllRungs) {
+  AshaScheduler asha({10, 100, 2.0});
+  // Fill rung 0 with mediocre trials.
+  asha.report(0, 10, 0.5);
+  asha.report(1, 10, 0.6);
+  asha.report(2, 10, 0.7);
+  // A strong trial passes rung 0 and rung 1.
+  EXPECT_TRUE(asha.report(9, 10, 0.1));
+  EXPECT_TRUE(asha.report(9, 20, 0.08));
+  EXPECT_TRUE(asha.report(9, 40, 0.07));
+}
+
+}  // namespace
+}  // namespace mcmi::hpo

@@ -1,0 +1,143 @@
+// End-to-end integration test: a miniature version of the full §4.4
+// experiment (dataset -> Pre-BO -> grid truth -> BO round -> retrain ->
+// calibration/strategies), checking structural invariants and seed
+// determinism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipeline/experiment.hpp"
+#include "stats/summary.hpp"
+
+namespace mcmi {
+namespace {
+
+ExperimentOptions tiny_options() {
+  ExperimentOptions opt;
+  opt.data.replicates = 2;
+  opt.test_replicates = 2;
+  opt.pretrain.epochs = 4;
+  opt.retrain.epochs = 4;
+  opt.bo_batch = 4;
+  opt.training_max_dim = 300;
+  opt.verbose = false;
+  // Shrink the grid to 2x2x2 so the whole experiment runs in seconds.
+  opt.data.grid.clear();
+  for (real_t alpha : {1.0, 4.0}) {
+    for (real_t eps : {0.5, 0.125}) {
+      for (real_t delta : {0.5, 0.125}) {
+        opt.data.grid.push_back({alpha, eps, delta});
+      }
+    }
+  }
+  opt.data.divergence_samples = 1;
+  return opt;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    experiment_ = new TuningExperiment(tiny_options());
+    experiment_->run();
+  }
+  static void TearDownTestSuite() {
+    delete experiment_;
+    experiment_ = nullptr;
+  }
+  static TuningExperiment* experiment_;
+};
+
+TuningExperiment* IntegrationTest::experiment_ = nullptr;
+
+TEST_F(IntegrationTest, DatasetSplitSizes) {
+  const ExperimentResults& r = experiment_->results();
+  EXPECT_GT(r.training_samples, 0);
+  EXPECT_GT(r.validation_samples, 0);
+  EXPECT_NEAR(static_cast<real_t>(r.validation_samples) /
+                  static_cast<real_t>(r.training_samples +
+                                      r.validation_samples),
+              0.2, 0.02);
+}
+
+TEST_F(IntegrationTest, GroundTruthGridComplete) {
+  const ExperimentResults& r = experiment_->results();
+  EXPECT_EQ(r.test_grid.size(), 8u);  // shrunk grid
+  for (const GridObservation& g : r.test_grid) {
+    EXPECT_EQ(g.ys.size(), 2u);
+    for (real_t y : g.ys) {
+      EXPECT_TRUE(std::isfinite(y));
+      EXPECT_GE(y, 0.0);
+    }
+  }
+  EXPECT_GT(r.baseline_steps, 0);
+}
+
+TEST_F(IntegrationTest, CalibrationSampleCounts) {
+  const ExperimentResults& r = experiment_->results();
+  // One calibration sample per observation: grid points x replicates.
+  EXPECT_EQ(r.calibration_pre.size(), 16u);
+  EXPECT_EQ(r.calibration_post.size(), 16u);
+  for (const CalibrationSample& s : r.calibration_pre) {
+    EXPECT_GT(s.sigma, 0.0);
+    EXPECT_GE(s.mu, 0.0);
+  }
+}
+
+TEST_F(IntegrationTest, InclusionCellsCoverGrid) {
+  const ExperimentResults& r = experiment_->results();
+  EXPECT_EQ(r.inclusion.size(), r.test_grid.size());
+  for (const InclusionCell& c : r.inclusion) {
+    EXPECT_GE(c.empirical_mean, 0.0);
+    EXPECT_GE(c.predicted_pre, 0.0);
+    EXPECT_GE(c.predicted_post, 0.0);
+  }
+}
+
+TEST_F(IntegrationTest, StrategiesEvaluatedAtConfiguredBudgets) {
+  const ExperimentResults& r = experiment_->results();
+  EXPECT_EQ(r.grid_strategy.evaluated.size(), 8u);
+  EXPECT_EQ(r.balanced_strategy.evaluated.size(), 4u);
+  EXPECT_EQ(r.explore_strategy.evaluated.size(), 4u);
+  // Medians are well defined and the best index points at the minimum.
+  const std::vector<real_t> med = r.balanced_strategy.medians();
+  const index_t best = r.balanced_strategy.best_index();
+  for (real_t m : med) EXPECT_GE(m, med[best]);
+}
+
+TEST_F(IntegrationTest, BoFindsCompetitiveParameters) {
+  // The BO strategies search a continuous box that includes better regions
+  // than the coarse grid; at minimum they must not be catastrophically
+  // worse than the grid's best (shape check, loose factor).
+  const ExperimentResults& r = experiment_->results();
+  const real_t grid_best =
+      r.grid_strategy.medians()[r.grid_strategy.best_index()];
+  const real_t bo_best = std::min(
+      r.balanced_strategy.medians()[r.balanced_strategy.best_index()],
+      r.explore_strategy.medians()[r.explore_strategy.best_index()]);
+  EXPECT_LT(bo_best, std::max(2.0 * grid_best, grid_best + 0.5));
+}
+
+TEST(IntegrationDeterminism, SameSeedSameGroundTruth) {
+  ExperimentOptions opt = tiny_options();
+  opt.pretrain.epochs = 1;
+  opt.retrain.epochs = 1;
+  opt.bo_batch = 2;
+  TuningExperiment e1(opt);
+  e1.run();
+  TuningExperiment e2(opt);
+  e2.run();
+  const auto& g1 = e1.results().test_grid;
+  const auto& g2 = e2.results().test_grid;
+  ASSERT_EQ(g1.size(), g2.size());
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    ASSERT_EQ(g1[i].ys.size(), g2[i].ys.size());
+    for (std::size_t k = 0; k < g1[i].ys.size(); ++k) {
+      EXPECT_DOUBLE_EQ(g1[i].ys[k], g2[i].ys[k]);
+    }
+  }
+  EXPECT_EQ(e1.results().baseline_steps, e2.results().baseline_steps);
+}
+
+}  // namespace
+}  // namespace mcmi

@@ -1,0 +1,238 @@
+// Tests for src/nn: central-difference gradient checks on every layer,
+// optimiser behaviour and numerical stability of the activations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/adam.hpp"
+#include "nn/dropout.hpp"
+#include "nn/gradient_check.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/linear.hpp"
+#include "nn/mlp.hpp"
+#include "nn/tensor.hpp"
+
+namespace mcmi::nn {
+namespace {
+
+Tensor random_tensor(index_t rows, index_t cols, u64 seed,
+                     real_t scale = 1.0) {
+  Tensor t(rows, cols);
+  Xoshiro256 rng = make_stream(seed);
+  for (real_t& v : t.data()) v = scale * normal01(rng);
+  return t;
+}
+
+TEST(Tensor, MatmulShapesAndValues) {
+  Tensor a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Tensor b(3, 1);
+  b(0, 0) = 1; b(1, 0) = 0; b(2, 0) = -1;
+  const Tensor c = a.matmul(b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_DOUBLE_EQ(c(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), -2.0);
+}
+
+TEST(Tensor, TransposedProducts) {
+  const Tensor a = random_tensor(4, 3, 1);
+  const Tensor b = random_tensor(5, 3, 2);
+  // a.matmul_transposed(b) == a * b^T.
+  const Tensor c = a.matmul_transposed(b);
+  EXPECT_EQ(c.rows(), 4);
+  EXPECT_EQ(c.cols(), 5);
+  real_t manual = 0.0;
+  for (index_t k = 0; k < 3; ++k) manual += a(1, k) * b(2, k);
+  EXPECT_NEAR(c(1, 2), manual, 1e-12);
+
+  // a.transposed_matmul(d) == a^T * d.
+  const Tensor d = random_tensor(4, 2, 3);
+  const Tensor e = a.transposed_matmul(d);
+  EXPECT_EQ(e.rows(), 3);
+  EXPECT_EQ(e.cols(), 2);
+  manual = 0.0;
+  for (index_t r = 0; r < 4; ++r) manual += a(r, 1) * d(r, 0);
+  EXPECT_NEAR(e(1, 0), manual, 1e-12);
+}
+
+TEST(Tensor, Hconcat) {
+  const Tensor a = random_tensor(2, 2, 4);
+  const Tensor b = random_tensor(2, 3, 5);
+  const Tensor c = hconcat({&a, &b});
+  EXPECT_EQ(c.cols(), 5);
+  EXPECT_DOUBLE_EQ(c(1, 0), a(1, 0));
+  EXPECT_DOUBLE_EQ(c(1, 4), b(1, 2));
+}
+
+TEST(GradCheck, Linear) {
+  Linear layer(4, 3, 11);
+  const GradCheckResult r = check_gradients(layer, random_tensor(5, 4, 6),
+                                            random_tensor(5, 3, 7));
+  EXPECT_LT(r.max_input_error, 1e-6);
+  EXPECT_LT(r.max_param_error, 1e-6);
+}
+
+TEST(GradCheck, ReLU) {
+  ReLU layer;
+  // Keep inputs away from the kink.
+  Tensor x = random_tensor(4, 6, 8);
+  for (real_t& v : x.data()) {
+    if (std::abs(v) < 0.1) v += 0.2;
+  }
+  const GradCheckResult r =
+      check_gradients(layer, x, random_tensor(4, 6, 9));
+  EXPECT_LT(r.max_input_error, 1e-6);
+}
+
+TEST(GradCheck, Softplus) {
+  Softplus layer;
+  const GradCheckResult r = check_gradients(layer, random_tensor(3, 5, 10),
+                                            random_tensor(3, 5, 11));
+  EXPECT_LT(r.max_input_error, 1e-6);
+}
+
+TEST(GradCheck, LayerNorm) {
+  LayerNorm layer(6);
+  const GradCheckResult r = check_gradients(layer, random_tensor(4, 6, 12),
+                                            random_tensor(4, 6, 13));
+  EXPECT_LT(r.max_input_error, 1e-5);
+  EXPECT_LT(r.max_param_error, 1e-6);
+}
+
+TEST(GradCheck, MlpEndToEnd) {
+  MlpConfig config;
+  config.in_features = 5;
+  config.hidden = 8;
+  config.hidden_layers = 2;
+  config.out_features = 3;
+  config.layer_norm = true;
+  Mlp mlp(config, 17);
+  const GradCheckResult r = check_gradients(mlp, random_tensor(4, 5, 14),
+                                            random_tensor(4, 3, 15));
+  EXPECT_LT(r.max_input_error, 1e-5);
+  EXPECT_LT(r.max_param_error, 1e-5);
+}
+
+TEST(Softplus, StableInBothTails) {
+  EXPECT_NEAR(Softplus::value(1000.0), 1000.0, 1e-9);
+  EXPECT_NEAR(Softplus::value(-1000.0), 0.0, 1e-9);
+  EXPECT_NEAR(Softplus::value(0.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(Softplus::derivative(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(Softplus::derivative(40.0), 1.0, 1e-12);
+  EXPECT_NEAR(Softplus::derivative(-40.0), 0.0, 1e-12);
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Dropout layer(0.5, 19);
+  const Tensor x = random_tensor(3, 4, 16);
+  const Tensor y = layer.forward(x, /*train=*/false);
+  EXPECT_EQ(y.data(), x.data());
+}
+
+TEST(Dropout, TrainModeDropsAtConfiguredRate) {
+  Dropout layer(0.3, 23);
+  const Tensor x(100, 100, 1.0);
+  const Tensor y = layer.forward(x, /*train=*/true);
+  index_t zeros = 0;
+  for (real_t v : y.data()) {
+    if (v == 0.0) ++zeros;
+    else EXPECT_NEAR(v, 1.0 / 0.7, 1e-12);  // inverted scaling
+  }
+  EXPECT_NEAR(static_cast<real_t>(zeros) / 10000.0, 0.3, 0.03);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout layer(0.4, 29);
+  const Tensor x(10, 10, 1.0);
+  const Tensor y = layer.forward(x, /*train=*/true);
+  const Tensor g = layer.backward(Tensor(10, 10, 1.0));
+  for (std::size_t i = 0; i < y.data().size(); ++i) {
+    EXPECT_DOUBLE_EQ(g.data()[i], y.data()[i]);
+  }
+}
+
+TEST(Adam, MinimisesQuadratic) {
+  // One parameter tensor, loss = ||w - target||^2.
+  Parameter w("w", Tensor(1, 4, 0.0));
+  const std::vector<real_t> target = {1.0, -2.0, 3.0, 0.5};
+  AdamConfig config;
+  config.learning_rate = 0.05;
+  Adam adam({&w}, config);
+  for (int step = 0; step < 500; ++step) {
+    for (index_t j = 0; j < 4; ++j) {
+      w.grad(0, j) = 2.0 * (w.value(0, j) - target[j]);
+    }
+    adam.step();
+  }
+  for (index_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(w.value(0, j), target[j], 1e-3);
+  }
+}
+
+TEST(Adam, WeightDecayShrinksWeights) {
+  Parameter w("w", Tensor(1, 1, 5.0));
+  AdamConfig config;
+  config.learning_rate = 0.1;
+  config.weight_decay = 1.0;
+  Adam adam({&w}, config);
+  for (int step = 0; step < 200; ++step) {
+    // Zero data gradient: only weight decay acts.
+    adam.step();
+  }
+  EXPECT_NEAR(w.value(0, 0), 0.0, 0.05);
+}
+
+TEST(Mlp, TrainsToFitLinearFunction) {
+  // y = 2 x0 - x1 learned by a small MLP under Adam.
+  MlpConfig config;
+  config.in_features = 2;
+  config.hidden = 16;
+  config.hidden_layers = 1;
+  config.out_features = 1;
+  Mlp mlp(config, 31);
+  Adam adam(mlp.parameters(), {.learning_rate = 5e-3});
+  Xoshiro256 rng = make_stream(33);
+
+  real_t final_loss = 1e9;
+  for (int step = 0; step < 800; ++step) {
+    Tensor x(16, 2);
+    Tensor target(16, 1);
+    for (index_t i = 0; i < 16; ++i) {
+      x(i, 0) = normal01(rng);
+      x(i, 1) = normal01(rng);
+      target(i, 0) = 2.0 * x(i, 0) - x(i, 1);
+    }
+    const Tensor out = mlp.forward(x, /*train=*/true);
+    Tensor grad(16, 1);
+    final_loss = 0.0;
+    for (index_t i = 0; i < 16; ++i) {
+      const real_t diff = out(i, 0) - target(i, 0);
+      final_loss += diff * diff / 16.0;
+      grad(i, 0) = 2.0 * diff / 16.0;
+    }
+    mlp.backward(grad);
+    adam.step();
+  }
+  EXPECT_LT(final_loss, 0.05);
+}
+
+/// Gradient checks across layer widths (property sweep).
+class LinearGrad : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(LinearGrad, AllWidths) {
+  const index_t width = GetParam();
+  Linear layer(width, width + 1, 37 + width);
+  const GradCheckResult r =
+      check_gradients(layer, random_tensor(3, width, 40 + width),
+                      random_tensor(3, width + 1, 41 + width));
+  EXPECT_LT(r.max_input_error, 1e-6);
+  EXPECT_LT(r.max_param_error, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LinearGrad, ::testing::Values(1, 2, 7, 16));
+
+}  // namespace
+}  // namespace mcmi::nn

@@ -1,0 +1,138 @@
+// Tests for src/pipeline: the eq. (4) metric, dataset building shapes and
+// measurement bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/matrix_set.hpp"
+#include "pipeline/dataset_builder.hpp"
+#include "pipeline/metric.hpp"
+
+namespace mcmi {
+namespace {
+
+SolveOptions quick_solve() {
+  SolveOptions opt;
+  opt.restart = 250;
+  opt.max_iterations = 1500;
+  return opt;
+}
+
+TEST(Metric, RatioBelowOneOnPreconditionableMatrix) {
+  const NamedMatrix nm = make_matrix("a00512");
+  PerformanceMeasurer measurer(nm.matrix, quick_solve());
+  const MetricResult r =
+      measurer.measure({1.0, 0.0625, 0.0625}, KrylovMethod::kGMRES, 0);
+  EXPECT_TRUE(r.preconditioned_converged);
+  EXPECT_LT(r.y, 1.0);
+  EXPECT_EQ(r.steps_without, measurer.baseline_steps(KrylovMethod::kGMRES));
+  EXPECT_NEAR(r.y,
+              static_cast<real_t>(r.steps_with) /
+                  static_cast<real_t>(r.steps_without),
+              1e-12);
+}
+
+TEST(Metric, BaselineIsCachedAndDeterministic) {
+  const NamedMatrix nm = make_matrix("PDD_RealSparse_N64");
+  PerformanceMeasurer measurer(nm.matrix, quick_solve());
+  const index_t b1 = measurer.baseline_steps(KrylovMethod::kGMRES);
+  const index_t b2 = measurer.baseline_steps(KrylovMethod::kGMRES);
+  EXPECT_EQ(b1, b2);
+  EXPECT_GT(b1, 0);
+}
+
+TEST(Metric, ReplicatesVaryButAreSeedStable) {
+  const NamedMatrix nm = make_matrix("PDD_RealSparse_N128");
+  PerformanceMeasurer m1(nm.matrix, quick_solve());
+  PerformanceMeasurer m2(nm.matrix, quick_solve());
+  const std::vector<real_t> ys1 =
+      m1.measure_replicates({1.0, 0.5, 0.0625}, KrylovMethod::kGMRES, 4);
+  const std::vector<real_t> ys2 =
+      m2.measure_replicates({1.0, 0.5, 0.0625}, KrylovMethod::kGMRES, 4);
+  ASSERT_EQ(ys1.size(), 4u);
+  EXPECT_EQ(ys1, ys2);  // identical seeds -> identical replicates
+  // Replicates use different sampler seeds, so they are not all equal
+  // (statistically certain at eps = 0.5 where N = 2 chains).
+  bool any_different = false;
+  for (std::size_t i = 1; i < ys1.size(); ++i) {
+    if (ys1[i] != ys1[0]) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Metric, DivergentAlphaIsCappedFailureSignal) {
+  const NamedMatrix nm = make_matrix("2DFDLaplace_16");
+  McmcOptions mcmc;
+  mcmc.walk_cap = 64;
+  PerformanceMeasurer measurer(nm.matrix, quick_solve(), mcmc, 4.0);
+  const MetricResult r =
+      measurer.measure({0.01, 0.5, 0.5}, KrylovMethod::kGMRES, 0);
+  EXPECT_GE(r.y, 1.0);
+  EXPECT_LE(r.y, 4.0);  // the cap
+}
+
+TEST(DatasetBuilder, SampleCountFormula) {
+  // One SPD matrix: 64 grid x 2 solvers + 16 CG + 2 divergence x 2 solvers.
+  DatasetBuildOptions opt;
+  opt.replicates = 2;
+  const std::vector<NamedMatrix> mats = {make_matrix("2DFDLaplace_16")};
+  const SurrogateDataset ds = build_dataset(mats, opt);
+  EXPECT_EQ(ds.num_matrices(), 1);
+  EXPECT_EQ(ds.size(), 64 * 2 + 16 + 4);
+  // One non-SPD matrix: no CG block.
+  const std::vector<NamedMatrix> mats2 = {make_matrix("PDD_RealSparse_N64")};
+  const SurrogateDataset ds2 = build_dataset(mats2, opt);
+  EXPECT_EQ(ds2.size(), 64 * 2 + 4);
+}
+
+TEST(DatasetBuilder, SamplesCarryEncodedSolver) {
+  DatasetBuildOptions opt;
+  opt.replicates = 2;
+  opt.grid = {{1.0, 0.5, 0.5}};  // single grid point for speed
+  opt.divergence_samples = 0;
+  const std::vector<NamedMatrix> mats = {make_matrix("PDD_RealSparse_N64")};
+  const SurrogateDataset ds = build_dataset(mats, opt);
+  ASSERT_EQ(ds.size(), 2);
+  EXPECT_DOUBLE_EQ(ds.samples[0].xm[4], 1.0);  // gmres one-hot
+  EXPECT_DOUBLE_EQ(ds.samples[1].xm[5], 1.0);  // bicgstab one-hot
+  for (const LabeledSample& s : ds.samples) {
+    EXPECT_GE(s.y_mean, 0.0);
+    EXPECT_GE(s.y_std, 0.0);
+  }
+}
+
+TEST(DatasetBuilder, AppendReusesMatrixEntry) {
+  DatasetBuildOptions opt;
+  opt.replicates = 2;
+  opt.grid = {{1.0, 0.5, 0.5}};
+  opt.divergence_samples = 0;
+  const NamedMatrix m = make_matrix("PDD_RealSparse_N64");
+  SurrogateDataset ds = build_dataset({m}, opt);
+  const index_t id1 = append_matrix_measurements(
+      ds, m, {{2.0, 0.5, 0.5}}, {KrylovMethod::kGMRES}, opt);
+  EXPECT_EQ(id1, 0);  // reused, not duplicated
+  EXPECT_EQ(ds.num_matrices(), 1);
+  EXPECT_EQ(ds.size(), 3);
+  const NamedMatrix other = make_matrix("PDD_RealSparse_N128");
+  const index_t id2 = append_matrix_measurements(
+      ds, other, {{2.0, 0.5, 0.5}}, {KrylovMethod::kGMRES}, opt);
+  EXPECT_EQ(id2, 1);
+  EXPECT_EQ(ds.num_matrices(), 2);
+}
+
+TEST(DatasetBuilder, GraphAndFeaturesMatchMatrix) {
+  DatasetBuildOptions opt;
+  opt.replicates = 2;
+  opt.grid = {{1.0, 0.5, 0.5}};
+  opt.divergence_samples = 0;
+  const NamedMatrix m = make_matrix("PDD_RealSparse_N64");
+  const SurrogateDataset ds = build_dataset({m}, opt);
+  EXPECT_EQ(ds.graphs[0].num_nodes, m.matrix.rows());
+  EXPECT_EQ(ds.graphs[0].num_edges(), m.matrix.nnz());
+  EXPECT_FALSE(ds.features[0].empty());
+  EXPECT_EQ(ds.matrix_names[0], "PDD_RealSparse_N64");
+}
+
+}  // namespace
+}  // namespace mcmi

@@ -1,0 +1,200 @@
+// Tests for src/precond: Jacobi, ILU(0) and the explicit sparse
+// approximate-inverse wrapper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "dense/lu.hpp"
+#include "dense/matrix.hpp"
+#include "gen/laplace.hpp"
+#include "gen/random_sparse.hpp"
+#include "krylov/solver.hpp"
+#include "precond/ilu0.hpp"
+#include "precond/jacobi.hpp"
+#include "precond/spai.hpp"
+#include "precond/sparse_precond.hpp"
+
+namespace mcmi {
+namespace {
+
+TEST(Identity, PassesThrough) {
+  IdentityPreconditioner id;
+  const std::vector<real_t> x = {1.0, -2.0, 3.0};
+  EXPECT_EQ(id.apply(x), x);
+  EXPECT_EQ(id.name(), "identity");
+}
+
+TEST(Jacobi, AppliesInverseDiagonal) {
+  const CsrMatrix a = CsrMatrix::diagonal({2.0, 4.0, 0.5});
+  JacobiPreconditioner jacobi(a);
+  const std::vector<real_t> y = jacobi.apply({2.0, 4.0, 0.5});
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+  EXPECT_DOUBLE_EQ(y[2], 1.0);
+}
+
+TEST(Jacobi, ThrowsOnZeroDiagonal) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  const CsrMatrix a = CsrMatrix::from_coo(std::move(coo));
+  EXPECT_THROW(JacobiPreconditioner{a}, Error);
+}
+
+TEST(Ilu0, ExactForTriangularPattern) {
+  // For a lower-triangular matrix ILU(0) is an exact factorisation, so
+  // P = A^-1 exactly.
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 2.0);
+  coo.add(1, 0, -1.0);
+  coo.add(1, 1, 3.0);
+  coo.add(2, 1, 1.0);
+  coo.add(2, 2, 4.0);
+  const CsrMatrix a = CsrMatrix::from_coo(std::move(coo));
+  Ilu0Preconditioner ilu(a);
+  const std::vector<real_t> b = {2.0, 2.0, 9.0};
+  const std::vector<real_t> x = ilu.apply(b);
+  const std::vector<real_t> ref = dense_solve(DenseMatrix::from_csr(a), b);
+  for (index_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], ref[i], 1e-12);
+}
+
+TEST(Ilu0, ExactWhenNoFillWouldOccur) {
+  // Tridiagonal matrices have no fill-in: ILU(0) == LU, so applying it
+  // solves the system exactly.
+  const CsrMatrix a = laplace_1d(20);
+  Ilu0Preconditioner ilu(a);
+  Xoshiro256 rng = make_stream(3);
+  std::vector<real_t> b(20);
+  for (real_t& v : b) v = normal01(rng);
+  const std::vector<real_t> x = ilu.apply(b);
+  const std::vector<real_t> ref = dense_solve(DenseMatrix::from_csr(a), b);
+  for (index_t i = 0; i < 20; ++i) EXPECT_NEAR(x[i], ref[i], 1e-10);
+}
+
+TEST(Ilu0, ReducesGmresIterations) {
+  const CsrMatrix a = laplace_2d(20);
+  std::vector<real_t> b(a.rows(), 1.0);
+  IdentityPreconditioner id;
+  Ilu0Preconditioner ilu(a);
+  std::vector<real_t> x;
+  SolveOptions opt;
+  opt.restart = 400;
+  const index_t base = solve_gmres(a, b, id, x, opt).iterations;
+  const index_t pre = solve_gmres(a, b, ilu, x, opt).iterations;
+  EXPECT_LT(pre, base);
+}
+
+TEST(Ilu0, ThrowsOnMissingDiagonal) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 0, 1.0);  // no (1,1) entry
+  const CsrMatrix a = CsrMatrix::from_coo(std::move(coo));
+  EXPECT_THROW(Ilu0Preconditioner{a}, Error);
+}
+
+TEST(Ilu0, BreaksDownOnZeroPivot) {
+  // a_00 = 0 is an immediate zero pivot — the documented ILU failure mode
+  // (§2: "ILU may break down for indefinite matrices").
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 0.0);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  CsrMatrix a = CsrMatrix::from_coo(std::move(coo));
+  // compress() drops explicit zeros, so rebuild with the zero kept.
+  a = CsrMatrix(2, 2, {0, 2, 4}, {0, 1, 0, 1}, {0.0, 1.0, 1.0, 1.0});
+  EXPECT_THROW(Ilu0Preconditioner{a}, Error);
+}
+
+TEST(SparseApproximateInverse, AppliesMatrix) {
+  const CsrMatrix a = laplace_1d(10);
+  const DenseMatrix inv = dense_inverse(DenseMatrix::from_csr(a));
+  // Build an explicit exact inverse in CSR form.
+  CooMatrix coo(10, 10);
+  for (index_t i = 0; i < 10; ++i) {
+    for (index_t j = 0; j < 10; ++j) {
+      if (std::abs(inv(i, j)) > 1e-14) coo.add(i, j, inv(i, j));
+    }
+  }
+  SparseApproximateInverse p(CsrMatrix::from_coo(std::move(coo)), "exact");
+  EXPECT_EQ(p.name(), "exact");
+  // P A x == x for any x.
+  Xoshiro256 rng = make_stream(7);
+  std::vector<real_t> x(10);
+  for (real_t& v : x) v = normal01(rng);
+  const std::vector<real_t> y = p.apply(a.multiply(x));
+  for (index_t i = 0; i < 10; ++i) EXPECT_NEAR(y[i], x[i], 1e-10);
+}
+
+TEST(Spai, ExactForDiagonalMatrix) {
+  const CsrMatrix a = CsrMatrix::diagonal({2.0, -4.0, 0.5});
+  SpaiPreconditioner spai(a);
+  EXPECT_NEAR(spai.matrix().at(0, 0), 0.5, 1e-10);
+  EXPECT_NEAR(spai.matrix().at(1, 1), -0.25, 1e-10);
+  EXPECT_NEAR(spai.matrix().at(2, 2), 2.0, 1e-10);
+}
+
+TEST(Spai, ReducesGmresIterations) {
+  const CsrMatrix a = laplace_2d(16);
+  std::vector<real_t> b(a.rows(), 1.0);
+  IdentityPreconditioner id;
+  SpaiPreconditioner spai(a);
+  std::vector<real_t> x;
+  SolveOptions opt;
+  opt.restart = 400;
+  const index_t base = solve_gmres(a, b, id, x, opt).iterations;
+  const SolveResult res = solve_gmres(a, b, spai, x, opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.iterations, base);
+}
+
+TEST(Spai, Level2PatternApproximatesBetter) {
+  // Residual ||P A - I||_F shrinks when the pattern is enriched.
+  const CsrMatrix a = laplace_1d(30);
+  SpaiOptions level1;
+  level1.pattern_level = 1;
+  SpaiOptions level2;
+  level2.pattern_level = 2;
+  auto residual = [&](const SpaiPreconditioner& p) {
+    const CsrMatrix pa = p.matrix().multiply(a);
+    return CsrMatrix::add(1.0, pa, -1.0, CsrMatrix::identity(30))
+        .norm_frobenius();
+  };
+  const SpaiPreconditioner p1(a, level1);
+  const SpaiPreconditioner p2(a, level2);
+  EXPECT_LT(residual(p2), residual(p1));
+  EXPECT_GT(p2.matrix().nnz(), p1.matrix().nnz());
+}
+
+TEST(Spai, RowCapRespected) {
+  const CsrMatrix a = pdd_real_sparse(60, 0.3, 31);
+  SpaiOptions opt;
+  opt.max_row_nnz = 5;
+  const SpaiPreconditioner spai(a, opt);
+  for (index_t i = 0; i < 60; ++i) {
+    EXPECT_LE(spai.matrix().row_nnz(i), 5);
+  }
+}
+
+TEST(SparseApproximateInverse, PerfectPreconditionerConvergesInOneStep) {
+  const CsrMatrix a = laplace_1d(12);
+  const DenseMatrix inv = dense_inverse(DenseMatrix::from_csr(a));
+  CooMatrix coo(12, 12);
+  for (index_t i = 0; i < 12; ++i) {
+    for (index_t j = 0; j < 12; ++j) {
+      if (std::abs(inv(i, j)) > 1e-14) coo.add(i, j, inv(i, j));
+    }
+  }
+  SparseApproximateInverse p(CsrMatrix::from_coo(std::move(coo)), "exact");
+  std::vector<real_t> b(12, 1.0);
+  std::vector<real_t> x;
+  const SolveResult res = solve_gmres(a, b, p, x, {});
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 2);
+}
+
+}  // namespace
+}  // namespace mcmi

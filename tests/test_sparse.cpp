@@ -1,0 +1,274 @@
+// Tests for src/sparse: COO assembly, CSR operations against dense
+// references, Matrix Market round trips, and property sweeps over random
+// matrices.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "core/rng.hpp"
+#include "dense/matrix.hpp"
+#include "gen/laplace.hpp"
+#include "gen/random_sparse.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/mmio.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace mcmi {
+namespace {
+
+CsrMatrix small_matrix() {
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 2.0);
+  coo.add(0, 2, -1.0);
+  coo.add(1, 1, 3.0);
+  coo.add(2, 0, 0.5);
+  coo.add(2, 2, 4.0);
+  return CsrMatrix::from_coo(std::move(coo));
+}
+
+TEST(Coo, CompressMergesDuplicatesAndDropsZeros) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 0, 2.0);
+  coo.add(1, 1, 5.0);
+  coo.add(1, 1, -5.0);
+  coo.compress();
+  EXPECT_EQ(coo.nnz(), 1);
+  EXPECT_DOUBLE_EQ(coo.entries()[0].value, 3.0);
+}
+
+TEST(Coo, RejectsOutOfRange) {
+  CooMatrix coo(2, 2);
+  EXPECT_THROW(coo.add(2, 0, 1.0), Error);
+  EXPECT_THROW(coo.add(0, -1, 1.0), Error);
+}
+
+TEST(Csr, BuildAndAccess) {
+  const CsrMatrix a = small_matrix();
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.nnz(), 5);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), 0.5);
+  EXPECT_DOUBLE_EQ(a.fill(), 5.0 / 9.0);
+}
+
+TEST(Csr, IdentityAndDiagonal) {
+  const CsrMatrix i3 = CsrMatrix::identity(3);
+  std::vector<real_t> x = {1.0, 2.0, 3.0};
+  EXPECT_EQ(i3.multiply(x), x);
+  const CsrMatrix d = CsrMatrix::diagonal({2.0, 3.0});
+  EXPECT_EQ(d.multiply({1.0, 1.0}), (std::vector<real_t>{2.0, 3.0}));
+}
+
+TEST(Csr, MultiplyMatchesDense) {
+  const CsrMatrix a = pdd_real_sparse(40, 0.2, 3);
+  const DenseMatrix ad = DenseMatrix::from_csr(a);
+  Xoshiro256 rng = make_stream(1);
+  std::vector<real_t> x(40);
+  for (real_t& v : x) v = normal01(rng);
+  const std::vector<real_t> y_sparse = a.multiply(x);
+  const std::vector<real_t> y_dense = ad.multiply(x);
+  for (index_t i = 0; i < 40; ++i) EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-12);
+}
+
+TEST(Csr, TransposeMatchesDense) {
+  const CsrMatrix a = pdd_real_sparse(30, 0.2, 5);
+  const CsrMatrix at = a.transpose();
+  for (index_t i = 0; i < 30; ++i) {
+    for (index_t j = 0; j < 30; ++j) {
+      EXPECT_DOUBLE_EQ(a.at(i, j), at.at(j, i));
+    }
+  }
+}
+
+TEST(Csr, MultiplyTransposeAgreesWithTranspose) {
+  const CsrMatrix a = pdd_real_sparse(25, 0.3, 7);
+  Xoshiro256 rng = make_stream(2);
+  std::vector<real_t> x(25);
+  for (real_t& v : x) v = normal01(rng);
+  std::vector<real_t> y1, y2;
+  a.multiply_transpose(x, y1);
+  a.transpose().multiply(x, y2);
+  for (index_t i = 0; i < 25; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(Csr, SparseProductMatchesDense) {
+  const CsrMatrix a = pdd_real_sparse(20, 0.25, 11);
+  const CsrMatrix b = pdd_real_sparse(20, 0.25, 13);
+  const CsrMatrix c = a.multiply(b);
+  const DenseMatrix cd =
+      DenseMatrix::from_csr(a).multiply(DenseMatrix::from_csr(b));
+  for (index_t i = 0; i < 20; ++i) {
+    for (index_t j = 0; j < 20; ++j) {
+      EXPECT_NEAR(c.at(i, j), cd(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Csr, AddLinearCombination) {
+  const CsrMatrix a = small_matrix();
+  const CsrMatrix sum = CsrMatrix::add(2.0, a, -1.0, a);
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(sum.at(i, j), a.at(i, j), 1e-14);
+    }
+  }
+}
+
+TEST(Csr, DiagAndAddDiagonal) {
+  const CsrMatrix a = small_matrix();
+  const std::vector<real_t> d = a.diag();
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  const CsrMatrix shifted = a.add_diagonal(1.0, {1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(shifted.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(shifted.at(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(shifted.at(0, 2), -1.0);
+}
+
+TEST(Csr, ScaleRows) {
+  CsrMatrix a = small_matrix();
+  a.scale_rows({2.0, 1.0, 0.5});
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 2.0);
+}
+
+TEST(Csr, NormsMatchDenseDefinitions) {
+  const CsrMatrix a = pdd_real_sparse(30, 0.3, 17);
+  const DenseMatrix ad = DenseMatrix::from_csr(a);
+  real_t inf = 0.0, one = 0.0, fro = 0.0;
+  for (index_t i = 0; i < 30; ++i) {
+    real_t row = 0.0;
+    for (index_t j = 0; j < 30; ++j) row += std::abs(ad(i, j));
+    inf = std::max(inf, row);
+  }
+  for (index_t j = 0; j < 30; ++j) {
+    real_t col = 0.0;
+    for (index_t i = 0; i < 30; ++i) col += std::abs(ad(i, j));
+    one = std::max(one, col);
+  }
+  for (index_t i = 0; i < 30; ++i) {
+    for (index_t j = 0; j < 30; ++j) fro += ad(i, j) * ad(i, j);
+  }
+  EXPECT_NEAR(a.norm_inf(), inf, 1e-12);
+  EXPECT_NEAR(a.norm_one(), one, 1e-12);
+  EXPECT_NEAR(a.norm_frobenius(), std::sqrt(fro), 1e-12);
+}
+
+TEST(Csr, SymmetryDetection) {
+  const CsrMatrix lap = laplace_2d(8);
+  EXPECT_TRUE(lap.is_symmetric());
+  EXPECT_DOUBLE_EQ(lap.symmetry_score(), 1.0);
+  const CsrMatrix asym = pdd_real_sparse(30, 0.2, 19);
+  EXPECT_FALSE(asym.is_symmetric());
+  EXPECT_LT(asym.symmetry_score(), 1.0);
+  EXPECT_GE(asym.symmetry_score(), 0.0);
+}
+
+TEST(Csr, DroppedKeepsDiagonal) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 1e-12);
+  coo.add(0, 1, 0.5);
+  coo.add(1, 1, 2.0);
+  const CsrMatrix a = CsrMatrix::from_coo(std::move(coo));
+  const CsrMatrix d = a.dropped(1e-6);
+  EXPECT_DOUBLE_EQ(d.at(0, 0), 1e-12);  // diagonal survives the threshold
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 0.5);
+}
+
+TEST(Csr, ValidationRejectsBadStructure) {
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1}, {0}, {1.0}), Error);        // bad row_ptr size
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1, 1}, {5}, {1.0}), Error);     // col out of range
+  EXPECT_THROW(CsrMatrix(1, 2, {0, 2}, {1, 0}, {1.0, 2.0}), Error);  // unsorted
+}
+
+TEST(Mmio, RoundTripGeneral) {
+  const CsrMatrix a = pdd_real_sparse(25, 0.2, 23);
+  const std::string path = "/tmp/mcmi_test_roundtrip.mtx";
+  write_matrix_market(a, path);
+  const CsrMatrix b = read_matrix_market(path);
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(a.at(i, j), b.at(i, j), 1e-15);
+    }
+  }
+}
+
+TEST(Mmio, ReadsSymmetricStorage) {
+  const std::string path = "/tmp/mcmi_test_sym.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real symmetric\n";
+    out << "% comment line\n";
+    out << "3 3 4\n";
+    out << "1 1 2.0\n2 1 -1.0\n2 2 2.0\n3 3 1.5\n";
+  }
+  const CsrMatrix a = read_matrix_market(path);
+  EXPECT_EQ(a.nnz(), 5);  // off-diagonal expanded
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+  EXPECT_TRUE(a.is_symmetric());
+}
+
+TEST(Mmio, RejectsGarbage) {
+  const std::string path = "/tmp/mcmi_test_bad.mtx";
+  {
+    std::ofstream out(path);
+    out << "not a matrix market file\n";
+  }
+  EXPECT_THROW(read_matrix_market(path), Error);
+  EXPECT_THROW(read_matrix_market("/nonexistent/file.mtx"), Error);
+}
+
+TEST(VectorOps, DotAxpyNorms) {
+  std::vector<real_t> a = {1.0, 2.0, 3.0};
+  std::vector<real_t> b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(b), 6.0);
+  axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[0], 6.0);
+  xpby(a, 0.5, b);
+  EXPECT_DOUBLE_EQ(b[0], 4.0);
+  scale(2.0, a);
+  EXPECT_DOUBLE_EQ(a[2], 6.0);
+  EXPECT_DOUBLE_EQ(subtract(a, a)[1], 0.0);
+}
+
+/// Property sweep: random matrices of several densities keep algebraic
+/// identities (A^T)^T = A and (A+A)^T = 2 A^T.
+class SparseProperty : public ::testing::TestWithParam<real_t> {};
+
+TEST_P(SparseProperty, TransposeInvolution) {
+  const CsrMatrix a = pdd_real_sparse(35, GetParam(), 29);
+  const CsrMatrix att = a.transpose().transpose();
+  ASSERT_EQ(att.nnz(), a.nnz());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(att.at(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST_P(SparseProperty, AdditionTransposeCommute) {
+  const CsrMatrix a = pdd_real_sparse(35, GetParam(), 31);
+  const CsrMatrix lhs = CsrMatrix::add(1.0, a, 1.0, a).transpose();
+  const CsrMatrix rhs =
+      CsrMatrix::add(2.0, a.transpose(), 0.0, a.transpose());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(lhs.at(i, j), rhs.at(i, j), 1e-13);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, SparseProperty,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4));
+
+}  // namespace
+}  // namespace mcmi

@@ -1,0 +1,176 @@
+// Tests for src/stats: normal distribution functions, Wilson intervals
+// against worked examples, summaries and calibration machinery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "stats/calibration.hpp"
+#include "stats/normal.hpp"
+#include "stats/summary.hpp"
+#include "stats/wilson.hpp"
+
+namespace mcmi {
+namespace {
+
+TEST(Normal, PdfKnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_NEAR(normal_pdf(-1.0), normal_pdf(1.0), 1e-16);
+}
+
+TEST(Normal, CdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.959963984540054), 0.025, 1e-12);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(Normal, QuantileInvertsCdf) {
+  for (real_t p : {0.001, 0.025, 0.1, 0.5, 0.68, 0.9, 0.975, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-12) << "p=" << p;
+  }
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_THROW(normal_quantile(0.0), Error);
+  EXPECT_THROW(normal_quantile(1.0), Error);
+}
+
+TEST(Wilson, WorkedExample) {
+  // Classic textbook case: 9 successes in 10 trials at 95%:
+  // Wilson interval ~ (0.596, 0.982).
+  const Interval ci = wilson_interval(0.9, 10, 0.95);
+  EXPECT_NEAR(ci.low, 0.596, 0.005);
+  EXPECT_NEAR(ci.high, 0.982, 0.005);
+}
+
+TEST(Wilson, BoundsStayInUnitInterval) {
+  const Interval lo = wilson_interval(0.0, 5, 0.99);
+  const Interval hi = wilson_interval(1.0, 5, 0.99);
+  EXPECT_GE(lo.low, 0.0);
+  EXPECT_GT(lo.high, 0.0);  // nonzero upper bound even at p_hat = 0
+  EXPECT_LT(hi.low, 1.0);
+  EXPECT_LE(hi.high, 1.0);
+}
+
+TEST(Wilson, ShrinksWithMoreTrials) {
+  const Interval small = wilson_interval(0.5, 10);
+  const Interval large = wilson_interval(0.5, 1000);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+TEST(Wilson, RejectsBadInput) {
+  EXPECT_THROW(wilson_interval(0.5, 0), Error);
+  EXPECT_THROW(wilson_interval(1.5, 10), Error);
+  EXPECT_THROW(wilson_interval(0.5, 10, 1.0), Error);
+}
+
+TEST(Summary, MeanAndStd) {
+  const std::vector<real_t> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(sample_std(xs), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(sample_std({3.0}), 0.0);
+  EXPECT_THROW(mean({}), Error);
+}
+
+TEST(Summary, QuantileInterpolation) {
+  const std::vector<real_t> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(Summary, BoxStatsFiveNumbers) {
+  std::vector<real_t> xs;
+  for (int i = 1; i <= 11; ++i) xs.push_back(static_cast<real_t>(i));
+  const BoxStats b = box_stats(xs);
+  EXPECT_DOUBLE_EQ(b.median, 6.0);
+  EXPECT_DOUBLE_EQ(b.q1, 3.5);
+  EXPECT_DOUBLE_EQ(b.q3, 8.5);
+  EXPECT_DOUBLE_EQ(b.minimum, 1.0);
+  EXPECT_DOUBLE_EQ(b.maximum, 11.0);
+  EXPECT_TRUE(b.outliers.empty());
+  EXPECT_DOUBLE_EQ(b.whisker_low, 1.0);
+  EXPECT_DOUBLE_EQ(b.whisker_high, 11.0);
+}
+
+TEST(Summary, BoxStatsFlagsOutliers) {
+  std::vector<real_t> xs = {1.0, 2.0, 2.5, 3.0, 3.5, 4.0, 100.0};
+  const BoxStats b = box_stats(xs);
+  ASSERT_EQ(b.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.outliers[0], 100.0);
+  EXPECT_LT(b.whisker_high, 100.0);
+}
+
+TEST(Calibration, PaperLevels) {
+  const auto taus = paper_confidence_levels();
+  ASSERT_EQ(taus.size(), 6u);
+  EXPECT_DOUBLE_EQ(taus.front(), 0.50);
+  EXPECT_DOUBLE_EQ(taus.back(), 0.99);
+}
+
+TEST(Calibration, PerfectlyCalibratedGaussianCoversAtNominalRate) {
+  // Observations drawn from N(mu_j, sigma_j^2) with the model predicting
+  // exactly (mu_j, sigma_j): empirical coverage must track tau.
+  Xoshiro256 rng = make_stream(31);
+  std::vector<CalibrationSample> samples;
+  for (int j = 0; j < 5000; ++j) {
+    const real_t mu = uniform(rng, -2.0, 2.0);
+    const real_t sigma = uniform(rng, 0.2, 1.5);
+    samples.push_back({normal(rng, mu, sigma), mu, sigma});
+  }
+  const auto curve = calibration_curve(samples);
+  for (const CoveragePoint& p : curve) {
+    EXPECT_NEAR(p.observed, p.expected, 0.03) << "tau=" << p.expected;
+    EXPECT_LE(p.wilson.low, p.observed);
+    EXPECT_GE(p.wilson.high, p.observed);
+  }
+  EXPECT_LT(calibration_error(curve), 0.03);
+}
+
+TEST(Calibration, OverconfidentModelUnderCovers) {
+  // Model reports sigma 5x too small: observed coverage falls below tau —
+  // the Pre-BO signature in Figure 1.
+  Xoshiro256 rng = make_stream(37);
+  std::vector<CalibrationSample> samples;
+  for (int j = 0; j < 3000; ++j) {
+    samples.push_back({normal(rng, 0.0, 1.0), 0.0, 0.2});
+  }
+  const auto curve = calibration_curve(samples);
+  for (const CoveragePoint& p : curve) {
+    EXPECT_LT(p.observed, p.expected);
+  }
+}
+
+TEST(Calibration, PredictionWithinEmpiricalCi) {
+  const std::vector<real_t> replicates = {1.0, 1.1, 0.9, 1.05, 0.95};
+  EXPECT_TRUE(prediction_within_empirical_ci(1.0, replicates, 0.99));
+  EXPECT_FALSE(prediction_within_empirical_ci(5.0, replicates, 0.99));
+  // Degenerate replicates: only the exact value is inside.
+  EXPECT_TRUE(prediction_within_empirical_ci(2.0, {2.0, 2.0}, 0.99));
+  EXPECT_FALSE(prediction_within_empirical_ci(2.1, {2.0, 2.0}, 0.99));
+}
+
+/// Property sweep: the Wilson interval always contains the point estimate.
+class WilsonProperty
+    : public ::testing::TestWithParam<std::pair<real_t, index_t>> {};
+
+TEST_P(WilsonProperty, ContainsPointEstimate) {
+  const auto [p_hat, n] = GetParam();
+  const Interval ci = wilson_interval(p_hat, n);
+  EXPECT_LE(ci.low, p_hat + 1e-12);
+  EXPECT_GE(ci.high, p_hat - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WilsonProperty,
+    ::testing::Values(std::make_pair(0.0, index_t{3}),
+                      std::make_pair(0.1, index_t{10}),
+                      std::make_pair(0.5, index_t{640}),
+                      std::make_pair(0.93, index_t{640}),
+                      std::make_pair(1.0, index_t{25})));
+
+}  // namespace
+}  // namespace mcmi
