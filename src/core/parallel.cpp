@@ -6,6 +6,8 @@ namespace mcmi {
 
 int max_threads() { return omp_get_max_threads(); }
 
+int thread_id() { return omp_get_thread_num(); }
+
 void parallel_for(index_t begin, index_t end,
                   const std::function<void(index_t)>& body, index_t grain) {
   if (end <= begin) return;

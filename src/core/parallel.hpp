@@ -20,6 +20,10 @@ namespace mcmi {
 /// Number of OpenMP threads the process will use.
 int max_threads();
 
+/// Index of the calling thread within the current parallel region
+/// (0 outside any region).
+int thread_id();
+
 /// Run body(i) for i in [begin, end) with OpenMP dynamic scheduling.
 /// `grain` controls the chunk size handed to each thread.
 void parallel_for(index_t begin, index_t end,

@@ -28,6 +28,11 @@ class TextTable {
   /// condition numbers).
   static std::string sci(real_t value, int precision = 1);
   static std::string fmt(index_t value);
+  /// Disambiguates 64-bit counters (e.g. McmcBuildInfo::total_transitions)
+  /// that would otherwise convert equally well to real_t and index_t.
+  static std::string fmt(long long value) {
+    return fmt(static_cast<index_t>(value));
+  }
 
   /// Render the table with aligned columns.
   void print(std::ostream& os) const;

@@ -48,20 +48,16 @@ SolveResult solve_bicgstab(const CsrMatrix& a, const std::vector<real_t>& b,
       pvec = r;
     } else {
       const real_t beta = (rho_next / rho) * (alpha / omega);
-      // p = r + beta (p - omega v)
-      for (index_t i = 0; i < n; ++i) {
-        pvec[i] = r[i] + beta * (pvec[i] - omega * v[i]);
-      }
+      bicgstab_p_update(r, beta, omega, v, pvec);
     }
     rho = rho_next;
     apply_pa(pvec, v);
     const real_t rhv = dot(r_hat, v);
     if (rhv == 0.0) break;
     alpha = rho / rhv;
-    s = r;
-    axpy(-alpha, v, s);
     result.iterations = it + 1;
-    real_t rel = norm2(s) / norm_pb;
+    // s = r - alpha v with its norm in one pass.
+    real_t rel = sub_scaled_norm(r, alpha, v, s) / norm_pb;
     if (rel < opt.tolerance) {
       axpy(alpha, pvec, x);
       result.residual = rel;
@@ -70,15 +66,14 @@ SolveResult solve_bicgstab(const CsrMatrix& a, const std::vector<real_t>& b,
       return result;
     }
     apply_pa(s, t);
-    const real_t tt = dot(t, t);
+    real_t tt, ts;
+    dot_dot(t, t, s, tt, ts);  // <t,t> and <t,s> fused
     if (tt == 0.0) break;
-    omega = dot(t, s) / tt;
+    omega = ts / tt;
     if (omega == 0.0) break;
-    axpy(alpha, pvec, x);
-    axpy(omega, s, x);
-    r = s;
-    axpy(-omega, t, r);
-    rel = norm2(r) / norm_pb;
+    axpy_pair(alpha, pvec, omega, s, x);  // x += alpha p + omega s
+    // r = s - omega t with its norm in one pass.
+    rel = sub_scaled_norm(s, omega, t, r) / norm_pb;
     result.residual = rel;
     if (opt.record_history) result.history.push_back(rel);
     if (rel < opt.tolerance) {

@@ -38,12 +38,12 @@ SolveResult solve_cg(const CsrMatrix& a, const std::vector<real_t>& b,
     const real_t qaq = dot(q, aq);
     if (qaq <= 0.0) break;  // lost positive definiteness: report divergence
     const real_t alpha = rho / qaq;
-    axpy(alpha, q, x);
-    axpy(-alpha, aq, r);
+    axpy2(alpha, q, aq, x, r);  // x += alpha q, r -= alpha aq, one pass
     p.apply(r, z);
-    const real_t rho_next = dot(r, z);
+    real_t rho_next, norm_z;
+    dot_norm2(r, z, rho_next, norm_z);  // <r,z> and ||z|| fused
     result.iterations = it + 1;
-    const real_t rel = norm2(z) / norm_pb;
+    const real_t rel = norm_z / norm_pb;
     result.residual = rel;
     if (opt.record_history) result.history.push_back(rel);
     if (rel < opt.tolerance) {

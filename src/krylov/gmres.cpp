@@ -68,7 +68,7 @@ SolveResult solve_gmres(const CsrMatrix& a, const std::vector<real_t>& b,
       result.converged = true;
       return result;
     }
-    for (index_t i = 0; i < n; ++i) basis[0][i] = pr[i] / beta;
+    scale_into(1.0 / beta, pr, basis[0]);
     std::fill(g.begin(), g.end(), 0.0);
     g[0] = beta;
 
@@ -83,9 +83,7 @@ SolveResult solve_gmres(const CsrMatrix& a, const std::vector<real_t>& b,
       }
       const real_t hk1 = norm2(basis[k + 1]);
       h[(k + 1) * m + k] = hk1;
-      if (hk1 > 0.0) {
-        for (index_t i = 0; i < n; ++i) basis[k + 1][i] /= hk1;
-      }
+      if (hk1 > 0.0) scale(1.0 / hk1, basis[k + 1]);
       // Apply previous Givens rotations to the new column.
       for (index_t j = 0; j < k; ++j) {
         const real_t t = cs[j] * h[j * m + k] + sn[j] * h[(j + 1) * m + k];

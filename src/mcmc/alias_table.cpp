@@ -1,0 +1,67 @@
+#include "mcmc/alias_table.hpp"
+
+#include "core/error.hpp"
+
+namespace mcmi {
+
+AliasTable AliasTable::build(const std::vector<index_t>& row_ptr,
+                             const std::vector<real_t>& weights) {
+  MCMI_CHECK(!row_ptr.empty(), "alias table needs a row layout");
+  const std::size_t nnz = weights.size();
+  MCMI_CHECK(static_cast<std::size_t>(row_ptr.back()) == nnz,
+             "alias table: row_ptr/weights mismatch");
+
+  AliasTable t;
+  t.prob_.assign(nnz, 1.0);
+  t.alias_.resize(nnz);
+  for (std::size_t p = 0; p < nnz; ++p) {
+    t.alias_[p] = static_cast<index_t>(p);  // self-alias: always safe
+  }
+
+  // Vose's stable two-stack construction, row by row.  Scratch is reused
+  // across rows; both stacks hold slot indices scaled to mean weight 1.
+  std::vector<real_t> scaled;
+  std::vector<index_t> small;
+  std::vector<index_t> large;
+  const index_t rows = static_cast<index_t>(row_ptr.size()) - 1;
+  for (index_t u = 0; u < rows; ++u) {
+    const index_t begin = row_ptr[u];
+    const index_t end = row_ptr[u + 1];
+    const index_t width = end - begin;
+    if (width <= 1) continue;  // empty or single-slot row: prob 1, self-alias
+
+    real_t sum = 0.0;
+    for (index_t p = begin; p < end; ++p) {
+      MCMI_CHECK(weights[p] >= 0.0, "alias table: negative weight");
+      sum += weights[p];
+    }
+    if (sum <= 0.0) continue;  // all-zero row: degenerate uniform
+
+    scaled.resize(static_cast<std::size_t>(width));
+    small.clear();
+    large.clear();
+    const real_t scale = static_cast<real_t>(width) / sum;
+    for (index_t k = 0; k < width; ++k) {
+      scaled[k] = weights[begin + k] * scale;
+      (scaled[k] < 1.0 ? small : large).push_back(k);
+    }
+    while (!small.empty() && !large.empty()) {
+      const index_t s = small.back();
+      small.pop_back();
+      const index_t l = large.back();
+      t.prob_[begin + s] = scaled[s];
+      t.alias_[begin + s] = begin + l;
+      scaled[l] -= 1.0 - scaled[s];
+      if (scaled[l] < 1.0) {
+        large.pop_back();
+        small.push_back(l);
+      }
+    }
+    // Leftovers (either stack) are exactly 1 up to rounding: accept always.
+    for (index_t s : small) t.prob_[begin + s] = 1.0;
+    for (index_t l : large) t.prob_[begin + l] = 1.0;
+  }
+  return t;
+}
+
+}  // namespace mcmi

@@ -1,0 +1,27 @@
+#include "mcmc/csr_arena.hpp"
+
+namespace mcmi {
+
+CsrMatrix assemble_csr_from_arenas(index_t n,
+                                   const std::vector<RowSlice>& rows,
+                                   const std::vector<RowArena>& arenas) {
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t i = 0; i < n; ++i) {
+    row_ptr[i + 1] = row_ptr[i] + rows[i].count;
+  }
+  std::vector<index_t> col_idx(static_cast<std::size_t>(row_ptr[n]));
+  std::vector<real_t> values(static_cast<std::size_t>(row_ptr[n]));
+#pragma omp parallel for schedule(static, 256)
+  for (index_t i = 0; i < n; ++i) {
+    const RowSlice& slice = rows[i];
+    const RowArena& arena = arenas[static_cast<std::size_t>(slice.arena)];
+    std::copy_n(arena.cols.begin() + slice.offset, slice.count,
+                col_idx.begin() + row_ptr[i]);
+    std::copy_n(arena.vals.begin() + slice.offset, slice.count,
+                values.begin() + row_ptr[i]);
+  }
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+}  // namespace mcmi

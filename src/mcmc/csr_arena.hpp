@@ -1,0 +1,67 @@
+#pragma once
+// Arena-based CSR row assembly shared by the MCMC inverters.
+//
+// Each worker thread appends its finished rows to a private flat arena
+// (cols/vals grow amortised — no per-row heap vectors), records where every
+// row landed, and a prefix-sum plus parallel copy concatenates the arenas
+// into the final CSR buffers.  Rows enter the arena in sorted-column order,
+// so no trailing re-sort pass is needed; the filling-factor truncation runs
+// in the arena with an nth_element over caller-owned index scratch.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace mcmi {
+
+/// Per-thread append-only row storage.
+struct RowArena {
+  std::vector<index_t> cols;
+  std::vector<real_t> vals;
+};
+
+/// Where one assembled row lives: (arena index, offset, length).
+struct RowSlice {
+  std::int32_t arena = 0;
+  index_t offset = 0;
+  index_t count = 0;
+};
+
+/// Keep the `budget` largest-|value| entries of the row occupying
+/// [base, base+count) of `arena`, preserving sorted column order, and shrink
+/// the arena back down.  `order` is reusable caller scratch.  The selection
+/// (ties included) matches nth_element over the emission order, which depends
+/// only on the row content — never on thread scheduling.
+inline index_t truncate_row_to_budget(RowArena& arena, index_t base,
+                                      index_t count, index_t budget,
+                                      std::vector<index_t>& order) {
+  if (count <= budget) return count;
+  order.resize(static_cast<std::size_t>(count));
+  for (index_t q = 0; q < count; ++q) order[q] = q;
+  std::nth_element(order.begin(), order.begin() + budget - 1, order.end(),
+                   [&](index_t x, index_t y) {
+                     return std::abs(arena.vals[base + x]) >
+                            std::abs(arena.vals[base + y]);
+                   });
+  order.resize(static_cast<std::size_t>(budget));
+  std::sort(order.begin(), order.end());  // restore ascending column order
+  for (index_t q = 0; q < budget; ++q) {  // order[q] >= q: forward copy safe
+    arena.cols[base + q] = arena.cols[base + order[q]];
+    arena.vals[base + q] = arena.vals[base + order[q]];
+  }
+  arena.cols.resize(static_cast<std::size_t>(base + budget));
+  arena.vals.resize(static_cast<std::size_t>(base + budget));
+  return budget;
+}
+
+/// Phase 2 of the two-phase assembly: prefix-sum the per-row lengths into a
+/// CSR row_ptr and copy every arena row into the final buffers in parallel.
+CsrMatrix assemble_csr_from_arenas(index_t n,
+                                   const std::vector<RowSlice>& rows,
+                                   const std::vector<RowArena>& arenas);
+
+}  // namespace mcmi

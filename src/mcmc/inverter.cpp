@@ -9,67 +9,21 @@
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "core/timer.hpp"
+#include "mcmc/csr_arena.hpp"
+#include "mcmc/walk_kernel.hpp"
 
 namespace mcmi {
 
 namespace {
 
-/// The iteration matrix B = I - D^-1 A_a in a walk-friendly layout:
-/// per state, sorted successor states with signed values, cumulative
-/// |B| weights for inverse-CDF sampling, and the row absolute sum.
-struct WalkKernel {
-  std::vector<index_t> row_ptr;
-  std::vector<index_t> succ;      ///< successor state per transition
-  std::vector<real_t> value;      ///< signed B_uv
-  std::vector<real_t> cum_abs;    ///< running sum of |B_uv| within the row
-  std::vector<real_t> row_sum;    ///< S_u = sum_v |B_uv|
-  std::vector<real_t> inv_diag;   ///< 1 / d_u of the perturbed matrix
-  real_t norm_inf = 0.0;          ///< max_u S_u
-};
-
-WalkKernel build_kernel(const CsrMatrix& a, real_t alpha) {
-  const index_t n = a.rows();
-  const auto& row_ptr = a.row_ptr();
-  const auto& col_idx = a.col_idx();
-  const auto& values = a.values();
-
-  WalkKernel k;
-  k.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
-  k.row_sum.assign(static_cast<std::size_t>(n), 0.0);
-  k.inv_diag.assign(static_cast<std::size_t>(n), 0.0);
-  k.succ.reserve(values.size());
-  k.value.reserve(values.size());
-  k.cum_abs.reserve(values.size());
-
-  for (index_t i = 0; i < n; ++i) {
-    const real_t aii = a.at(i, i);
-    MCMI_CHECK(aii != 0.0,
-               "MCMCMI requires a nonzero diagonal; row " << i << " has none");
-    // Perturbed diagonal d_i = a_ii + alpha * |a_ii| keeps the sign of a_ii
-    // while increasing dominance, so the Jacobi iteration matrix shrinks.
-    const real_t d = aii + std::copysign(alpha * std::abs(aii), aii);
-    k.inv_diag[i] = 1.0 / d;
-    real_t cum = 0.0;
-    for (index_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
-      const index_t j = col_idx[p];
-      if (j == i) continue;  // B has zero diagonal by construction
-      const real_t b = -values[p] / d;
-      if (b == 0.0) continue;
-      k.succ.push_back(j);
-      k.value.push_back(b);
-      cum += std::abs(b);
-      k.cum_abs.push_back(cum);
-    }
-    k.row_sum[i] = cum;
-    k.row_ptr[i + 1] = static_cast<index_t>(k.succ.size());
-    k.norm_inf = std::max(k.norm_inf, cum);
-  }
-  return k;
-}
-
 /// One (row, chain) random walk: accumulates W contributions into `accum`
 /// (dense workspace) and records freshly touched states in `touched`.
-/// Returns the number of transitions consumed.
+/// Returns the number of transitions consumed.  The successor draw is the
+/// only difference between the two sampling methods: one RNG word through
+/// the alias table versus a binary search over cumulative weights (the
+/// reference path, which consumes the RNG stream exactly like the original
+/// implementation and therefore reproduces its output bit for bit).
+template <SamplingMethod method>
 index_t run_walk(const WalkKernel& k, index_t start, index_t cutoff,
                  real_t delta, Xoshiro256& rng, std::vector<real_t>& accum,
                  std::vector<index_t>& touched) {
@@ -84,16 +38,20 @@ index_t run_walk(const WalkKernel& k, index_t start, index_t cutoff,
     const index_t begin = k.row_ptr[state];
     const index_t end = k.row_ptr[state + 1];
     if (begin == end) break;  // absorbing state: no off-diagonal mass
-    const real_t s = k.row_sum[state];
-    // Inverse-CDF sampling of the successor under p_uv = |B_uv| / S_u.
-    const real_t target = uniform01(rng) * s;
-    const auto first = k.cum_abs.begin() + begin;
-    const auto last = k.cum_abs.begin() + end;
-    auto it = std::upper_bound(first, last, target);
-    if (it == last) --it;  // guard the rounding edge target ~= S_u
-    const index_t p = static_cast<index_t>(it - k.cum_abs.begin());
-    // Weight update W *= B_uv / p_uv = sign(B_uv) * S_u.
-    weight *= std::copysign(s, k.value[p]);
+    index_t p;
+    if constexpr (method == SamplingMethod::kAlias) {
+      p = k.alias.sample(begin, end, rng());
+    } else {
+      // Inverse-CDF sampling of the successor under p_uv = |B_uv| / S_u.
+      const real_t target = uniform01(rng) * k.row_sum[state];
+      const auto first = k.cum_abs.begin() + begin;
+      const auto last = k.cum_abs.begin() + end;
+      auto it = std::upper_bound(first, last, target);
+      if (it == last) --it;  // guard the rounding edge target ~= S_u
+      p = static_cast<index_t>(it - k.cum_abs.begin());
+    }
+    // Weight update W *= B_uv / p_uv = sign(B_uv) * S_u, precomputed.
+    weight *= k.signed_sum[p];
     state = k.succ[p];
     ++steps;
     if (std::abs(weight) < delta) break;  // truncation criterion
@@ -124,7 +82,18 @@ McmcInverter::McmcInverter(const CsrMatrix& a, McmcParams params,
 CsrMatrix McmcInverter::compute() {
   WallTimer timer;
   const index_t n = a_.rows();
-  const WalkKernel kernel = build_kernel(a_, params_.alpha);
+
+  // The kernel is a pure function of (A, alpha): reuse it across trials that
+  // share alpha when the caller attached a cache.
+  std::shared_ptr<const WalkKernel> cached;
+  WalkKernel local;
+  bool cache_hit = false;
+  if (kernel_cache_ != nullptr) {
+    cached = kernel_cache_->get(a_, params_.alpha, &cache_hit);
+  } else {
+    local = build_walk_kernel(a_, params_.alpha);
+  }
+  const WalkKernel& kernel = cached ? *cached : local;
 
   info_ = McmcBuildInfo{};
   info_.b_norm_inf = kernel.norm_inf;
@@ -132,6 +101,7 @@ CsrMatrix McmcInverter::compute() {
   info_.chains_per_row = chains_for_eps(params_.eps);
   info_.walk_cutoff = walk_length_for_delta(params_.delta, kernel.norm_inf,
                                             options_.walk_cap);
+  info_.kernel_cache_hit = cache_hit;
 
   // Per-row nonzero budget from the filling factor: the paper caps the
   // preconditioner at filling_factor * phi(A), i.e. on average
@@ -144,10 +114,14 @@ CsrMatrix McmcInverter::compute() {
   const index_t chains = info_.chains_per_row;
   const index_t cutoff = info_.walk_cutoff;
   const real_t inv_chains = 1.0 / static_cast<real_t>(chains);
+  const real_t threshold = options_.truncation_threshold;
 
-  // Row results assembled independently, then concatenated.
-  std::vector<std::vector<index_t>> row_cols(static_cast<std::size_t>(n));
-  std::vector<std::vector<real_t>> row_vals(static_cast<std::size_t>(n));
+  // Phase 1: every thread assembles its rows into a private arena and
+  // records where each row landed; phase 2 prefix-sums the lengths and
+  // copies the slices into the final CSR buffers.  Rows enter the arena with
+  // sorted columns, so no trailing re-sort pass is needed.
+  std::vector<RowArena> arenas(static_cast<std::size_t>(max_threads()));
+  std::vector<RowSlice> row_slices(static_cast<std::size_t>(n));
   std::atomic<long long> transitions{0};
 
   // The rank loop mirrors the paper's 2-rank MPI decomposition; inside each
@@ -159,8 +133,11 @@ CsrMatrix McmcInverter::compute() {
     const index_t end = partition.end(rank);
 #pragma omp parallel
     {
+      const int tid = thread_id();
+      RowArena& arena = arenas[static_cast<std::size_t>(tid)];
       std::vector<real_t> accum(static_cast<std::size_t>(n), 0.0);
       std::vector<index_t> touched;
+      std::vector<index_t> order;
       long long local_transitions = 0;
 #pragma omp for schedule(dynamic, 8)
       for (index_t i = begin; i < end; ++i) {
@@ -168,84 +145,48 @@ CsrMatrix McmcInverter::compute() {
         for (index_t c = 0; c < chains; ++c) {
           Xoshiro256 rng = make_stream(options_.seed, static_cast<u64>(i),
                                        static_cast<u64>(c));
-          local_transitions += run_walk(kernel, i, cutoff, params_.delta, rng,
-                                        accum, touched);
+          local_transitions +=
+              options_.sampling == SamplingMethod::kAlias
+                  ? run_walk<SamplingMethod::kAlias>(kernel, i, cutoff,
+                                                     params_.delta, rng, accum,
+                                                     touched)
+                  : run_walk<SamplingMethod::kInverseCdf>(kernel, i, cutoff,
+                                                          params_.delta, rng,
+                                                          accum, touched);
         }
         // Integer weights can cancel to exactly zero and re-accumulate, in
         // which case a state enters `touched` twice — deduplicate before
-        // emission so the CSR row stays well formed.
+        // emission so the CSR row stays well formed.  The sort also fixes the
+        // emitted column order.
         std::sort(touched.begin(), touched.end());
         touched.erase(std::unique(touched.begin(), touched.end()),
                       touched.end());
-        // Average over chains and map M -> P = M D^-1 (column scaling).
-        std::vector<index_t>& cols = row_cols[i];
-        std::vector<real_t>& vals = row_vals[i];
-        cols.reserve(touched.size());
-        vals.reserve(touched.size());
+        // Average over chains and map M -> P = M D^-1 (column scaling),
+        // writing survivors straight into the arena in column order.
+        const index_t base = static_cast<index_t>(arena.cols.size());
         for (index_t j : touched) {
           const real_t pij = accum[j] * inv_chains * kernel.inv_diag[j];
           accum[j] = 0.0;
-          if (j != i && std::abs(pij) <= options_.truncation_threshold) {
+          if (j != i && std::abs(pij) <= threshold) {
             continue;  // truncation threshold (diagonal always kept)
           }
-          cols.push_back(j);
-          vals.push_back(pij);
+          arena.cols.push_back(j);
+          arena.vals.push_back(pij);
         }
         // Filling-factor cap: keep the row_budget largest-magnitude entries.
-        if (static_cast<index_t>(cols.size()) > row_budget) {
-          std::vector<index_t> order(cols.size());
-          for (std::size_t q = 0; q < order.size(); ++q) {
-            order[q] = static_cast<index_t>(q);
-          }
-          std::nth_element(order.begin(), order.begin() + row_budget - 1,
-                           order.end(), [&](index_t x, index_t y) {
-                             return std::abs(vals[x]) > std::abs(vals[y]);
-                           });
-          order.resize(static_cast<std::size_t>(row_budget));
-          std::vector<index_t> kept_cols;
-          std::vector<real_t> kept_vals;
-          kept_cols.reserve(order.size());
-          kept_vals.reserve(order.size());
-          for (index_t q : order) {
-            kept_cols.push_back(cols[q]);
-            kept_vals.push_back(vals[q]);
-          }
-          cols = std::move(kept_cols);
-          vals = std::move(kept_vals);
-        }
+        const index_t kept = truncate_row_to_budget(
+            arena, base, static_cast<index_t>(arena.cols.size()) - base,
+            row_budget, order);
+        row_slices[i] = {tid, base, kept};
       }
       transitions += local_transitions;
     }
   }
 
-  // Assemble CSR (rows must have sorted columns).
-  std::vector<index_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
-  for (index_t i = 0; i < n; ++i) {
-    row_ptr[i + 1] = row_ptr[i] + static_cast<index_t>(row_cols[i].size());
-  }
-  std::vector<index_t> col_idx(static_cast<std::size_t>(row_ptr[n]));
-  std::vector<real_t> values(static_cast<std::size_t>(row_ptr[n]));
-#pragma omp parallel for schedule(dynamic, 32)
-  for (index_t i = 0; i < n; ++i) {
-    std::vector<index_t> order(row_cols[i].size());
-    for (std::size_t q = 0; q < order.size(); ++q) {
-      order[q] = static_cast<index_t>(q);
-    }
-    std::sort(order.begin(), order.end(), [&](index_t x, index_t y) {
-      return row_cols[i][x] < row_cols[i][y];
-    });
-    index_t pos = row_ptr[i];
-    for (index_t q : order) {
-      col_idx[pos] = row_cols[i][q];
-      values[pos] = row_vals[i][q];
-      ++pos;
-    }
-  }
-
-  info_.total_transitions = static_cast<index_t>(transitions.load());
+  info_.total_transitions = transitions.load();
+  CsrMatrix p = assemble_csr_from_arenas(n, row_slices, arenas);
   info_.build_seconds = timer.seconds();
-  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
-                   std::move(values));
+  return p;
 }
 
 std::unique_ptr<SparseApproximateInverse> McmcInverter::build_preconditioner(

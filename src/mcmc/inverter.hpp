@@ -26,10 +26,17 @@
 
 #include "core/types.hpp"
 #include "mcmc/params.hpp"
+#include "mcmc/walk_kernel.hpp"
 #include "precond/sparse_precond.hpp"
 #include "sparse/csr.hpp"
 
 namespace mcmi {
+
+/// How the walk draws its successor under p_uv = |B_uv| / S_u.
+enum class SamplingMethod {
+  kAlias,       ///< Walker alias table: one draw + one compare per step
+  kInverseCdf,  ///< binary search over cumulative weights (reference path)
+};
 
 /// Knobs that the paper fixes matrix-independently (§4.1).
 struct McmcOptions {
@@ -38,6 +45,7 @@ struct McmcOptions {
   index_t walk_cap = 256;         ///< hard safety cap on walk length
   index_t ranks = 2;              ///< rank-like chain partition (paper: 2 MPI)
   u64 seed = 20250922;            ///< base RNG seed (arXiv date of the paper)
+  SamplingMethod sampling = SamplingMethod::kAlias;  ///< successor sampler
 };
 
 /// Diagnostics from a preconditioner build.
@@ -46,7 +54,8 @@ struct McmcBuildInfo {
   bool neumann_convergent = false;  ///< ||B||_inf < 1
   index_t chains_per_row = 0;     ///< N implied by eps
   index_t walk_cutoff = 0;        ///< T implied by delta (and the cap)
-  index_t total_transitions = 0;  ///< Markov-chain steps consumed
+  long long total_transitions = 0;  ///< Markov-chain steps consumed
+  bool kernel_cache_hit = false;  ///< walk kernel came from a WalkKernelCache
   real_t build_seconds = 0.0;
 };
 
@@ -62,6 +71,11 @@ class McmcInverter {
   /// Diagnostics of the most recent compute().
   [[nodiscard]] const McmcBuildInfo& info() const { return info_; }
 
+  /// Opt into kernel reuse: when set, the walk kernel (and its alias tables)
+  /// for (a, alpha) is fetched from / stored into `cache` instead of being
+  /// rebuilt.  The cache must outlive compute(); pass nullptr to detach.
+  void set_kernel_cache(WalkKernelCache* cache) { kernel_cache_ = cache; }
+
   /// One-call convenience: build P and wrap it as a preconditioner.
   static std::unique_ptr<SparseApproximateInverse> build_preconditioner(
       const CsrMatrix& a, const McmcParams& params,
@@ -72,6 +86,7 @@ class McmcInverter {
   McmcParams params_;
   McmcOptions options_;
   McmcBuildInfo info_;
+  WalkKernelCache* kernel_cache_ = nullptr;
 };
 
 }  // namespace mcmi

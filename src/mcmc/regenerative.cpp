@@ -5,8 +5,10 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "core/timer.hpp"
+#include "mcmc/csr_arena.hpp"
 
 namespace mcmi {
 
@@ -87,15 +89,21 @@ CsrMatrix RegenerativeInverter::compute() {
              options_.filling_factor * static_cast<real_t>(a_.nnz()) /
              static_cast<real_t>(n))));
 
-  std::vector<std::vector<index_t>> row_cols(static_cast<std::size_t>(n));
-  std::vector<std::vector<real_t>> row_vals(static_cast<std::size_t>(n));
+  // Arena-based two-phase assembly: rows land in per-thread arenas with
+  // sorted columns, then a prefix-sum + copy concatenates them (see
+  // csr_arena.hpp).
+  std::vector<RowArena> arenas(static_cast<std::size_t>(max_threads()));
+  std::vector<RowSlice> row_slices(static_cast<std::size_t>(n));
   std::atomic<long long> transitions{0};
   std::atomic<long long> regenerations{0};
 
 #pragma omp parallel
   {
+    const int tid = thread_id();
+    RowArena& arena = arenas[static_cast<std::size_t>(tid)];
     std::vector<real_t> accum(static_cast<std::size_t>(n), 0.0);
     std::vector<index_t> touched;
+    std::vector<index_t> order;
     long long local_transitions = 0;
     long long local_regens = 0;
 #pragma omp for schedule(dynamic, 8)
@@ -141,67 +149,29 @@ CsrMatrix RegenerativeInverter::compute() {
       std::sort(touched.begin(), touched.end());
       touched.erase(std::unique(touched.begin(), touched.end()),
                     touched.end());
-      std::vector<index_t>& cols = row_cols[i];
-      std::vector<real_t>& vals = row_vals[i];
       const real_t inv_chains = 1.0 / static_cast<real_t>(chains);
+      const index_t base = static_cast<index_t>(arena.cols.size());
       for (index_t j : touched) {
         const real_t pij = accum[j] * inv_chains * kernel.inv_diag[j];
         accum[j] = 0.0;
         if (j != i && std::abs(pij) <= options_.truncation_threshold) continue;
-        cols.push_back(j);
-        vals.push_back(pij);
+        arena.cols.push_back(j);
+        arena.vals.push_back(pij);
       }
-      if (static_cast<index_t>(cols.size()) > row_budget) {
-        std::vector<index_t> order(cols.size());
-        for (std::size_t q = 0; q < order.size(); ++q) {
-          order[q] = static_cast<index_t>(q);
-        }
-        std::nth_element(order.begin(), order.begin() + row_budget - 1,
-                         order.end(), [&](index_t x, index_t y) {
-                           return std::abs(vals[x]) > std::abs(vals[y]);
-                         });
-        order.resize(static_cast<std::size_t>(row_budget));
-        std::vector<index_t> kept_cols;
-        std::vector<real_t> kept_vals;
-        for (index_t q : order) {
-          kept_cols.push_back(cols[q]);
-          kept_vals.push_back(vals[q]);
-        }
-        cols = std::move(kept_cols);
-        vals = std::move(kept_vals);
-      }
+      const index_t kept = truncate_row_to_budget(
+          arena, base, static_cast<index_t>(arena.cols.size()) - base,
+          row_budget, order);
+      row_slices[i] = {tid, base, kept};
     }
     transitions += local_transitions;
     regenerations += local_regens;
   }
 
-  std::vector<index_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
-  for (index_t i = 0; i < n; ++i) {
-    row_ptr[i + 1] = row_ptr[i] + static_cast<index_t>(row_cols[i].size());
-  }
-  std::vector<index_t> col_idx(static_cast<std::size_t>(row_ptr[n]));
-  std::vector<real_t> values(static_cast<std::size_t>(row_ptr[n]));
-  for (index_t i = 0; i < n; ++i) {
-    std::vector<index_t> order(row_cols[i].size());
-    for (std::size_t q = 0; q < order.size(); ++q) {
-      order[q] = static_cast<index_t>(q);
-    }
-    std::sort(order.begin(), order.end(), [&](index_t x, index_t y) {
-      return row_cols[i][x] < row_cols[i][y];
-    });
-    index_t pos = row_ptr[i];
-    for (index_t q : order) {
-      col_idx[pos] = row_cols[i][q];
-      values[pos] = row_vals[i][q];
-      ++pos;
-    }
-  }
-
-  info_.total_transitions = static_cast<index_t>(transitions.load());
-  info_.total_regenerations = static_cast<index_t>(regenerations.load());
+  info_.total_transitions = transitions.load();
+  info_.total_regenerations = regenerations.load();
+  CsrMatrix p = assemble_csr_from_arenas(n, row_slices, arenas);
   info_.build_seconds = timer.seconds();
-  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
-                   std::move(values));
+  return p;
 }
 
 std::unique_ptr<SparseApproximateInverse>

@@ -35,8 +35,8 @@ struct RegenerativeOptions {
 
 struct RegenerativeBuildInfo {
   real_t b_norm_inf = 0.0;
-  index_t total_transitions = 0;
-  index_t total_regenerations = 0;  ///< chains completed across all rows
+  long long total_transitions = 0;
+  long long total_regenerations = 0;  ///< chains completed across all rows
   real_t build_seconds = 0.0;
 };
 

@@ -1,0 +1,137 @@
+#include "mcmc/walk_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace mcmi {
+
+WalkKernel build_walk_kernel(const CsrMatrix& a, real_t alpha) {
+  const index_t n = a.rows();
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+
+  WalkKernel k;
+  k.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  k.row_sum.assign(static_cast<std::size_t>(n), 0.0);
+  k.inv_diag.assign(static_cast<std::size_t>(n), 0.0);
+  k.succ.reserve(values.size());
+  k.value.reserve(values.size());
+  k.cum_abs.reserve(values.size());
+
+  for (index_t i = 0; i < n; ++i) {
+    const real_t aii = a.at(i, i);
+    MCMI_CHECK(aii != 0.0,
+               "MCMCMI requires a nonzero diagonal; row " << i << " has none");
+    // Perturbed diagonal d_i = a_ii + alpha * |a_ii| keeps the sign of a_ii
+    // while increasing dominance, so the Jacobi iteration matrix shrinks.
+    const real_t d = aii + std::copysign(alpha * std::abs(aii), aii);
+    k.inv_diag[i] = 1.0 / d;
+    real_t cum = 0.0;
+    for (index_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const index_t j = col_idx[p];
+      if (j == i) continue;  // B has zero diagonal by construction
+      const real_t b = -values[p] / d;
+      if (b == 0.0) continue;
+      k.succ.push_back(j);
+      k.value.push_back(b);
+      cum += std::abs(b);
+      k.cum_abs.push_back(cum);
+    }
+    k.row_sum[i] = cum;
+    k.row_ptr[i + 1] = static_cast<index_t>(k.succ.size());
+    k.norm_inf = std::max(k.norm_inf, cum);
+  }
+
+  // Precompute the per-transition weight step W *= sign(B_uv) * S_u and the
+  // alias tables over |B_uv| (row-normalisation is implicit in the build).
+  k.signed_sum.resize(k.value.size());
+  std::vector<real_t> abs_value(k.value.size());
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t p = k.row_ptr[i]; p < k.row_ptr[i + 1]; ++p) {
+      k.signed_sum[p] = std::copysign(k.row_sum[i], k.value[p]);
+      abs_value[p] = std::abs(k.value[p]);
+    }
+  }
+  k.alias = AliasTable::build(k.row_ptr, abs_value);
+  return k;
+}
+
+namespace {
+
+/// Cheap content fingerprint: shape plus up to 16 evenly spaced
+/// (col, value) samples.  O(1), and catches both a different matrix object
+/// and an ABA address reuse by a same-shaped matrix with other entries.
+u64 matrix_fingerprint(const CsrMatrix& a) {
+  u64 h = mix64(static_cast<u64>(a.rows()) * 0x9e3779b97f4a7c15ULL ^
+                static_cast<u64>(a.nnz()));
+  const std::size_t nnz = a.values().size();
+  if (nnz == 0) return h;
+  const std::size_t stride = std::max<std::size_t>(1, nnz / 16);
+  for (std::size_t p = 0; p < nnz; p += stride) {
+    u64 bits;
+    std::memcpy(&bits, &a.values()[p], sizeof(bits));
+    h = mix64(h ^ bits ^ static_cast<u64>(a.col_idx()[p]));
+  }
+  return h;
+}
+
+}  // namespace
+
+std::shared_ptr<const WalkKernel> WalkKernelCache::get(const CsrMatrix& a,
+                                                       real_t alpha,
+                                                       bool* hit) {
+  u64 key;
+  static_assert(sizeof(key) == sizeof(alpha), "alpha must be 64-bit");
+  std::memcpy(&key, &alpha, sizeof(key));
+  const u64 fp = matrix_fingerprint(a);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!bound_ || fingerprint_ != fp) {
+    entries_.clear();
+    fingerprint_ = fp;
+    bound_ = true;
+  }
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    if (hit != nullptr) *hit = true;
+    return it->second;
+  }
+  ++misses_;
+  if (hit != nullptr) *hit = false;
+  auto kernel = std::make_shared<const WalkKernel>(build_walk_kernel(a, alpha));
+  // The paper grid spans a handful of alphas; a runaway caller (random alpha
+  // per trial) must not accumulate kernels without bound.
+  if (entries_.size() >= 32) entries_.clear();
+  entries_.emplace(key, kernel);
+  return kernel;
+}
+
+std::size_t WalkKernelCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+long long WalkKernelCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+long long WalkKernelCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+void WalkKernelCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  bound_ = false;
+  fingerprint_ = 0;
+}
+
+}  // namespace mcmi

@@ -1,0 +1,70 @@
+#pragma once
+// The Jacobi-split iteration matrix B = I - D^-1 A_a in a walk-friendly
+// layout, shared by every chain of an MCMC inversion.
+//
+// The kernel is a pure function of (A, alpha) — eps and delta only change how
+// many chains walk it and how long.  The AI-tuning loop probes many
+// (alpha, eps, delta) trials against one matrix, so kernels are cacheable per
+// alpha: WalkKernelCache keys built kernels (including their alias tables) by
+// alpha bits and hands out shared ownership, turning the per-trial O(nnz)
+// rebuild into a lookup.
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "mcmc/alias_table.hpp"
+#include "sparse/csr.hpp"
+
+namespace mcmi {
+
+/// Per-state successor lists with signed values, precomputed step weights,
+/// cumulative |B| for the reference inverse-CDF path, and alias tables for
+/// the O(1) path.
+struct WalkKernel {
+  std::vector<index_t> row_ptr;
+  std::vector<index_t> succ;        ///< successor state per transition
+  std::vector<real_t> value;        ///< signed B_uv
+  std::vector<real_t> signed_sum;   ///< copysign(S_u, B_uv): the MAO W-step
+  std::vector<real_t> cum_abs;      ///< running sum of |B_uv| within the row
+  std::vector<real_t> row_sum;      ///< S_u = sum_v |B_uv|
+  std::vector<real_t> inv_diag;     ///< 1 / d_u of the perturbed matrix
+  AliasTable alias;                 ///< O(1) sampler over |B_uv| / S_u
+  real_t norm_inf = 0.0;            ///< max_u S_u
+};
+
+/// Build the kernel (and its alias tables) for A perturbed by alpha.
+WalkKernel build_walk_kernel(const CsrMatrix& a, real_t alpha);
+
+/// Kernels keyed by alpha for one matrix.  The cache is bound to the first
+/// matrix it sees — identified by a content fingerprint (shape plus sampled
+/// entries), so reusing the cache with a different matrix drops every entry
+/// even when the new matrix happens to occupy the old one's address.  A
+/// cache owned per measured system is both safe and maximally effective.
+/// Thread-safe.
+class WalkKernelCache {
+ public:
+  /// Kernel for (a, alpha): cached when available, built and cached
+  /// otherwise.  The returned pointer stays valid independent of the cache.
+  /// When `hit` is given it reports whether this call was served from the
+  /// cache (race-free, unlike comparing hits() across the call).
+  std::shared_ptr<const WalkKernel> get(const CsrMatrix& a, real_t alpha,
+                                        bool* hit = nullptr);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] long long hits() const;
+  [[nodiscard]] long long misses() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  u64 fingerprint_ = 0;  ///< content fingerprint of the bound matrix
+  bool bound_ = false;
+  std::unordered_map<u64, std::shared_ptr<const WalkKernel>> entries_;
+  long long hits_ = 0;
+  long long misses_ = 0;
+};
+
+}  // namespace mcmi

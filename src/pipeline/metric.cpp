@@ -39,6 +39,7 @@ MetricResult PerformanceMeasurer::measure(const McmcParams& params,
   McmcOptions options = mcmc_options_;
   options.seed = mix64(mcmc_options_.seed + 0x9e3779b9 * static_cast<u64>(replicate + 1));
   McmcInverter inverter(a_, params, options);
+  inverter.set_kernel_cache(&kernel_cache_);
   const CsrMatrix p = inverter.compute();
   result.build = inverter.info();
   const SparseApproximateInverse precond(p, "mcmcmi");

@@ -26,7 +26,10 @@ struct MetricResult {
 };
 
 /// Measures y(A, x_M) with replicate-seeded MCMC preconditioners.
-/// The unpreconditioned baseline is deterministic and cached per solver.
+/// The unpreconditioned baseline is deterministic and cached per solver, and
+/// the walk kernel (with its alias tables) is cached per alpha — the grid /
+/// HPO loops probe many (eps, delta) trials per alpha, so only the sampling
+/// itself is redone per trial.
 class PerformanceMeasurer {
  public:
   /// `solve_options` applies to both baseline and preconditioned runs;
@@ -60,6 +63,7 @@ class PerformanceMeasurer {
   real_t y_cap_;
   std::vector<real_t> rhs_;
   index_t baseline_[3] = {-1, -1, -1};  // lazily computed per method
+  WalkKernelCache kernel_cache_;        // walk kernels keyed by alpha
 };
 
 }  // namespace mcmi

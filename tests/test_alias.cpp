@@ -1,0 +1,191 @@
+// Tests for the Walker alias tables behind the O(1) MCMC transition sampler:
+// exact table invariants, chi-squared agreement with the |B_uv|/S_u kernel,
+// degenerate rows, signed values and the per-alpha kernel cache.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "gen/laplace.hpp"
+#include "gen/random_sparse.hpp"
+#include "mcmc/alias_table.hpp"
+#include "mcmc/walk_kernel.hpp"
+
+namespace mcmi {
+namespace {
+
+/// Exact acceptance probability of slot p implied by the table: the chance
+/// of landing on p directly times its threshold, plus the overflow routed to
+/// p from every slot aliased to it.  Must reproduce w_p / sum(w) exactly up
+/// to rounding — this checks the construction without any sampling noise.
+std::vector<real_t> implied_distribution(const AliasTable& t, index_t begin,
+                                         index_t end) {
+  const index_t width = end - begin;
+  std::vector<real_t> p(static_cast<std::size_t>(width), 0.0);
+  for (index_t k = 0; k < width; ++k) {
+    const index_t slot = begin + k;
+    p[k] += t.prob()[slot];
+    const index_t target = t.alias()[slot] - begin;
+    p[static_cast<std::size_t>(target)] += 1.0 - t.prob()[slot];
+  }
+  for (real_t& v : p) v /= static_cast<real_t>(width);
+  return p;
+}
+
+TEST(AliasTable, ImpliedDistributionMatchesWeights) {
+  const std::vector<index_t> row_ptr = {0, 4, 5, 8};
+  const std::vector<real_t> weights = {0.1, 0.4, 0.2, 0.3,   // row 0
+                                       2.0,                   // row 1
+                                       1.0, 1.0, 6.0};        // row 2
+  const AliasTable t = AliasTable::build(row_ptr, weights);
+  for (index_t u = 0; u < 3; ++u) {
+    const index_t begin = row_ptr[u];
+    const index_t end = row_ptr[u + 1];
+    real_t sum = 0.0;
+    for (index_t p = begin; p < end; ++p) sum += weights[p];
+    const std::vector<real_t> implied = implied_distribution(t, begin, end);
+    for (index_t k = 0; k < end - begin; ++k) {
+      EXPECT_NEAR(implied[k], weights[begin + k] / sum, 1e-12)
+          << "row " << u << " slot " << k;
+    }
+  }
+}
+
+TEST(AliasTable, TableInvariants) {
+  const CsrMatrix a = pdd_real_sparse(60, 0.15, 91);
+  const WalkKernel k = build_walk_kernel(a, 0.5);
+  ASSERT_EQ(k.alias.prob().size(), k.succ.size());
+  for (index_t u = 0; u < a.rows(); ++u) {
+    for (index_t p = k.row_ptr[u]; p < k.row_ptr[u + 1]; ++p) {
+      EXPECT_GE(k.alias.prob()[p], 0.0);
+      EXPECT_LE(k.alias.prob()[p], 1.0);
+      EXPECT_GE(k.alias.alias()[p], k.row_ptr[u]);   // alias stays in the row
+      EXPECT_LT(k.alias.alias()[p], k.row_ptr[u + 1]);
+    }
+  }
+}
+
+TEST(AliasTable, ChiSquaredAgainstKernelDistribution) {
+  // Sample transitions for a few rows and compare empirical counts against
+  // p_uv = |B_uv| / S_u.  With 100k draws per row and df <= 8, a chi2
+  // threshold of 40 is far beyond any plausible false positive (p < 1e-5
+  // would already be ~30) while catching an off-by-one-slot or unnormalised
+  // table immediately.
+  const CsrMatrix a = pdd_real_sparse(40, 0.2, 33);
+  const WalkKernel k = build_walk_kernel(a, 0.5);
+  const index_t draws = 100000;
+  for (index_t u : {index_t{0}, index_t{7}, index_t{23}, index_t{39}}) {
+    const index_t begin = k.row_ptr[u];
+    const index_t end = k.row_ptr[u + 1];
+    const index_t width = end - begin;
+    if (width < 2) continue;
+    std::vector<index_t> counts(static_cast<std::size_t>(width), 0);
+    Xoshiro256 rng = make_stream(123, static_cast<u64>(u));
+    for (index_t d = 0; d < draws; ++d) {
+      const index_t slot = k.alias.sample(begin, end, rng());
+      ++counts[static_cast<std::size_t>(slot - begin)];
+    }
+    real_t chi2 = 0.0;
+    for (index_t p = begin; p < end; ++p) {
+      const real_t expected = std::abs(k.value[p]) / k.row_sum[u] *
+                              static_cast<real_t>(draws);
+      ASSERT_GT(expected, 0.0);
+      const real_t observed =
+          static_cast<real_t>(counts[static_cast<std::size_t>(p - begin)]);
+      chi2 += (observed - expected) * (observed - expected) / expected;
+    }
+    EXPECT_LT(chi2, 40.0) << "row " << u << " width " << width;
+  }
+}
+
+TEST(AliasTable, SingleEntryRowAlwaysReturnsThatSlot) {
+  const std::vector<index_t> row_ptr = {0, 1, 2};
+  const std::vector<real_t> weights = {0.25, 7.0};
+  const AliasTable t = AliasTable::build(row_ptr, weights);
+  Xoshiro256 rng = make_stream(5, 0);
+  for (int d = 0; d < 1000; ++d) {
+    EXPECT_EQ(t.sample(0, 1, rng()), 0);
+    EXPECT_EQ(t.sample(1, 2, rng()), 1);
+  }
+}
+
+TEST(AliasTable, ExtremeBitsStayInRange) {
+  const std::vector<index_t> row_ptr = {0, 3};
+  const std::vector<real_t> weights = {1.0, 2.0, 3.0};
+  const AliasTable t = AliasTable::build(row_ptr, weights);
+  for (u64 bits : {u64{0}, ~u64{0}, u64{1} << 63, (u64{1} << 53) - 1}) {
+    const index_t slot = t.sample(0, 3, bits);
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, 3);
+  }
+}
+
+TEST(WalkKernel, SignedValuesKeepSignInStepWeight) {
+  // Mixed-sign off-diagonals: the alias table samples over |B_uv| while the
+  // precomputed step weight carries sign(B_uv) * S_u.
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 4.0);
+  coo.add(0, 1, 1.0);    // B_01 = -1/d < 0
+  coo.add(0, 2, -2.0);   // B_02 = +2/d > 0
+  coo.add(1, 1, 3.0);
+  coo.add(2, 2, 5.0);
+  const CsrMatrix a = CsrMatrix::from_coo(std::move(coo));
+  const WalkKernel k = build_walk_kernel(a, 0.0);
+  ASSERT_EQ(k.succ.size(), 2u);
+  EXPECT_LT(k.value[0], 0.0);
+  EXPECT_GT(k.value[1], 0.0);
+  for (std::size_t p = 0; p < k.succ.size(); ++p) {
+    EXPECT_DOUBLE_EQ(k.signed_sum[p],
+                     std::copysign(k.row_sum[0], k.value[p]));
+  }
+  // The sampling weights are the magnitudes: 1/4 vs 2/4 of S_0 = 3/4.
+  const std::vector<real_t> implied = implied_distribution(k.alias, 0, 2);
+  EXPECT_NEAR(implied[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(implied[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(WalkKernelCache, ReusesKernelsPerAlpha) {
+  const CsrMatrix a = laplace_2d(8);
+  WalkKernelCache cache;
+  const auto k1 = cache.get(a, 1.0);
+  const auto k2 = cache.get(a, 1.0);
+  EXPECT_EQ(k1.get(), k2.get());  // shared, not rebuilt
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  const auto k3 = cache.get(a, 2.0);
+  EXPECT_NE(k1.get(), k3.get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(WalkKernelCache, DifferentMatrixInvalidates) {
+  const CsrMatrix a = laplace_2d(8);
+  const CsrMatrix b = laplace_2d(10);
+  WalkKernelCache cache;
+  (void)cache.get(a, 1.0);
+  (void)cache.get(b, 1.0);  // new matrix: cache must not serve a's kernel
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 2);
+  const auto kb = cache.get(b, 1.0);
+  EXPECT_EQ(kb->row_ptr.size(), static_cast<std::size_t>(b.rows()) + 1);
+}
+
+TEST(WalkKernelCache, SameShapeDifferentValuesInvalidates) {
+  // The identity guard is a content fingerprint, not an address: two
+  // matrices with identical dimensions and nnz but different entries (the
+  // ABA shape for address reuse) must not share kernels.
+  const CsrMatrix a = pdd_real_sparse(64, 0.1, 1);
+  const CsrMatrix b = pdd_real_sparse(64, 0.1, 2);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  WalkKernelCache cache;
+  const auto ka = cache.get(a, 1.0);
+  bool hit = true;
+  const auto kb = cache.get(b, 1.0, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(ka.get(), kb.get());
+  EXPECT_NE(ka->row_sum, kb->row_sum);
+}
+
+}  // namespace
+}  // namespace mcmi

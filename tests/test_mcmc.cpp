@@ -6,6 +6,10 @@
 
 #include <cmath>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "dense/lu.hpp"
 #include "dense/matrix.hpp"
 #include "gen/laplace.hpp"
@@ -118,6 +122,92 @@ TEST(Inverter, DeterministicAcrossRuns) {
   ASSERT_EQ(p1.nnz(), p2.nnz());
   EXPECT_EQ(p1.values(), p2.values());
   EXPECT_EQ(p1.col_idx(), p2.col_idx());
+}
+
+TEST(Inverter, DeterministicAcrossThreadCountsAndRanks) {
+  // The keyed-stream contract: every (row, chain) draws from a stream keyed
+  // by its global index, so the assembled CSR must be bit-identical at any
+  // OpenMP thread count and any rank partition.  This protects the alias
+  // rewrite and the arena assembly, whose thread-private buffers must never
+  // leak scheduling order into the output.
+  const CsrMatrix a = pdd_real_sparse(60, 0.12, 77);
+  const McmcParams params{1.0, 0.25, 0.0625};
+
+  auto build = [&](int threads, index_t ranks) {
+#ifdef _OPENMP
+    omp_set_num_threads(threads);
+#else
+    (void)threads;
+#endif
+    McmcOptions opt;
+    opt.ranks = ranks;
+    return McmcInverter(a, params, opt).compute();
+  };
+
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+#endif
+  const CsrMatrix p_serial = build(1, 2);
+  const CsrMatrix p_parallel = build(4, 2);
+  const CsrMatrix p_rank1 = build(4, 1);
+#ifdef _OPENMP
+  omp_set_num_threads(saved);
+#endif
+
+  ASSERT_EQ(p_serial.nnz(), p_parallel.nnz());
+  EXPECT_EQ(p_serial.row_ptr(), p_parallel.row_ptr());
+  EXPECT_EQ(p_serial.col_idx(), p_parallel.col_idx());
+  EXPECT_EQ(p_serial.values(), p_parallel.values());  // bit-identical
+
+  ASSERT_EQ(p_serial.nnz(), p_rank1.nnz());
+  EXPECT_EQ(p_serial.col_idx(), p_rank1.col_idx());
+  EXPECT_EQ(p_serial.values(), p_rank1.values());
+}
+
+TEST(Inverter, AliasAndInverseCdfPathsAgree) {
+  // A/B over the sampling method: both paths estimate the same Neumann sum,
+  // so with tight (eps, delta) both must land near the exact inverse and
+  // near each other on a small Laplace system.
+  const CsrMatrix a = laplace_2d(5);
+  McmcOptions alias_opt;
+  alias_opt.filling_factor = 100.0;
+  alias_opt.truncation_threshold = 0.0;
+  alias_opt.sampling = SamplingMethod::kAlias;
+  McmcOptions cdf_opt = alias_opt;
+  cdf_opt.sampling = SamplingMethod::kInverseCdf;
+
+  const McmcParams params{0.5, 0.01, 0.001};
+  const CsrMatrix p_alias = McmcInverter(a, params, alias_opt).compute();
+  const CsrMatrix p_cdf = McmcInverter(a, params, cdf_opt).compute();
+
+  const real_t err_alias = inversion_error(a, p_alias, params.alpha);
+  const real_t err_cdf = inversion_error(a, p_cdf, params.alpha);
+  EXPECT_LT(err_alias, 0.02);
+  EXPECT_LT(err_cdf, 0.02);
+  real_t max_diff = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      max_diff = std::max(max_diff,
+                          std::abs(p_alias.at(i, j) - p_cdf.at(i, j)));
+    }
+  }
+  EXPECT_LT(max_diff, 0.04);
+}
+
+TEST(Inverter, KernelCacheDoesNotChangeOutput) {
+  const CsrMatrix a = pdd_real_sparse(50, 0.1, 43);
+  const McmcParams params{2.0, 0.25, 0.25};
+  const CsrMatrix reference = McmcInverter(a, params).compute();
+  WalkKernelCache cache;
+  for (int round = 0; round < 2; ++round) {
+    McmcInverter inverter(a, params);
+    inverter.set_kernel_cache(&cache);
+    const CsrMatrix p = inverter.compute();
+    EXPECT_EQ(inverter.info().kernel_cache_hit, round > 0);
+    EXPECT_EQ(p.col_idx(), reference.col_idx());
+    EXPECT_EQ(p.values(), reference.values());
+  }
+  EXPECT_EQ(cache.misses(), 1);
 }
 
 TEST(Inverter, SeedChangesEstimate) {
