@@ -1,11 +1,18 @@
 // Google-benchmark micro-kernels: the per-operation costs underlying every
-// experiment — SpMV, MCMC preconditioner builds, Krylov solves, GNN
-// forward/backward, EI evaluation and L-BFGS-B runs.
+// experiment — transition sampling, SpMV, MCMC preconditioner builds, Krylov
+// solves, GNN forward/backward, EI evaluation and L-BFGS-B runs.
+//
+// Run with --json[=path] to mirror the report into a JSON file (default
+// BENCH_micro_kernels.json) so the perf trajectory is comparable across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "bo/expected_improvement.hpp"
 #include "bo/lbfgsb.hpp"
+#include "core/rng.hpp"
 #include "features/matrix_features.hpp"
 #include "gen/laplace.hpp"
 #include "gen/plasma.hpp"
@@ -13,12 +20,69 @@
 #include "krylov/solver.hpp"
 #include "mcmc/inverter.hpp"
 #include "mcmc/regenerative.hpp"
+#include "mcmc/walk_kernel.hpp"
 #include "precond/ilu0.hpp"
 #include "surrogate/model.hpp"
 
 namespace {
 
 using namespace mcmi;
+
+// ---- transition sampling: alias table vs binary search ----------------------
+// The same random walk over the iteration matrix of a 64x64 Laplacian,
+// differing only in the successor draw.  items/s = transitions/s.
+
+void BM_AliasSample(benchmark::State& state) {
+  const CsrMatrix a = laplace_2d(64);
+  const WalkKernel k = build_walk_kernel(a, 1.0);
+  Xoshiro256 rng = make_stream(7, 1);
+  index_t s = 0;
+  for (auto _ : state) {
+    const index_t begin = k.row_ptr[s];
+    const index_t end = k.row_ptr[s + 1];
+    const index_t p = k.alias.sample(begin, end, rng());
+    s = k.succ[p];
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasSample);
+
+void BM_InverseCdfSample(benchmark::State& state) {
+  const CsrMatrix a = laplace_2d(64);
+  const WalkKernel k = build_walk_kernel(a, 1.0);
+  Xoshiro256 rng = make_stream(7, 1);
+  index_t s = 0;
+  for (auto _ : state) {
+    const index_t begin = k.row_ptr[s];
+    const index_t end = k.row_ptr[s + 1];
+    const real_t target = uniform01(rng) * k.row_sum[s];
+    const auto first = k.cum_abs.begin() + begin;
+    const auto last = k.cum_abs.begin() + end;
+    auto it = std::upper_bound(first, last, target);
+    if (it == last) --it;
+    s = k.succ[static_cast<index_t>(it - k.cum_abs.begin())];
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InverseCdfSample);
+
+void BM_AliasTableBuild(benchmark::State& state) {
+  const CsrMatrix a = laplace_2d(state.range(0));
+  const WalkKernel k = build_walk_kernel(a, 1.0);
+  std::vector<real_t> abs_value(k.value.size());
+  for (std::size_t p = 0; p < abs_value.size(); ++p) {
+    abs_value[p] = std::abs(k.value[p]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        AliasTable::build(k.row_ptr, abs_value).prob().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<index_t>(abs_value.size()));
+}
+BENCHMARK(BM_AliasTableBuild)->Arg(64)->Arg(128);
 
 void BM_SpMV(benchmark::State& state) {
   const CsrMatrix a = laplace_2d(state.range(0));
@@ -32,15 +96,44 @@ void BM_SpMV(benchmark::State& state) {
 }
 BENCHMARK(BM_SpMV)->Arg(32)->Arg(64)->Arg(128);
 
+// Args: {grid side, 1/eps, sampling method}.  The {128, 16} rows are the
+// acceptance benchmark of the alias rewrite: a 128x128 2-D Laplace build at
+// eps = 1/16 with the alias path (method 0) versus the pre-PR binary-search
+// path (method 1).
 void BM_McmcBuild(benchmark::State& state) {
-  const CsrMatrix a = laplace_2d(32);
-  const real_t eps = 1.0 / static_cast<real_t>(state.range(0));
+  const CsrMatrix a = laplace_2d(state.range(0));
+  const real_t eps = 1.0 / static_cast<real_t>(state.range(1));
+  McmcOptions opt;
+  opt.sampling = state.range(2) == 0 ? SamplingMethod::kAlias
+                                     : SamplingMethod::kInverseCdf;
+  long long transitions = 0;
   for (auto _ : state) {
-    McmcInverter inverter(a, {1.0, eps, 0.0625});
+    McmcInverter inverter(a, {1.0, eps, 0.0625}, opt);
+    benchmark::DoNotOptimize(inverter.compute().nnz());
+    transitions += inverter.info().total_transitions;
+  }
+  state.SetItemsProcessed(transitions);
+}
+BENCHMARK(BM_McmcBuild)
+    ->Args({32, 2, 0})
+    ->Args({32, 4, 0})
+    ->Args({32, 8, 0})
+    ->Args({32, 16, 0})
+    ->Args({128, 16, 0})
+    ->Args({128, 16, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_McmcBuildCachedKernel(benchmark::State& state) {
+  // The HPO-loop shape: repeated builds against one matrix sharing alpha.
+  const CsrMatrix a = laplace_2d(64);
+  WalkKernelCache cache;
+  for (auto _ : state) {
+    McmcInverter inverter(a, {1.0, 0.125, 0.0625});
+    inverter.set_kernel_cache(&cache);
     benchmark::DoNotOptimize(inverter.compute().nnz());
   }
 }
-BENCHMARK(BM_McmcBuild)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_McmcBuildCachedKernel);
 
 void BM_RegenerativeBuild(benchmark::State& state) {
   const CsrMatrix a = laplace_2d(32);
@@ -145,4 +238,34 @@ BENCHMARK(BM_LbfgsbRosenbrock);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a --json[=path] convenience flag that maps onto
+// google-benchmark's native --benchmark_out so results land in a
+// BENCH_*.json for cross-PR perf tracking.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::string out_path;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--json") {
+      out_path = "BENCH_micro_kernels.json";
+      it = args.erase(it);
+    } else if (it->rfind("--json=", 0) == 0) {
+      out_path = it->substr(7);
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!out_path.empty()) {
+    args.push_back("--benchmark_out=" + out_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& s : args) argv2.push_back(s.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
