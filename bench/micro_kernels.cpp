@@ -22,6 +22,7 @@
 #include "mcmc/regenerative.hpp"
 #include "mcmc/walk_kernel.hpp"
 #include "precond/ilu0.hpp"
+#include "sparse/vector_ops.hpp"
 #include "surrogate/model.hpp"
 
 namespace {
@@ -84,7 +85,41 @@ void BM_AliasTableBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_AliasTableBuild)->Arg(64)->Arg(128);
 
-void BM_SpMV(benchmark::State& state) {
+// ---- SpMV: naive row loop vs the cached execution plan ----------------------
+// The naive kernel replicates the seed implementation: zero-fill pass plus a
+// statically scheduled row loop over 64-bit column indices.  The plan path
+// (CsrMatrix::multiply) runs the nnz-balanced chunks with 32-bit columns and
+// no zero fill.  items/s = nonzeros/s.
+
+void naive_spmv(const CsrMatrix& a, const std::vector<real_t>& x,
+                std::vector<real_t>& y) {
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  y.assign(static_cast<std::size_t>(a.rows()), 0.0);
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < a.rows(); ++i) {
+    real_t sum = 0.0;
+    for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      sum += values[k] * x[col_idx[k]];
+    }
+    y[i] = sum;
+  }
+}
+
+void BM_SpmvNaive(benchmark::State& state) {
+  const CsrMatrix a = laplace_2d(state.range(0));
+  std::vector<real_t> x(static_cast<std::size_t>(a.rows()), 1.0);
+  std::vector<real_t> y;
+  for (auto _ : state) {
+    naive_spmv(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpmvNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SpmvPlan(benchmark::State& state) {
   const CsrMatrix a = laplace_2d(state.range(0));
   std::vector<real_t> x(static_cast<std::size_t>(a.rows()), 1.0);
   std::vector<real_t> y;
@@ -94,7 +129,94 @@ void BM_SpMV(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * a.nnz());
 }
-BENCHMARK(BM_SpMV)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_SpmvPlan)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SpmvPlanFusedDot(benchmark::State& state) {
+  // The CG q·Aq shape: product and reduction in one pass.
+  const CsrMatrix a = laplace_2d(state.range(0));
+  std::vector<real_t> x(static_cast<std::size_t>(a.rows()), 1.0);
+  std::vector<real_t> y;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.multiply_dot(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpmvPlanFusedDot)->Arg(128)->Arg(256);
+
+// ---- CG inner loop: unfused seed kernels vs the plan-based fused path -------
+// Both run exactly 50 preconditioned-CG iterations on the 256x256 Laplace
+// system with an MCMC approximate inverse, so items/s = CG iterations/s and
+// the ratio isolates the per-iteration kernel cost (the acceptance metric of
+// the SpmvPlan rewrite).
+
+constexpr index_t kCgBenchIters = 50;
+
+const CsrMatrix& cg_bench_matrix() {
+  static const CsrMatrix a = laplace_2d(256);
+  return a;
+}
+
+const CsrMatrix& cg_bench_precond() {
+  static const CsrMatrix p =
+      McmcInverter(cg_bench_matrix(), {1.0, 0.25, 0.125}).compute();
+  return p;
+}
+
+void BM_CgIterationNaive(benchmark::State& state) {
+  const CsrMatrix& a = cg_bench_matrix();
+  const CsrMatrix& pm = cg_bench_precond();
+  const std::vector<real_t> b(static_cast<std::size_t>(a.rows()), 1.0);
+  std::vector<real_t> x, r, z, q, aq;
+  for (auto _ : state) {
+    x.assign(b.size(), 0.0);
+    r = b;
+    naive_spmv(pm, r, z);
+    real_t rho = dot(r, z);
+    q = z;
+    for (index_t it = 0; it < kCgBenchIters; ++it) {
+      naive_spmv(a, q, aq);
+      const real_t alpha = rho / dot(q, aq);
+      axpy2(alpha, q, aq, x, r);
+      naive_spmv(pm, r, z);
+      real_t rho_next, norm_z;
+      dot_norm2(r, z, rho_next, norm_z);
+      benchmark::DoNotOptimize(norm_z);
+      const real_t beta = rho_next / rho;
+      rho = rho_next;
+      xpby(z, beta, q);
+    }
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kCgBenchIters);
+}
+BENCHMARK(BM_CgIterationNaive)->Unit(benchmark::kMillisecond);
+
+void BM_CgIterationPlan(benchmark::State& state) {
+  const CsrMatrix& a = cg_bench_matrix();
+  const CsrMatrix& pm = cg_bench_precond();
+  const std::vector<real_t> b(static_cast<std::size_t>(a.rows()), 1.0);
+  std::vector<real_t> x, r, z, q, aq;
+  for (auto _ : state) {
+    x.assign(b.size(), 0.0);
+    r = b;
+    real_t rho, norm_sq;
+    pm.multiply_dot_norm2(r, z, r, rho, norm_sq);
+    q = z;
+    for (index_t it = 0; it < kCgBenchIters; ++it) {
+      const real_t alpha = rho / a.multiply_dot(q, aq);
+      axpy2(alpha, q, aq, x, r);
+      real_t rho_next;
+      pm.multiply_dot_norm2(r, z, r, rho_next, norm_sq);
+      benchmark::DoNotOptimize(norm_sq);
+      const real_t beta = rho_next / rho;
+      rho = rho_next;
+      xpby(z, beta, q);
+    }
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kCgBenchIters);
+}
+BENCHMARK(BM_CgIterationPlan)->Unit(benchmark::kMillisecond);
 
 // Args: {grid side, 1/eps, sampling method}.  The {128, 16} rows are the
 // acceptance benchmark of the alias rewrite: a 128x128 2-D Laplace build at

@@ -1,16 +1,26 @@
 #include "core/parallel.hpp"
 
+#ifdef _OPENMP
 #include <omp.h>
+#endif
 
 namespace mcmi {
 
+#ifdef _OPENMP
 int max_threads() { return omp_get_max_threads(); }
 
 int thread_id() { return omp_get_thread_num(); }
+#else
+int max_threads() { return 1; }
+
+int thread_id() { return 0; }
+#endif
 
 void parallel_for(index_t begin, index_t end,
                   const std::function<void(index_t)>& body, index_t grain) {
   if (end <= begin) return;
+  (void)grain;  // only consumed by the omp pragma
+
 #pragma omp parallel for schedule(dynamic, grain)
   for (index_t i = begin; i < end; ++i) {
     body(i);

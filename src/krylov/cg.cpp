@@ -16,13 +16,13 @@ SolveResult solve_cg(const CsrMatrix& a, const std::vector<real_t>& b,
   SolveResult result;
   x.assign(static_cast<std::size_t>(n), 0.0);
 
-  // Preconditioned CG: r = b - A x, z = P r.
+  // Preconditioned CG: r = b - A x, z = P r, with rho = <r, z> and ||z||
+  // taken from the apply pass itself.
   std::vector<real_t> r = b;
-  std::vector<real_t> z = p.apply(r);
-  std::vector<real_t> q = z;  // search direction
-  std::vector<real_t> aq(static_cast<std::size_t>(n));
-
-  const real_t norm_pb = norm2(z);
+  std::vector<real_t> z;
+  real_t rho, norm_pb_sq;
+  p.apply_dot_norm2(r, z, r, rho, norm_pb_sq);
+  const real_t norm_pb = std::sqrt(norm_pb_sq);
   if (norm_pb == 0.0) {
     result.converged = true;
     return result;
@@ -31,19 +31,18 @@ SolveResult solve_cg(const CsrMatrix& a, const std::vector<real_t>& b,
     result.iterations = opt.max_iterations;
     return result;
   }
+  std::vector<real_t> q = z;  // search direction
+  std::vector<real_t> aq(static_cast<std::size_t>(n));
 
-  real_t rho = dot(r, z);
   for (index_t it = 0; it < opt.max_iterations; ++it) {
-    a.multiply(q, aq);
-    const real_t qaq = dot(q, aq);
+    const real_t qaq = a.multiply_dot(q, aq);  // aq = A q and <q, aq> fused
     if (qaq <= 0.0) break;  // lost positive definiteness: report divergence
     const real_t alpha = rho / qaq;
     axpy2(alpha, q, aq, x, r);  // x += alpha q, r -= alpha aq, one pass
-    p.apply(r, z);
-    real_t rho_next, norm_z;
-    dot_norm2(r, z, rho_next, norm_z);  // <r,z> and ||z|| fused
+    real_t rho_next, norm_z_sq;
+    p.apply_dot_norm2(r, z, r, rho_next, norm_z_sq);  // z = P r, <r,z>, ||z||^2
     result.iterations = it + 1;
-    const real_t rel = norm_z / norm_pb;
+    const real_t rel = std::sqrt(norm_z_sq) / norm_pb;
     result.residual = rel;
     if (opt.record_history) result.history.push_back(rel);
     if (rel < opt.tolerance) {

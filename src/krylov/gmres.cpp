@@ -6,18 +6,6 @@
 
 namespace mcmi {
 
-namespace {
-
-/// Apply the composed operator v -> P * (A * v).
-void apply_pa(const CsrMatrix& a, const Preconditioner& p,
-              const std::vector<real_t>& v, std::vector<real_t>& scratch,
-              std::vector<real_t>& out) {
-  a.multiply(v, scratch);
-  p.apply(scratch, out);
-}
-
-}  // namespace
-
 SolveResult solve_gmres(const CsrMatrix& a, const std::vector<real_t>& b,
                         const Preconditioner& p, std::vector<real_t>& x,
                         const SolveOptions& opt) {
@@ -54,11 +42,15 @@ SolveResult solve_gmres(const CsrMatrix& a, const std::vector<real_t>& b,
   std::vector<real_t> sn(static_cast<std::size_t>(m));
   std::vector<real_t> g(static_cast<std::size_t>(m) + 1);
 
+  std::vector<real_t> pr;
   while (result.iterations < opt.max_iterations) {
-    // Restart: r = P(b - A x).
+    // Restart: r = P(b - A x), with ||r|| taken from the apply pass.
     a.multiply(x, scratch);
-    std::vector<real_t> pr = p.apply(subtract(b, scratch));
-    real_t beta = norm2(pr);
+    const std::vector<real_t> diff = subtract(b, scratch);
+    real_t ddotr, beta_sq;
+    p.apply_dot_norm2(diff, pr, diff, ddotr, beta_sq);
+    (void)ddotr;
+    real_t beta = std::sqrt(beta_sq);
     if (!std::isfinite(beta)) {
       result.iterations = opt.max_iterations;
       return result;
@@ -74,14 +66,21 @@ SolveResult solve_gmres(const CsrMatrix& a, const std::vector<real_t>& b,
 
     index_t k = 0;  // inner iterations completed in this cycle
     for (; k < m && result.iterations < opt.max_iterations; ++k) {
-      // Arnoldi with modified Gram-Schmidt.
-      apply_pa(a, p, basis[k], scratch, basis[k + 1]);
+      // Arnoldi with fused modified Gram-Schmidt: the projection onto basis
+      // j+1 rides the same pass that subtracts component j, the first
+      // projection rides the preconditioner apply and the final norm rides
+      // the last subtraction — one sweep per basis vector instead of two.
+      a.multiply(basis[k], scratch);
+      real_t hjk = p.apply_dot(scratch, basis[k + 1], basis[0]);
+      real_t hk1 = 0.0;
       for (index_t j = 0; j <= k; ++j) {
-        const real_t hjk = dot(basis[j], basis[k + 1]);
         h[j * m + k] = hjk;
-        axpy(-hjk, basis[j], basis[k + 1]);
+        if (j < k) {
+          hjk = axpy_dot(-h[j * m + k], basis[j], basis[k + 1], basis[j + 1]);
+        } else {
+          hk1 = std::sqrt(axpy_norm2_sq(-h[j * m + k], basis[j], basis[k + 1]));
+        }
       }
-      const real_t hk1 = norm2(basis[k + 1]);
       h[(k + 1) * m + k] = hk1;
       if (hk1 > 0.0) scale(1.0 / hk1, basis[k + 1]);
       // Apply previous Givens rotations to the new column.

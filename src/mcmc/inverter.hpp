@@ -32,12 +32,6 @@
 
 namespace mcmi {
 
-/// How the walk draws its successor under p_uv = |B_uv| / S_u.
-enum class SamplingMethod {
-  kAlias,       ///< Walker alias table: one draw + one compare per step
-  kInverseCdf,  ///< binary search over cumulative weights (reference path)
-};
-
 /// Knobs that the paper fixes matrix-independently (§4.1).
 struct McmcOptions {
   real_t filling_factor = 2.0;    ///< retained nnz(P) <= factor * nnz(A)

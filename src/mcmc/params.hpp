@@ -17,6 +17,13 @@
 
 namespace mcmi {
 
+/// How a walk draws its successor under p_uv = |B_uv| / S_u.  Shared by the
+/// classic and regenerative inverters.
+enum class SamplingMethod {
+  kAlias,       ///< Walker alias table: one draw + one compare per step
+  kInverseCdf,  ///< binary search over cumulative weights (reference path)
+};
+
 /// Continuous MCMC parameters x_M = (alpha, eps, delta).
 struct McmcParams {
   real_t alpha = 2.0;   ///< diagonal perturbation scale, alpha > 0

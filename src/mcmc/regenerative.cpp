@@ -8,6 +8,7 @@
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "core/timer.hpp"
+#include "mcmc/alias_table.hpp"
 #include "mcmc/csr_arena.hpp"
 
 namespace mcmi {
@@ -23,10 +24,12 @@ struct AbsorbingKernel {
   std::vector<real_t> cum_abs;   ///< cumulative |B_uv| within the row
   std::vector<real_t> row_sum;   ///< S_u < 1 required
   std::vector<real_t> inv_diag;
+  AliasTable alias;              ///< O(1) successor draw over |B_uv| / S_u
   real_t norm_inf = 0.0;
 };
 
-AbsorbingKernel build_kernel(const CsrMatrix& a, real_t alpha) {
+AbsorbingKernel build_kernel(const CsrMatrix& a, real_t alpha,
+                             SamplingMethod sampling) {
   const index_t n = a.rows();
   const auto& row_ptr = a.row_ptr();
   const auto& col_idx = a.col_idx();
@@ -36,6 +39,7 @@ AbsorbingKernel build_kernel(const CsrMatrix& a, real_t alpha) {
   k.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
   k.row_sum.assign(static_cast<std::size_t>(n), 0.0);
   k.inv_diag.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<real_t> abs_weight;
 
   for (index_t i = 0; i < n; ++i) {
     const real_t aii = a.at(i, i);
@@ -51,13 +55,65 @@ AbsorbingKernel build_kernel(const CsrMatrix& a, real_t alpha) {
       k.succ.push_back(j);
       k.sign.push_back(b > 0.0 ? 1.0 : -1.0);
       cum += std::abs(b);
-      k.cum_abs.push_back(cum);
+      // Only the structure the chosen sampler reads is materialised.
+      if (sampling == SamplingMethod::kInverseCdf) {
+        k.cum_abs.push_back(cum);
+      } else {
+        abs_weight.push_back(std::abs(b));
+      }
     }
     k.row_sum[i] = cum;
     k.row_ptr[i + 1] = static_cast<index_t>(k.succ.size());
     k.norm_inf = std::max(k.norm_inf, cum);
   }
+  if (sampling == SamplingMethod::kAlias) {
+    k.alias = AliasTable::build(k.row_ptr, abs_weight);
+  }
   return k;
+}
+
+/// One regenerative cycle from `start`: walk until absorption (or the cap),
+/// accumulating signed contributions.  Returns transitions consumed.  The
+/// absorption bit always comes from the first draw of a step; the alias
+/// path then spends a second draw on the successor, while the inverse-CDF
+/// path reuses the first draw for its binary search (bit-compatible with
+/// the original implementation).
+template <SamplingMethod method>
+index_t run_regen_cycle(const AbsorbingKernel& k, index_t start,
+                        index_t walk_cap, Xoshiro256& rng,
+                        std::vector<real_t>& accum,
+                        std::vector<index_t>& touched) {
+  index_t state = start;
+  real_t weight = 1.0;
+  if (accum[start] == 0.0) touched.push_back(start);
+  accum[start] += 1.0;
+  index_t steps = 0;
+  while (steps < walk_cap) {
+    const index_t begin = k.row_ptr[state];
+    const index_t end = k.row_ptr[state + 1];
+    const real_t s = k.row_sum[state];
+    // With probability 1 - S_u the walk is absorbed (regenerates).
+    const real_t u = uniform01(rng);
+    if (begin == end || u >= s) break;
+    index_t p;
+    if constexpr (method == SamplingMethod::kAlias) {
+      p = k.alias.sample(begin, end, rng());
+    } else {
+      const auto first = k.cum_abs.begin() + begin;
+      const auto last = k.cum_abs.begin() + end;
+      auto it = std::upper_bound(first, last, u);
+      if (it == last) --it;
+      p = static_cast<index_t>(it - k.cum_abs.begin());
+    }
+    // Under the absorbing kernel p_uv = |B_uv| the weight update is
+    // B_uv / |B_uv| = sign(B_uv): weights never grow.
+    weight *= k.sign[p];
+    state = k.succ[p];
+    ++steps;
+    if (accum[state] == 0.0) touched.push_back(state);
+    accum[state] += weight;
+  }
+  return steps;
 }
 
 }  // namespace
@@ -75,7 +131,8 @@ RegenerativeInverter::RegenerativeInverter(const CsrMatrix& a,
 CsrMatrix RegenerativeInverter::compute() {
   WallTimer timer;
   const index_t n = a_.rows();
-  const AbsorbingKernel kernel = build_kernel(a_, params_.alpha);
+  const AbsorbingKernel kernel =
+      build_kernel(a_, params_.alpha, options_.sampling);
   MCMI_CHECK(kernel.norm_inf < 1.0,
              "regenerative scheme requires ||B||_inf < 1 (got "
                  << kernel.norm_inf
@@ -116,30 +173,11 @@ CsrMatrix RegenerativeInverter::compute() {
       // always complete the final cycle so every chain is unbiased.
       while (spent < params_.transition_budget) {
         ++chains;
-        index_t state = i;
-        real_t weight = 1.0;
-        if (accum[i] == 0.0) touched.push_back(i);
-        accum[i] += 1.0;
-        for (index_t step = 0; step < options_.walk_cap; ++step) {
-          const index_t begin = kernel.row_ptr[state];
-          const index_t end = kernel.row_ptr[state + 1];
-          const real_t s = kernel.row_sum[state];
-          // With probability 1 - S_u the walk is absorbed (regenerates).
-          const real_t u = uniform01(rng);
-          if (begin == end || u >= s) break;
-          const auto first = kernel.cum_abs.begin() + begin;
-          const auto last = kernel.cum_abs.begin() + end;
-          auto it = std::upper_bound(first, last, u);
-          if (it == last) --it;
-          const index_t p = static_cast<index_t>(it - kernel.cum_abs.begin());
-          // Under the absorbing kernel p_uv = |B_uv| the weight update is
-          // B_uv / |B_uv| = sign(B_uv): weights never grow.
-          weight *= kernel.sign[p];
-          state = kernel.succ[p];
-          ++spent;
-          if (accum[state] == 0.0) touched.push_back(state);
-          accum[state] += weight;
-        }
+        spent += options_.sampling == SamplingMethod::kAlias
+                     ? run_regen_cycle<SamplingMethod::kAlias>(
+                           kernel, i, options_.walk_cap, rng, accum, touched)
+                     : run_regen_cycle<SamplingMethod::kInverseCdf>(
+                           kernel, i, options_.walk_cap, rng, accum, touched);
       }
       local_transitions += spent;
       local_regens += chains;

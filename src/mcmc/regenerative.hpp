@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "core/types.hpp"
+#include "mcmc/params.hpp"
 #include "precond/sparse_precond.hpp"
 #include "sparse/csr.hpp"
 
@@ -31,6 +32,11 @@ struct RegenerativeOptions {
   real_t truncation_threshold = 1e-9;
   index_t walk_cap = 4096;     ///< backstop against pathological kernels
   u64 seed = 20250922;
+  /// Successor sampler.  The alias path spends a second RNG draw per step:
+  /// the first decides the absorption bit (u >= S_u regenerates), the second
+  /// feeds the alias table; the inverse-CDF path reuses the absorption draw
+  /// for its binary search, reproducing the original output bit for bit.
+  SamplingMethod sampling = SamplingMethod::kAlias;
 };
 
 struct RegenerativeBuildInfo {

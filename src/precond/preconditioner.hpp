@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "sparse/vector_ops.hpp"
 
 namespace mcmi {
 
@@ -19,6 +20,27 @@ class Preconditioner {
   /// Apply the preconditioner: y = P x.  `y` is resized as needed.
   virtual void apply(const std::vector<real_t>& x,
                      std::vector<real_t>& y) const = 0;
+
+  /// Fused apply + inner product: y = P x, returning <w, y>.  The default
+  /// composes apply() with a dot pass; implementations whose apply is one
+  /// SpMV override it so the dot rides the product pass.
+  [[nodiscard]] virtual real_t apply_dot(const std::vector<real_t>& x,
+                                         std::vector<real_t>& y,
+                                         const std::vector<real_t>& w) const {
+    apply(x, y);
+    return dot(w, y);
+  }
+
+  /// Fused apply + the Krylov convergence pair: y = P x with <w, y> and
+  /// <y, y> from one pass (CG calls it with w = r for rho and ||z||^2,
+  /// BiCGStab with w = s for omega).
+  virtual void apply_dot_norm2(const std::vector<real_t>& x,
+                               std::vector<real_t>& y,
+                               const std::vector<real_t>& w, real_t& dot_wy,
+                               real_t& norm_sq_y) const {
+    apply(x, y);
+    dot_dot(y, w, y, dot_wy, norm_sq_y);
+  }
 
   /// Descriptive name for logging/tables.
   [[nodiscard]] virtual std::string name() const = 0;

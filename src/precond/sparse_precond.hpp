@@ -25,6 +25,20 @@ class SparseApproximateInverse final : public Preconditioner {
     p_.multiply(x, y);
   }
 
+  // The apply is one SpMV, so the Krylov reductions ride P's execution plan
+  // instead of costing separate vector sweeps.
+  [[nodiscard]] real_t apply_dot(const std::vector<real_t>& x,
+                                 std::vector<real_t>& y,
+                                 const std::vector<real_t>& w) const override {
+    return p_.multiply_dot(x, y, w);
+  }
+
+  void apply_dot_norm2(const std::vector<real_t>& x, std::vector<real_t>& y,
+                       const std::vector<real_t>& w, real_t& dot_wy,
+                       real_t& norm_sq_y) const override {
+    p_.multiply_dot_norm2(x, y, w, dot_wy, norm_sq_y);
+  }
+
   [[nodiscard]] std::string name() const override { return name_; }
 
   /// The explicit approximate inverse (inspection / spectra in tests).

@@ -94,19 +94,33 @@ real_t CsrMatrix::at(index_t i, index_t j) const {
   return 0.0;
 }
 
+const SpmvPlan& CsrMatrix::spmv_plan() const {
+  std::shared_ptr<const SpmvPlan> p = std::atomic_load(&plan_);
+  if (!p) {
+    auto built = std::make_shared<const SpmvPlan>(
+        SpmvPlan::build(rows_, cols_, row_ptr_, col_idx_));
+    std::shared_ptr<const SpmvPlan> expected;
+    // First publisher wins; a loser adopts the winner's plan, so the member
+    // is never replaced and returned references stay valid for the life of
+    // the matrix.
+    if (std::atomic_compare_exchange_strong(&plan_, &expected,
+                                            std::shared_ptr<const SpmvPlan>(
+                                                built))) {
+      p = built;
+    } else {
+      p = expected;
+    }
+  }
+  return *p;
+}
+
 void CsrMatrix::multiply(const std::vector<real_t>& x,
                          std::vector<real_t>& y) const {
   MCMI_CHECK(static_cast<index_t>(x.size()) == cols_,
              "x size " << x.size() << " != cols " << cols_);
-  y.assign(static_cast<std::size_t>(rows_), 0.0);
-#pragma omp parallel for schedule(static)
-  for (index_t i = 0; i < rows_; ++i) {
-    real_t sum = 0.0;
-    for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      sum += values_[k] * x[col_idx_[k]];
-    }
-    y[i] = sum;
-  }
+  y.resize(static_cast<std::size_t>(rows_));  // every y[i] is written
+  spmv_plan().multiply(row_ptr_.data(), col_idx_.data(), values_.data(),
+                       x.data(), y.data());
 }
 
 std::vector<real_t> CsrMatrix::multiply(const std::vector<real_t>& x) const {
@@ -115,20 +129,81 @@ std::vector<real_t> CsrMatrix::multiply(const std::vector<real_t>& x) const {
   return y;
 }
 
+real_t CsrMatrix::multiply_dot(const std::vector<real_t>& x,
+                               std::vector<real_t>& y) const {
+  return multiply_dot(x, y, x);
+}
+
+real_t CsrMatrix::multiply_dot(const std::vector<real_t>& x,
+                               std::vector<real_t>& y,
+                               const std::vector<real_t>& w) const {
+  MCMI_CHECK(static_cast<index_t>(x.size()) == cols_,
+             "x size " << x.size() << " != cols " << cols_);
+  MCMI_CHECK(static_cast<index_t>(w.size()) == rows_,
+             "w size " << w.size() << " != rows " << rows_);
+  y.resize(static_cast<std::size_t>(rows_));
+  return spmv_plan().multiply_dot(row_ptr_.data(), col_idx_.data(),
+                                  values_.data(), x.data(), w.data(),
+                                  y.data());
+}
+
+void CsrMatrix::multiply_dot_norm2(const std::vector<real_t>& x,
+                                   std::vector<real_t>& y,
+                                   const std::vector<real_t>& w,
+                                   real_t& dot_wy, real_t& norm_sq_y) const {
+  MCMI_CHECK(static_cast<index_t>(x.size()) == cols_,
+             "x size " << x.size() << " != cols " << cols_);
+  MCMI_CHECK(static_cast<index_t>(w.size()) == rows_,
+             "w size " << w.size() << " != rows " << rows_);
+  y.resize(static_cast<std::size_t>(rows_));
+  spmv_plan().multiply_dot_norm2(row_ptr_.data(), col_idx_.data(),
+                                 values_.data(), x.data(), w.data(), y.data(),
+                                 dot_wy, norm_sq_y);
+}
+
+std::shared_ptr<const CsrMatrix::TransposeGather>
+CsrMatrix::transpose_gather() const {
+  std::shared_ptr<const TransposeGather> g = std::atomic_load(&tgather_);
+  if (g) return g;
+  // Build the column-major gather: same counting pass as transpose(), but
+  // recording source positions instead of copying values, so the gather
+  // tracks in-place value edits.  A concurrent first call may build twice;
+  // the compare-exchange below keeps the first published structure.
+  auto built = std::make_shared<TransposeGather>();
+  built->col_ptr.assign(static_cast<std::size_t>(cols_) + 1, 0);
+  built->src_row.resize(values_.size());
+  built->src_pos.resize(values_.size());
+  for (index_t c : col_idx_) built->col_ptr[c + 1]++;
+  for (index_t j = 0; j < cols_; ++j) built->col_ptr[j + 1] += built->col_ptr[j];
+  std::vector<index_t> next(built->col_ptr.begin(), built->col_ptr.end() - 1);
+  for (index_t i = 0; i < rows_; ++i) {
+    for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const index_t pos = next[col_idx_[k]]++;
+      built->src_row[pos] = i;
+      built->src_pos[pos] = k;
+    }
+  }
+  built->plan = SpmvPlan::build(cols_, rows_, built->col_ptr, built->src_row);
+  g = built;
+  std::shared_ptr<const TransposeGather> expected;
+  if (!std::atomic_compare_exchange_strong(&tgather_, &expected, g)) {
+    g = expected;
+  }
+  return g;
+}
+
 void CsrMatrix::multiply_transpose(const std::vector<real_t>& x,
                                    std::vector<real_t>& y) const {
   MCMI_CHECK(static_cast<index_t>(x.size()) == rows_,
              "x size " << x.size() << " != rows " << rows_);
-  y.assign(static_cast<std::size_t>(cols_), 0.0);
-  // Serial scatter: the transpose product is only used by feature extraction
-  // and tests, never in a solver inner loop.
-  for (index_t i = 0; i < rows_; ++i) {
-    const real_t xi = x[i];
-    if (xi == 0.0) continue;
-    for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      y[col_idx_[k]] += values_[k] * xi;
-    }
-  }
+  const std::shared_ptr<const TransposeGather> g = transpose_gather();
+  y.resize(static_cast<std::size_t>(cols_));
+  // Gather over the cached transpose structure: each column's sum runs in
+  // ascending source-row order, so the result is bit-identical to the
+  // historical serial scatter at any thread count.
+  g->plan.multiply_gather(g->col_ptr.data(), g->src_row.data(),
+                          g->src_pos.data(), values_.data(), x.data(),
+                          y.data());
 }
 
 CsrMatrix CsrMatrix::transpose() const {

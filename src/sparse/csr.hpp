@@ -2,15 +2,20 @@
 // Compressed sparse row matrix — the workhorse format.
 //
 // All solver-facing operations (SpMV, transpose, diagonal manipulation,
-// norms) live here.  SpMV is OpenMP-parallel over rows; everything else is
-// deterministic single-pass code.  Column indices within each row are kept
-// sorted, which the MCMC sampler and ILU(0) rely on for binary search.
+// norms) live here.  SpMV runs through a per-matrix SpmvPlan — nnz-balanced
+// row chunks with fused product+reduction kernels, built lazily on first
+// product and cached for the life of the matrix (the shape is immutable) —
+// and everything else is deterministic single-pass code.  Column indices
+// within each row are kept sorted, which the MCMC sampler and ILU(0) rely
+// on for binary search.
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/types.hpp"
 #include "sparse/coo.hpp"
+#include "sparse/spmv_plan.hpp"
 
 namespace mcmi {
 
@@ -57,12 +62,35 @@ class CsrMatrix {
   /// Value at (i, j); zero if the position is not stored.  O(log row_nnz).
   [[nodiscard]] real_t at(index_t i, index_t j) const;
 
-  /// y = A * x.  OpenMP-parallel over rows.
+  /// y = A * x, through the cached execution plan.
   void multiply(const std::vector<real_t>& x, std::vector<real_t>& y) const;
   [[nodiscard]] std::vector<real_t> multiply(
       const std::vector<real_t>& x) const;
 
-  /// y = A^T * x (computed without materialising the transpose).
+  /// y = A * x returning <x, y> from the same pass (the CG q·Aq shape;
+  /// square matrices only).
+  [[nodiscard]] real_t multiply_dot(const std::vector<real_t>& x,
+                                    std::vector<real_t>& y) const;
+
+  /// y = A * x returning <w, y> from the same pass (the BiCGStab
+  /// r_hat·(PA p) shape).
+  [[nodiscard]] real_t multiply_dot(const std::vector<real_t>& x,
+                                    std::vector<real_t>& y,
+                                    const std::vector<real_t>& w) const;
+
+  /// y = A * x with <w, y> and <y, y> from the same pass (a preconditioner
+  /// apply fused with the <r, z> / ||z||^2 pair of the convergence check).
+  void multiply_dot_norm2(const std::vector<real_t>& x,
+                          std::vector<real_t>& y,
+                          const std::vector<real_t>& w, real_t& dot_wy,
+                          real_t& norm_sq_y) const;
+
+  /// The cached execution plan (shape-derived, built on first use and then
+  /// shared by every product for the life of the matrix).
+  [[nodiscard]] const SpmvPlan& spmv_plan() const;
+
+  /// y = A^T * x via a lazily cached column-major gather plan
+  /// (OpenMP-parallel over columns, bit-deterministic at any thread count).
   void multiply_transpose(const std::vector<real_t>& x,
                           std::vector<real_t>& y) const;
 
@@ -111,11 +139,30 @@ class CsrMatrix {
  private:
   void validate() const;
 
+  /// Column-major gather view of the matrix for A^T products: entries of
+  /// column j live at col_ptr[j]..col_ptr[j+1], each naming its source row
+  /// and its position in values_ (so in-place value edits stay visible).
+  struct TransposeGather {
+    std::vector<index_t> col_ptr;
+    std::vector<index_t> src_row;
+    std::vector<index_t> src_pos;
+    SpmvPlan plan;  ///< nnz-balanced chunking over columns
+  };
+  [[nodiscard]] std::shared_ptr<const TransposeGather> transpose_gather()
+      const;
+
   index_t rows_ = 0;
   index_t cols_ = 0;
   std::vector<index_t> row_ptr_{0};
   std::vector<index_t> col_idx_;
   std::vector<real_t> values_;
+  /// Both caches are built lazily on first use — many matrices (assembly
+  /// intermediates, rejected preconditioner candidates) are never
+  /// multiplied — and shared across copies, which is sound because the
+  /// shape is immutable.  First-use races resolve via compare-exchange, so
+  /// once published a cache is never replaced.
+  mutable std::shared_ptr<const SpmvPlan> plan_;
+  mutable std::shared_ptr<const TransposeGather> tgather_;
 };
 
 }  // namespace mcmi

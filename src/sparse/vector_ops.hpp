@@ -187,6 +187,78 @@ inline void axpy2(real_t alpha, const std::vector<real_t>& q,
   }
 }
 
+/// Fused modified-Gram-Schmidt step: y += alpha * x, returning <w, y> from
+/// the same pass — the GMRES orthogonalisation against basis j fused with
+/// the projection onto basis j+1.
+inline real_t axpy_dot(real_t alpha, const std::vector<real_t>& x,
+                       std::vector<real_t>& y, const std::vector<real_t>& w) {
+  MCMI_CHECK(x.size() == y.size() && w.size() == y.size(),
+             "axpy_dot: size mismatch");
+  const std::size_t n = y.size();
+  if (n < vec_detail::kParallelThreshold) {
+    real_t d = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const real_t v = y[i] + alpha * x[i];
+      y[i] = v;
+      d += w[i] * v;
+    }
+    return d;
+  }
+  const std::size_t blocks = (n + vec_detail::kBlock - 1) / vec_detail::kBlock;
+  std::vector<real_t> partial(blocks);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t blk = 0; blk < static_cast<std::ptrdiff_t>(blocks);
+       ++blk) {
+    const std::size_t begin = static_cast<std::size_t>(blk) * vec_detail::kBlock;
+    const std::size_t end = std::min(n, begin + vec_detail::kBlock);
+    real_t sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const real_t v = y[i] + alpha * x[i];
+      y[i] = v;
+      sum += w[i] * v;
+    }
+    partial[static_cast<std::size_t>(blk)] = sum;
+  }
+  real_t d = 0.0;
+  for (real_t v : partial) d += v;  // fixed order: thread-count independent
+  return d;
+}
+
+/// Fused final modified-Gram-Schmidt step: y += alpha * x, returning
+/// <y, y> — the last orthogonalisation fused with the new basis norm.
+inline real_t axpy_norm2_sq(real_t alpha, const std::vector<real_t>& x,
+                            std::vector<real_t>& y) {
+  MCMI_CHECK(x.size() == y.size(), "axpy_norm2_sq: size mismatch");
+  const std::size_t n = y.size();
+  if (n < vec_detail::kParallelThreshold) {
+    real_t q = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const real_t v = y[i] + alpha * x[i];
+      y[i] = v;
+      q += v * v;
+    }
+    return q;
+  }
+  const std::size_t blocks = (n + vec_detail::kBlock - 1) / vec_detail::kBlock;
+  std::vector<real_t> partial(blocks);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t blk = 0; blk < static_cast<std::ptrdiff_t>(blocks);
+       ++blk) {
+    const std::size_t begin = static_cast<std::size_t>(blk) * vec_detail::kBlock;
+    const std::size_t end = std::min(n, begin + vec_detail::kBlock);
+    real_t sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const real_t v = y[i] + alpha * x[i];
+      y[i] = v;
+      sum += v * v;
+    }
+    partial[static_cast<std::size_t>(blk)] = sum;
+  }
+  real_t q = 0.0;
+  for (real_t v : partial) q += v;
+  return q;
+}
+
 /// Fused BiCGStab solution update: x += alpha * p + omega * s in one pass.
 inline void axpy_pair(real_t alpha, const std::vector<real_t>& p, real_t omega,
                       const std::vector<real_t>& s, std::vector<real_t>& x) {
