@@ -72,7 +72,8 @@ def main():
     parser.add_argument("baseline", help="committed BENCH_*.json")
     parser.add_argument("current", help="freshly measured report")
     parser.add_argument(
-        "--patterns", nargs="+", default=["BM_McmcBuild", "BM_Spmv"],
+        "--patterns", nargs="+",
+        default=["BM_McmcBuild", "BM_Spmv", "BM_BatchedGridBuild"],
         help="regexes selecting the gated benchmark names (prefix match)")
     parser.add_argument(
         "--threshold", type=float, default=0.30,

@@ -123,4 +123,12 @@ std::vector<Recommendation> recommend_batch(SurrogateModel& model,
   return batch;
 }
 
+std::vector<AlphaGroup> group_recommendations_by_alpha(
+    const std::vector<Recommendation>& batch) {
+  std::vector<McmcParams> grid;
+  grid.reserve(batch.size());
+  for (const Recommendation& rec : batch) grid.push_back(rec.params);
+  return group_grid_by_alpha(grid);
+}
+
 }  // namespace mcmi

@@ -11,6 +11,7 @@
 #include "bo/expected_improvement.hpp"
 #include "bo/lbfgsb.hpp"
 #include "krylov/solver.hpp"
+#include "mcmc/batched_build.hpp"
 #include "mcmc/params.hpp"
 #include "surrogate/model.hpp"
 
@@ -51,5 +52,12 @@ std::vector<Recommendation> recommend_batch(SurrogateModel& model,
                                             KrylovMethod method,
                                             const McmcSearchSpace& space,
                                             const RecommendOptions& options);
+
+/// The batch grouped by exact alpha bits (encounter order): candidates
+/// sharing an alpha run the same Markov chains, so each group evaluates
+/// through one batched walk ensemble per replicate
+/// (PerformanceMeasurer::measure_grid) instead of one build per candidate.
+std::vector<AlphaGroup> group_recommendations_by_alpha(
+    const std::vector<Recommendation>& batch);
 
 }  // namespace mcmi

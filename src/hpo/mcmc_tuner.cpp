@@ -1,0 +1,71 @@
+#include "hpo/mcmc_tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+#include "stats/summary.hpp"
+
+namespace mcmi::hpo {
+
+SearchSpace mcmc_search_space(const McmcTuneOptions& options) {
+  MCMI_CHECK(!options.alphas.empty(), "alpha grid must not be empty");
+  for (real_t alpha : options.alphas) {
+    MCMI_CHECK(alpha >= 0.0, "alpha must be nonnegative");
+  }
+  SearchSpace space;
+  space.params.push_back(ParamSpec::choice("alpha", options.alphas));
+  space.params.push_back(
+      ParamSpec::uniform("eps", options.eps_min, options.eps_max));
+  space.params.push_back(
+      ParamSpec::uniform("delta", options.delta_min, options.delta_max));
+  return space;
+}
+
+McmcTuneResult tune_mcmc_params(PerformanceMeasurer& measurer,
+                                KrylovMethod method,
+                                const McmcTuneOptions& options) {
+  MCMI_CHECK(options.rounds >= 1, "need at least one round");
+  MCMI_CHECK(options.candidates_per_round >= 1,
+             "need at least one candidate per round");
+  const SearchSpace space = mcmc_search_space(options);
+  TpeSampler sampler(space, options.tpe);
+  const index_t alpha_index = space.index_of("alpha");
+  const index_t eps_index = space.index_of("eps");
+  const index_t delta_index = space.index_of("delta");
+
+  McmcTuneResult result;
+  result.best_median = std::numeric_limits<real_t>::infinity();
+  for (index_t round = 0; round < options.rounds; ++round) {
+    // Propose the round's batch, snapping alpha through the choice
+    // parameter so candidates collapse into a few batched grid builds.
+    std::vector<Assignment> assignments;
+    std::vector<McmcParams> batch;
+    for (index_t c = 0; c < options.candidates_per_round; ++c) {
+      Assignment a = sampler.suggest();
+      const auto choice = static_cast<std::size_t>(
+          std::llround(a[static_cast<std::size_t>(alpha_index)]));
+      batch.push_back({options.alphas[choice],
+                       a[static_cast<std::size_t>(eps_index)],
+                       a[static_cast<std::size_t>(delta_index)]});
+      assignments.push_back(std::move(a));
+    }
+
+    // Evaluate: one shared walk ensemble per (distinct alpha, replicate).
+    const std::vector<real_t> medians =
+        measurer.measure_grouped_medians(batch, method, options.replicates);
+
+    for (std::size_t c = 0; c < batch.size(); ++c) {
+      sampler.record(assignments[c], medians[c]);
+      result.history.push_back({batch[c], medians[c]});
+      if (medians[c] < result.best_median) {
+        result.best_median = medians[c];
+        result.best = batch[c];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mcmi::hpo

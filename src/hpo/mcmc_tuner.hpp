@@ -1,0 +1,54 @@
+#pragma once
+// Direct TPE search over the MCMC parameters x_M = (alpha, eps, delta) for
+// one linear system — the surrogate-free counterpart of the paper's BO loop,
+// built to exploit batched grid builds: alpha is a categorical choice over a
+// small grid, so each round's candidate batch collapses into one shared walk
+// ensemble per distinct alpha (PerformanceMeasurer::measure_grid) instead of
+// one preconditioner build per candidate.  The eps/delta box mirrors the
+// low corner of the BO search space, where tuning converges and common
+// random numbers pay the most.
+
+#include <vector>
+
+#include "hpo/tpe.hpp"
+#include "krylov/solver.hpp"
+#include "mcmc/params.hpp"
+#include "pipeline/metric.hpp"
+
+namespace mcmi::hpo {
+
+struct McmcTuneOptions {
+  std::vector<real_t> alphas = {1.0, 2.0, 4.0, 5.0};  ///< categorical grid
+  real_t eps_min = 0.05;
+  real_t eps_max = 0.5;
+  real_t delta_min = 0.05;
+  real_t delta_max = 0.5;
+  index_t rounds = 3;                ///< TPE rounds
+  index_t candidates_per_round = 8;  ///< batch size per round
+  index_t replicates = 2;            ///< y replicates per candidate
+  TpeOptions tpe;                    ///< sampler knobs (seed, gamma, ...)
+};
+
+/// One evaluated candidate.
+struct McmcTrialResult {
+  McmcParams params;
+  real_t median_y = 0.0;  ///< sample median of the replicated eq.(4) ratio
+};
+
+struct McmcTuneResult {
+  McmcParams best;
+  real_t best_median = 0.0;
+  std::vector<McmcTrialResult> history;  ///< evaluation order
+};
+
+/// The x_M search space TPE samples from: categorical alpha over `alphas`,
+/// uniform eps and delta inside the box.
+SearchSpace mcmc_search_space(const McmcTuneOptions& options);
+
+/// Tune x_M for the system inside `measurer` with `method`.  Deterministic
+/// for a fixed (measurer seed, options.tpe.seed).
+McmcTuneResult tune_mcmc_params(PerformanceMeasurer& measurer,
+                                KrylovMethod method,
+                                const McmcTuneOptions& options = {});
+
+}  // namespace mcmi::hpo

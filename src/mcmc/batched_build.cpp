@@ -1,0 +1,443 @@
+#include "mcmc/batched_build.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+#include "core/timer.hpp"
+#include "mcmc/csr_arena.hpp"
+
+namespace mcmi {
+
+namespace {
+
+/// Exact bit pattern of a double: the grouping key wherever "the same
+/// parameter value" must mean bitwise equality (delta groups, alpha groups).
+u64 float_bits(real_t x) {
+  u64 k;
+  std::memcpy(&k, &x, sizeof(k));
+  return k;
+}
+
+/// Trials sharing one delta share one stopping rule (the cutoff T is a pure
+/// function of delta), so their walks stop at identical steps and a
+/// smaller-N trial's accumulator is bit-for-bit the prefix of a larger one:
+/// the group accumulates through ONE stream and snapshots it at each
+/// member's chain-count boundary.
+struct SegEntry {
+  real_t delta = 0.0;            ///< the group's truncation threshold
+  index_t cutoff = 0;            ///< the group's delta-implied walk cutoff
+  index_t target = 0;            ///< trial whose accumulator takes the adds
+  std::vector<index_t> trials;   ///< members active in this segment
+};
+
+/// Accumulator snapshot at a segment boundary: dst's chains are exhausted,
+/// so it freezes a bit-copy of the group stream accumulated so far.
+struct CopyOp {
+  index_t src = 0;  ///< trial id owning the group stream
+  index_t dst = 0;  ///< trial id receiving the frozen snapshot
+};
+
+/// The active-group schedule for one contiguous range of chain indices
+/// (constant active sets: chain counts are the segment bounds), plus the
+/// snapshots to take once the segment's chains are done.
+struct ChainSegment {
+  index_t chain_begin = 0;
+  index_t chain_end = 0;
+  std::vector<SegEntry> entries;
+  std::vector<CopyOp> copies;
+};
+
+/// One group's slot in the shared walk's live list: the stopping rule, the
+/// thread-private accumulator of the segment's target trial, and the shared
+/// entry (for per-trial transition accounting).
+struct LiveGroup {
+  real_t delta = 0.0;
+  real_t* acc = nullptr;
+  index_t cutoff = 0;
+  const SegEntry* entry = nullptr;
+};
+
+/// Chain indices [0, N_max) split at the distinct chain counts, with trials
+/// grouped by exact delta bits.  Per segment, each group accumulates into
+/// its smallest still-active member; at the segment's end boundary the
+/// stream is snapshotted into every member whose chains end there (and
+/// handed to the next member, which resumes the same stream — FP addition
+/// order per trial is exactly the standalone chain-major order).
+std::vector<ChainSegment> build_segments(const std::vector<index_t>& n_chains,
+                                         const std::vector<real_t>& deltas,
+                                         const std::vector<index_t>& cutoffs) {
+  std::vector<index_t> bounds = n_chains;
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  // Stop-rule groups keyed by delta bits, in first-appearance order (a
+  // deterministic order keeps the scatter sequence, and so the output,
+  // independent of any map iteration quirks).  Members sorted by chain
+  // count ascending, input order on ties.
+  std::vector<std::vector<index_t>> groups;
+  for (std::size_t t = 0; t < deltas.size(); ++t) {
+    bool placed = false;
+    for (auto& members : groups) {
+      if (float_bits(deltas[static_cast<std::size_t>(members.front())]) ==
+          float_bits(deltas[t])) {
+        members.push_back(static_cast<index_t>(t));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.push_back({static_cast<index_t>(t)});
+  }
+  for (auto& members : groups) {
+    std::stable_sort(members.begin(), members.end(),
+                     [&](index_t x, index_t y) {
+                       return n_chains[static_cast<std::size_t>(x)] <
+                              n_chains[static_cast<std::size_t>(y)];
+                     });
+  }
+
+  std::vector<ChainSegment> segments;
+  index_t prev = 0;
+  for (index_t b : bounds) {
+    ChainSegment seg;
+    seg.chain_begin = prev;
+    seg.chain_end = b;
+    for (const auto& members : groups) {
+      SegEntry entry;
+      for (index_t t : members) {
+        // Chain counts are segment bounds, so N_t > prev means the member
+        // is active for every chain index of this segment.
+        if (n_chains[static_cast<std::size_t>(t)] > prev) {
+          entry.trials.push_back(t);
+        }
+      }
+      if (entry.trials.empty()) continue;
+      entry.target = entry.trials.front();  // smallest active chain count
+      entry.delta = deltas[static_cast<std::size_t>(entry.target)];
+      entry.cutoff = cutoffs[static_cast<std::size_t>(entry.target)];
+      // Members whose chains end at this segment's bound freeze a snapshot
+      // of the stream; the next member resumes it.
+      if (n_chains[static_cast<std::size_t>(entry.target)] == b) {
+        index_t next_target = -1;
+        for (index_t t : entry.trials) {
+          if (n_chains[static_cast<std::size_t>(t)] == b &&
+              t != entry.target) {
+            seg.copies.push_back({entry.target, t});
+          } else if (n_chains[static_cast<std::size_t>(t)] > b) {
+            next_target = t;
+            break;  // members are sorted: first one past b resumes
+          }
+        }
+        if (next_target >= 0) seg.copies.push_back({entry.target, next_target});
+      }
+      seg.entries.push_back(std::move(entry));
+    }
+    segments.push_back(std::move(seg));
+    prev = b;
+  }
+  return segments;
+}
+
+/// One shared walk serving every active stop-rule group at once: it samples
+/// the chain a single time and scatters each step's weight into the stream
+/// accumulator of every group still running.  The scatter stores are
+/// independent of the walk's pointer-chased load chain, so they hide in its
+/// stalls — this is where G x O(walks) collapses into ~1 x O(walks).
+///
+/// `live` is the segment's group template (copied per chain); entries are
+/// swap-removed the moment their stopping rule fires, so the inner loop
+/// only ever touches running groups.  Removal reorders entries ACROSS
+/// groups only — each group's own adds still land in the chain-major,
+/// step-major order of the standalone walks, which keeps the accumulated
+/// doubles bit-identical.  Per-group step semantics mirror run_walk() in
+/// inverter.cpp exactly: accumulate steps 1..min(T, S - 1, L) and count
+/// min(T, S, L) transitions for every active member, S the first step with
+/// |W| < delta or past the divergence guard, L the shared walk's length.
+/// `transitions` is indexed by trial id; `mark`/`visited` collect the union
+/// of touched states for the row (epoch-tagged, no clearing between rows).
+template <SamplingMethod method>
+void run_shared_walk(const WalkKernel& k, index_t start, LiveGroup* live,
+                     index_t live_count, long long* transitions,
+                     Xoshiro256& rng, std::vector<u32>& mark, u32 epoch,
+                     std::vector<index_t>& visited) {
+  if (mark[static_cast<std::size_t>(start)] != epoch) {
+    mark[static_cast<std::size_t>(start)] = epoch;
+    visited.push_back(start);
+  }
+  // k = 0 term of the Neumann series, once per chain for every group.
+  for (index_t m = 0; m < live_count; ++m) live[m].acc[start] += 1.0;
+
+  index_t state = start;
+  real_t weight = 1.0;
+  index_t steps = 0;
+  while (live_count > 0) {
+    const index_t begin = k.row_ptr[state];
+    const index_t end = k.row_ptr[state + 1];
+    if (begin == end) break;  // absorbing state: every group ends here
+    index_t p;
+    if constexpr (method == SamplingMethod::kAlias) {
+      p = k.alias.sample(begin, end, rng());
+    } else {
+      const real_t target = uniform01(rng) * k.row_sum[state];
+      const auto first = k.cum_abs.begin() + begin;
+      const auto last = k.cum_abs.begin() + end;
+      auto it = std::upper_bound(first, last, target);
+      if (it == last) --it;
+      p = static_cast<index_t>(it - k.cum_abs.begin());
+    }
+    weight *= k.signed_sum[p];
+    state = k.succ[p];
+    ++steps;
+    const real_t aw = std::abs(weight);
+    if (aw > kDivergenceGuard) {
+      // Divergent kernel blow-up: every still-running group breaks at this
+      // step, uncounted in its accumulator (run_walk breaks before the
+      // accumulate).  A group is live only while steps <= its cutoff, so
+      // the step is always a counted transition.
+      for (index_t m = 0; m < live_count; ++m) {
+        for (index_t t : live[m].entry->trials) transitions[t] += steps;
+      }
+      return;
+    }
+    for (index_t m = 0; m < live_count;) {
+      LiveGroup& e = live[m];
+      if (aw < e.delta) {
+        // Sticky truncation: the crossing step is counted, not accumulated.
+        for (index_t t : e.entry->trials) transitions[t] += steps;
+        e = live[--live_count];
+        continue;
+      }
+      e.acc[state] += weight;
+      if (steps == e.cutoff) {
+        for (index_t t : e.entry->trials) transitions[t] += steps;
+        e = live[--live_count];
+        continue;
+      }
+      ++m;
+    }
+    if (mark[static_cast<std::size_t>(state)] != epoch) {
+      mark[static_cast<std::size_t>(state)] = epoch;
+      visited.push_back(state);
+    }
+  }
+  // Absorption: the surviving groups' cutoffs all exceed `steps` (a group
+  // reaching its cutoff is removed the same step), so each one consumed
+  // exactly the shared walk's length.
+  for (index_t m = 0; m < live_count; ++m) {
+    for (index_t t : live[m].entry->trials) transitions[t] += steps;
+  }
+}
+
+}  // namespace
+
+BatchedGridResult batched_grid_build(const CsrMatrix& a, real_t alpha,
+                                     const std::vector<GridTrial>& trials,
+                                     const McmcOptions& options,
+                                     WalkKernelCache* kernel_cache) {
+  MCMI_CHECK(a.rows() == a.cols(), "MCMCMI needs a square matrix");
+  MCMI_CHECK(alpha >= 0.0, "alpha must be nonnegative");
+  MCMI_CHECK(!trials.empty(), "batched grid build needs at least one trial");
+  MCMI_CHECK(options.filling_factor > 0.0, "filling factor must be positive");
+  for (const GridTrial& t : trials) {
+    MCMI_CHECK(t.eps > 0.0 && t.eps <= 1.0, "eps must be in (0,1]");
+    MCMI_CHECK(t.delta > 0.0 && t.delta <= 1.0, "delta must be in (0,1]");
+  }
+
+  WallTimer ensemble_timer;
+  const index_t n = a.rows();
+  const auto g = static_cast<index_t>(trials.size());
+
+  std::shared_ptr<const WalkKernel> cached;
+  WalkKernel local;
+  bool cache_hit = false;
+  if (kernel_cache != nullptr) {
+    cached = kernel_cache->get(a, alpha, &cache_hit);
+  } else {
+    local = build_walk_kernel(a, alpha);
+  }
+  const WalkKernel& kernel = cached ? *cached : local;
+
+  std::vector<index_t> n_chains(trials.size());
+  std::vector<index_t> cutoffs(trials.size());
+  std::vector<real_t> deltas(trials.size());
+  BatchedGridResult result;
+  result.info.resize(trials.size());
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    n_chains[t] = chains_for_eps(trials[t].eps);
+    cutoffs[t] = walk_length_for_delta(trials[t].delta, kernel.norm_inf,
+                                       options.walk_cap);
+    deltas[t] = trials[t].delta;
+    McmcBuildInfo& info = result.info[t];
+    info.b_norm_inf = kernel.norm_inf;
+    info.neumann_convergent = kernel.norm_inf < 1.0;
+    info.chains_per_row = n_chains[t];
+    info.walk_cutoff = cutoffs[t];
+    info.kernel_cache_hit = cache_hit;
+  }
+  const std::vector<ChainSegment> segments =
+      build_segments(n_chains, deltas, cutoffs);
+
+  const index_t row_budget = std::max<index_t>(
+      1, static_cast<index_t>(std::llround(
+             options.filling_factor * static_cast<real_t>(a.nnz()) /
+             static_cast<real_t>(n))));
+  const real_t threshold = options.truncation_threshold;
+
+  // Per-trial arenas and row slices: the assembly path of the standalone
+  // inverter, instantiated once per trial.
+  const auto num_threads = static_cast<std::size_t>(max_threads());
+  std::vector<std::vector<RowArena>> arenas(
+      trials.size(), std::vector<RowArena>(num_threads));
+  std::vector<std::vector<RowSlice>> row_slices(
+      trials.size(), std::vector<RowSlice>(static_cast<std::size_t>(n)));
+  std::vector<long long> transitions(trials.size(), 0);
+
+  const ChainPartition partition(n, options.ranks);
+  for (index_t rank = 0; rank < options.ranks; ++rank) {
+    const index_t row_begin = partition.begin(rank);
+    const index_t row_end = partition.end(rank);
+#pragma omp parallel
+    {
+      const int tid = thread_id();
+      // Thread-private workspace.  accum holds one dense accumulator per
+      // trial; mark/visited track the union of touched states per row — a
+      // superset of every trial's own touched set, harmless because
+      // never-touched states carry an exact 0.0 and fall to the threshold
+      // filter, leaving each trial's emitted row bit-identical.
+      std::vector<real_t> accum(
+          static_cast<std::size_t>(g) * static_cast<std::size_t>(n), 0.0);
+      std::vector<u32> mark(static_cast<std::size_t>(n), 0);
+      u32 epoch = 0;
+      std::vector<index_t> visited;
+      std::vector<index_t> order;
+      std::vector<long long> local_transitions(trials.size(), 0);
+      std::vector<real_t> inv_chains(trials.size());
+      for (std::size_t t = 0; t < trials.size(); ++t) {
+        inv_chains[t] = 1.0 / static_cast<real_t>(n_chains[t]);
+      }
+      const auto acc_of = [&](index_t t) {
+        return accum.data() +
+               static_cast<std::size_t>(t) * static_cast<std::size_t>(n);
+      };
+      // Per-segment live-list templates with this thread's accumulator
+      // pointers patched in, plus the scratch copy each chain consumes.
+      std::vector<std::vector<LiveGroup>> live_template(segments.size());
+      std::size_t max_entries = 0;
+      for (std::size_t s = 0; s < segments.size(); ++s) {
+        for (const SegEntry& e : segments[s].entries) {
+          live_template[s].push_back(
+              {e.delta, acc_of(e.target), e.cutoff, &e});
+        }
+        max_entries = std::max(max_entries, live_template[s].size());
+      }
+      std::vector<LiveGroup> live(max_entries);
+#pragma omp for schedule(dynamic, 8)
+      for (index_t i = row_begin; i < row_end; ++i) {
+        // ---- Phase A: one shared walk per chain, scattering into every
+        // running group's stream accumulator; at each segment boundary the
+        // finished members freeze bit-copies of their stream (see the CRN
+        // invariant in the header).
+        ++epoch;
+        visited.clear();
+        for (std::size_t s = 0; s < segments.size(); ++s) {
+          const ChainSegment& seg = segments[s];
+          const auto live_count =
+              static_cast<index_t>(live_template[s].size());
+          for (index_t c = seg.chain_begin; c < seg.chain_end; ++c) {
+            std::copy(live_template[s].begin(), live_template[s].end(),
+                      live.begin());
+            Xoshiro256 rng = make_stream(options.seed, static_cast<u64>(i),
+                                         static_cast<u64>(c));
+            if (options.sampling == SamplingMethod::kAlias) {
+              run_shared_walk<SamplingMethod::kAlias>(
+                  kernel, i, live.data(), live_count,
+                  local_transitions.data(), rng, mark, epoch, visited);
+            } else {
+              run_shared_walk<SamplingMethod::kInverseCdf>(
+                  kernel, i, live.data(), live_count,
+                  local_transitions.data(), rng, mark, epoch, visited);
+            }
+          }
+          for (const CopyOp& op : seg.copies) {
+            const real_t* src = acc_of(op.src);
+            real_t* dst = acc_of(op.dst);
+            for (index_t j : visited) dst[j] = src[j];
+          }
+        }
+        std::sort(visited.begin(), visited.end());
+
+        // ---- Phase B: emit every trial's row through the arena path.
+        // Trial-major: each trial streams the shared sorted union (a
+        // touched superset) through its own accumulator via the same
+        // emission helper the standalone inverter uses.
+        for (index_t t = 0; t < g; ++t) {
+          row_slices[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] =
+              emit_row_from_accumulator(
+                  arenas[static_cast<std::size_t>(t)]
+                        [static_cast<std::size_t>(tid)],
+                  tid, acc_of(t), visited, i,
+                  inv_chains[static_cast<std::size_t>(t)], kernel.inv_diag,
+                  threshold, row_budget, order);
+        }
+      }
+#pragma omp critical(mcmi_batched_transitions)
+      {
+        for (std::size_t t = 0; t < trials.size(); ++t) {
+          transitions[t] += local_transitions[t];
+        }
+      }
+    }
+  }
+  const real_t ensemble_seconds = ensemble_timer.seconds();
+
+  // Phase C: per-trial CSR assembly, timed per trial; the shared ensemble
+  // time is apportioned by each trial's own truncated transition share so
+  // build_seconds reflects the work the trial would have paid standalone.
+  long long total_transitions = 0;
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    total_transitions += transitions[t];
+  }
+  result.preconditioners.reserve(trials.size());
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    WallTimer assembly_timer;
+    result.preconditioners.push_back(
+        assemble_csr_from_arenas(n, row_slices[t], arenas[t]));
+    McmcBuildInfo& info = result.info[t];
+    info.total_transitions = transitions[t];
+    const real_t share =
+        total_transitions > 0
+            ? static_cast<real_t>(transitions[t]) /
+                  static_cast<real_t>(total_transitions)
+            : 1.0 / static_cast<real_t>(trials.size());
+    info.build_seconds = ensemble_seconds * share + assembly_timer.seconds();
+  }
+  return result;
+}
+
+std::vector<AlphaGroup> group_grid_by_alpha(
+    const std::vector<McmcParams>& grid) {
+  std::vector<AlphaGroup> groups;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const u64 key = float_bits(grid[i].alpha);
+    AlphaGroup* group = nullptr;
+    for (AlphaGroup& existing : groups) {
+      if (float_bits(existing.alpha) == key) {
+        group = &existing;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back({grid[i].alpha, {}, {}});
+      group = &groups.back();
+    }
+    group->indices.push_back(static_cast<index_t>(i));
+    group->trials.push_back({grid[i].eps, grid[i].delta});
+  }
+  return groups;
+}
+
+}  // namespace mcmi

@@ -1,0 +1,85 @@
+#pragma once
+// Batched MCMC grid builds: one walk ensemble serves every (eps, delta)
+// trial at a fixed alpha.
+//
+// The AI-tuning loop probes many (alpha, eps, delta) trials against one
+// matrix.  Trials sharing alpha run the *same* Markov chains — the kernel
+// B = I - D^-1 A_a depends only on (A, alpha) — and differ solely in how
+// many chains they average (N = chains_for_eps(eps)) and where each chain
+// stops (the first step with |W| < delta, or the delta-implied cutoff T).
+//
+// CRN prefix-sharing invariant
+// ----------------------------
+// Chain streams are keyed by (seed, row, chain) and a walk consumes exactly
+// one draw per transition, independent of (eps, delta).  Under these common
+// random numbers a smaller trial's walks are exact prefixes / chain-subsets
+// of a larger trial's walks:
+//
+//   * chain subset:  trial t uses chains c < N_t of the shared ensemble run
+//     at N_max = max_t N_t;
+//   * step prefix:   trial t accumulates steps 1..E of a chain where
+//     E = min(T_t, S_t - 1, L),  S_t the first step with |W| < delta_t (or
+//     |W| > the divergence guard), L the shared walk's own length — exactly
+//     the steps its standalone walk would have accumulated, because the
+//     weight sequence W_1, W_2, ... is trial-independent.
+//
+// The builder therefore runs the ensemble once per chain to the loosest
+// still-active stopping condition, records the (state, weight) trajectory,
+// and replays each trial's prefix into a per-trial accumulator in the same
+// (chain-major, step-major) order the standalone inverter uses — so every
+// trial's assembled P is bit-identical to McmcInverter::compute() with the
+// same seed, at any OpenMP thread count and rank partition.  This turns
+// G trials x O(walks) into ~1 x O(walks) + G x O(replay), where a replay
+// step (one streamed load + one indexed add) is several times cheaper than
+// a sampling step (RNG + alias lookup + pointer-chased kernel loads).
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "mcmc/inverter.hpp"
+#include "mcmc/params.hpp"
+#include "mcmc/walk_kernel.hpp"
+#include "sparse/csr.hpp"
+
+namespace mcmi {
+
+/// One (eps, delta) trial of a batched grid build at fixed alpha.
+struct GridTrial {
+  real_t eps = 0.25;    ///< stochastic error in (0, 1]: chain count
+  real_t delta = 0.25;  ///< truncation error in (0, 1]: walk stopping rule
+};
+
+/// Per-trial outputs of a batched grid build, in input trial order.
+struct BatchedGridResult {
+  std::vector<CsrMatrix> preconditioners;  ///< P per trial
+  std::vector<McmcBuildInfo> info;         ///< diagnostics per trial
+};
+
+/// Build every trial's preconditioner from one shared walk ensemble.
+///
+/// Each trial's P (and its info's total_transitions / chains_per_row /
+/// walk_cutoff) is identical to a standalone
+/// `McmcInverter(a, {alpha, eps, delta}, options).compute()`; build_seconds
+/// apportions the shared ensemble wall time by each trial's own truncated
+/// transition count (plus its own assembly).  When `kernel_cache` is given
+/// the walk kernel for (a, alpha) is fetched from / stored into it.
+BatchedGridResult batched_grid_build(const CsrMatrix& a, real_t alpha,
+                                     const std::vector<GridTrial>& trials,
+                                     const McmcOptions& options = {},
+                                     WalkKernelCache* kernel_cache = nullptr);
+
+/// One batched build's worth of grid points: every position of the source
+/// list sharing this exact alpha, in encounter order.
+struct AlphaGroup {
+  real_t alpha = 0.0;
+  std::vector<index_t> indices;   ///< positions in the source list
+  std::vector<GridTrial> trials;  ///< (eps, delta) per position
+};
+
+/// Group a parameter list by exact alpha bits, first-appearance order:
+/// each group maps to one batched_grid_build (or measure_grid) call, and
+/// `indices` scatters the per-trial results back into source order.
+std::vector<AlphaGroup> group_grid_by_alpha(
+    const std::vector<McmcParams>& grid);
+
+}  // namespace mcmi

@@ -58,6 +58,36 @@ inline index_t truncate_row_to_budget(RowArena& arena, index_t base,
   return budget;
 }
 
+/// Emit one assembled row into `arena`: scale the accumulated walk sums to
+/// P entries (average over chains, column scaling by inv_diag), reset the
+/// accumulator slots, drop off-diagonals at or below `threshold` (the
+/// diagonal is always kept), and cap the row at `budget` entries.  `touched`
+/// must be sorted ascending and cover every nonzero accumulator slot —
+/// a superset is fine: untouched states carry an exact 0.0 and fall to the
+/// threshold filter.  Shared by the standalone and batched builders (their
+/// bit-identity contract rides on this single definition).  Returns the
+/// row's slice for thread `tid`.
+inline RowSlice emit_row_from_accumulator(
+    RowArena& arena, int tid, real_t* accum,
+    const std::vector<index_t>& touched, index_t row, real_t inv_chains,
+    const std::vector<real_t>& inv_diag, real_t threshold, index_t budget,
+    std::vector<index_t>& order) {
+  const index_t base = static_cast<index_t>(arena.cols.size());
+  for (index_t j : touched) {
+    const real_t pij = accum[j] * inv_chains * inv_diag[j];
+    accum[j] = 0.0;
+    if (j != row && std::abs(pij) <= threshold) {
+      continue;  // truncation threshold (diagonal always kept)
+    }
+    arena.cols.push_back(j);
+    arena.vals.push_back(pij);
+  }
+  const index_t kept = truncate_row_to_budget(
+      arena, base, static_cast<index_t>(arena.cols.size()) - base, budget,
+      order);
+  return {tid, base, kept};
+}
+
 /// Phase 2 of the two-phase assembly: prefix-sum the per-row lengths into a
 /// CSR row_ptr and copy every arena row into the final buffers in parallel.
 CsrMatrix assemble_csr_from_arenas(index_t n,

@@ -59,7 +59,7 @@ index_t run_walk(const WalkKernel& k, index_t start, index_t cutoff,
     // finite — the resulting garbage preconditioner is the intended failure
     // signal for near-zero alpha, but it must not poison the solver with
     // inf/nan.
-    if (std::abs(weight) > 1e30) break;
+    if (std::abs(weight) > kDivergenceGuard) break;
     if (accum[state] == 0.0) touched.push_back(state);
     accum[state] += weight;
   }
@@ -161,23 +161,9 @@ CsrMatrix McmcInverter::compute() {
         std::sort(touched.begin(), touched.end());
         touched.erase(std::unique(touched.begin(), touched.end()),
                       touched.end());
-        // Average over chains and map M -> P = M D^-1 (column scaling),
-        // writing survivors straight into the arena in column order.
-        const index_t base = static_cast<index_t>(arena.cols.size());
-        for (index_t j : touched) {
-          const real_t pij = accum[j] * inv_chains * kernel.inv_diag[j];
-          accum[j] = 0.0;
-          if (j != i && std::abs(pij) <= threshold) {
-            continue;  // truncation threshold (diagonal always kept)
-          }
-          arena.cols.push_back(j);
-          arena.vals.push_back(pij);
-        }
-        // Filling-factor cap: keep the row_budget largest-magnitude entries.
-        const index_t kept = truncate_row_to_budget(
-            arena, base, static_cast<index_t>(arena.cols.size()) - base,
-            row_budget, order);
-        row_slices[i] = {tid, base, kept};
+        row_slices[i] = emit_row_from_accumulator(
+            arena, tid, accum.data(), touched, i, inv_chains,
+            kernel.inv_diag, threshold, row_budget, order);
       }
       transitions += local_transitions;
     }
@@ -190,8 +176,10 @@ CsrMatrix McmcInverter::compute() {
 }
 
 std::unique_ptr<SparseApproximateInverse> McmcInverter::build_preconditioner(
-    const CsrMatrix& a, const McmcParams& params, const McmcOptions& options) {
+    const CsrMatrix& a, const McmcParams& params, const McmcOptions& options,
+    WalkKernelCache* kernel_cache) {
   McmcInverter inverter(a, params, options);
+  inverter.set_kernel_cache(kernel_cache);
   CsrMatrix p = inverter.compute();
   return std::make_unique<SparseApproximateInverse>(
       std::move(p), "mcmcmi" + params.to_string());

@@ -70,10 +70,12 @@ class McmcInverter {
   /// rebuilt.  The cache must outlive compute(); pass nullptr to detach.
   void set_kernel_cache(WalkKernelCache* cache) { kernel_cache_ = cache; }
 
-  /// One-call convenience: build P and wrap it as a preconditioner.
+  /// One-call convenience: build P and wrap it as a preconditioner.  When
+  /// `kernel_cache` is given the walk kernel (and its alias tables) for
+  /// (a, alpha) is reused across calls instead of being rebuilt per trial.
   static std::unique_ptr<SparseApproximateInverse> build_preconditioner(
       const CsrMatrix& a, const McmcParams& params,
-      const McmcOptions& options = {});
+      const McmcOptions& options = {}, WalkKernelCache* kernel_cache = nullptr);
 
  private:
   const CsrMatrix& a_;

@@ -24,6 +24,12 @@ enum class SamplingMethod {
   kInverseCdf,  ///< binary search over cumulative weights (reference path)
 };
 
+/// Weight-magnitude guard for divergent kernels (||B|| >= 1): a walk whose
+/// |W| blows past this breaks with a finite estimate instead of inf/nan.
+/// Shared by the standalone and batched builders — their bit-identity
+/// contract depends on truncating at the same step.
+inline constexpr real_t kDivergenceGuard = 1e30;
+
 /// Continuous MCMC parameters x_M = (alpha, eps, delta).
 struct McmcParams {
   real_t alpha = 2.0;   ///< diagonal perturbation scale, alpha > 0

@@ -16,18 +16,56 @@ DatasetBuildOptions::DatasetBuildOptions() {
 
 namespace {
 
-/// Measure one labelled sample: replicated y for (params, method).
-LabeledSample make_sample(PerformanceMeasurer& measurer, index_t matrix_id,
-                          const McmcParams& params, KrylovMethod method,
-                          index_t replicates) {
-  const std::vector<real_t> ys =
-      measurer.measure_replicates(params, method, replicates);
+/// Label from replicated measurements: the sample mean/std of y.
+LabeledSample make_label(index_t matrix_id, const McmcParams& params,
+                         KrylovMethod method, const std::vector<real_t>& ys) {
   LabeledSample s;
   s.matrix_id = matrix_id;
   s.xm = encode_xm(params, method);
   s.y_mean = mean(ys);
   s.y_std = sample_std(ys);
   return s;
+}
+
+/// Measure one labelled sample: replicated y for (params, method).
+LabeledSample make_sample(PerformanceMeasurer& measurer, index_t matrix_id,
+                          const McmcParams& params, KrylovMethod method,
+                          index_t replicates) {
+  return make_label(matrix_id, params, method,
+                    measurer.measure_replicates(params, method, replicates));
+}
+
+/// Grid-search labels over `grid` x `methods`: trials sharing an alpha run
+/// as one batched walk ensemble per (method, replicate) through
+/// measure_grid_replicates, and the labels land in the dataset in the same
+/// grid-major, method-minor order (and with the same values — batched
+/// builds are bit-identical to standalone ones) as the per-trial loop this
+/// replaces.
+void append_grid_samples(SurrogateDataset& dataset,
+                         PerformanceMeasurer& measurer, index_t matrix_id,
+                         const std::vector<McmcParams>& grid,
+                         const std::vector<KrylovMethod>& methods,
+                         index_t replicates) {
+  const std::vector<AlphaGroup> groups = group_grid_by_alpha(grid);
+  // labels[grid index][method index], scattered back into source order.
+  std::vector<std::vector<LabeledSample>> labels(
+      grid.size(), std::vector<LabeledSample>(methods.size()));
+  for (const AlphaGroup& group : groups) {
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      const std::vector<std::vector<real_t>> ys =
+          measurer.measure_grid_replicates(group.alpha, group.trials,
+                                           methods[m], replicates);
+      for (std::size_t t = 0; t < group.trials.size(); ++t) {
+        const auto gi = static_cast<std::size_t>(group.indices[t]);
+        labels[gi][m] = make_label(matrix_id, grid[gi], methods[m], ys[t]);
+      }
+    }
+  }
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      dataset.samples.push_back(labels[gi][m]);
+    }
+  }
 }
 
 }  // namespace
@@ -54,15 +92,12 @@ index_t append_matrix_measurements(SurrogateDataset& dataset,
   McmcOptions mcmc = options.mcmc;
   mcmc.seed = mix64(options.seed ^ static_cast<u64>(matrix_id + 1));
   PerformanceMeasurer measurer(matrix.matrix, options.solve, mcmc);
-  index_t done = 0;
-  for (const McmcParams& params : grid) {
-    for (KrylovMethod method : methods) {
-      dataset.samples.push_back(make_sample(measurer, matrix_id, params,
-                                            method, options.replicates));
-      ++done;
-    }
+  append_grid_samples(dataset, measurer, matrix_id, grid, methods,
+                      options.replicates);
+  if (options.on_matrix) {
+    options.on_matrix(matrix.name,
+                      static_cast<index_t>(grid.size() * methods.size()));
   }
-  if (options.on_matrix) options.on_matrix(matrix.name, done);
   return matrix_id;
 }
 
@@ -80,18 +115,22 @@ SurrogateDataset build_dataset(const std::vector<NamedMatrix>& matrices,
     mcmc.seed = mix64(options.seed ^ static_cast<u64>(matrix_id + 1));
     PerformanceMeasurer measurer(m.matrix, options.solve, mcmc);
 
-    // SPD matrices additionally run CG at the small alpha of §4.2.
+    // SPD matrices additionally run CG at the small alpha of §4.2: one
+    // (eps, delta) grid at a single alpha — exactly one batched ensemble
+    // per replicate.
     if (m.spd) {
+      std::vector<McmcParams> cg_grid;
       for (real_t eps : paper_eps_values()) {
         for (real_t delta : paper_eps_values()) {
-          dataset.samples.push_back(
-              make_sample(measurer, matrix_id, {options.cg_alpha, eps, delta},
-                          KrylovMethod::kCG, options.replicates));
+          cg_grid.push_back({options.cg_alpha, eps, delta});
         }
       }
+      append_grid_samples(dataset, measurer, matrix_id, cg_grid,
+                          {KrylovMethod::kCG}, options.replicates);
     }
 
-    // Near-zero-alpha probes: divergence scenarios for the surrogate.
+    // Near-zero-alpha probes: divergence scenarios for the surrogate
+    // (single trials per alpha — nothing to batch).
     for (index_t d = 0; d < options.divergence_samples; ++d) {
       const real_t tiny_alpha = 0.01 + 0.01 * static_cast<real_t>(d);
       for (KrylovMethod method :

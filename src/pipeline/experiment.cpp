@@ -98,18 +98,28 @@ StrategyResult TuningExperiment::run_bo_strategy(
 
   StrategyResult result;
   result.name = name;
-  for (const Recommendation& rec : recs) {
-    GridObservation obs;
-    obs.params = rec.params;
-    obs.ys = measurer.measure_replicates(rec.params, options_.test_method,
+  // Candidates sharing an alpha evaluate through one batched walk ensemble
+  // per replicate; results scatter back into recommendation order (the
+  // values are identical to the per-candidate loop this replaces).
+  result.evaluated.resize(recs.size());
+  for (const AlphaGroup& group : group_recommendations_by_alpha(recs)) {
+    const std::vector<std::vector<real_t>> ys =
+        measurer.measure_grid_replicates(group.alpha, group.trials,
+                                         options_.test_method,
                                          options_.test_replicates);
+    for (std::size_t t = 0; t < group.trials.size(); ++t) {
+      const auto r = static_cast<std::size_t>(group.indices[t]);
+      result.evaluated[r].params = recs[r].params;
+      result.evaluated[r].ys = ys[t];
+    }
+  }
+  for (const GridObservation& obs : result.evaluated) {
     LabeledSample sample;
     sample.matrix_id = test_matrix_id;
-    sample.xm = encode_xm(rec.params, options_.test_method);
+    sample.xm = encode_xm(obs.params, options_.test_method);
     sample.y_mean = mean(obs.ys);
     sample.y_std = sample_std(obs.ys);
     new_samples.push_back(sample);
-    result.evaluated.push_back(std::move(obs));
   }
   return result;
 }
@@ -159,13 +169,19 @@ void TuningExperiment::run() {
       static_cast<long long>(results_.baseline_steps),
       method_name(options_.test_method).c_str());
 
-  results_.test_grid.clear();
-  for (const McmcParams& params : options_.data.grid) {
-    GridObservation obs;
-    obs.params = params;
-    obs.ys = measurer.measure_replicates(params, options_.test_method,
+  // Ground-truth grid: one batched walk ensemble per (alpha, replicate)
+  // serves all 16 (eps, delta) trials of that alpha.
+  results_.test_grid.assign(options_.data.grid.size(), GridObservation{});
+  for (const AlphaGroup& group : group_grid_by_alpha(options_.data.grid)) {
+    const std::vector<std::vector<real_t>> ys =
+        measurer.measure_grid_replicates(group.alpha, group.trials,
+                                         options_.test_method,
                                          options_.test_replicates);
-    results_.test_grid.push_back(std::move(obs));
+    for (std::size_t t = 0; t < group.trials.size(); ++t) {
+      const auto gi = static_cast<std::size_t>(group.indices[t]);
+      results_.test_grid[gi].params = options_.data.grid[gi];
+      results_.test_grid[gi].ys = ys[t];
+    }
   }
   results_.grid_strategy.name = "grid-search(64)";
   results_.grid_strategy.evaluated = results_.test_grid;

@@ -2,6 +2,7 @@
 
 #include "core/error.hpp"
 #include "core/rng.hpp"
+#include "stats/summary.hpp"
 
 namespace mcmi {
 
@@ -30,20 +31,16 @@ index_t PerformanceMeasurer::baseline_steps(KrylovMethod method) {
   return baseline_[m];
 }
 
-MetricResult PerformanceMeasurer::measure(const McmcParams& params,
-                                          KrylovMethod method,
-                                          index_t replicate) {
-  MetricResult result;
-  result.steps_without = baseline_steps(method);
-
+McmcOptions PerformanceMeasurer::replicate_options(index_t replicate) const {
   McmcOptions options = mcmc_options_;
-  options.seed = mix64(mcmc_options_.seed + 0x9e3779b9 * static_cast<u64>(replicate + 1));
-  McmcInverter inverter(a_, params, options);
-  inverter.set_kernel_cache(&kernel_cache_);
-  const CsrMatrix p = inverter.compute();
-  result.build = inverter.info();
-  const SparseApproximateInverse precond(p, "mcmcmi");
+  options.seed = mix64(mcmc_options_.seed +
+                       0x9e3779b9 * static_cast<u64>(replicate + 1));
+  return options;
+}
 
+void PerformanceMeasurer::score_solve(const SparseApproximateInverse& precond,
+                                      KrylovMethod method,
+                                      MetricResult& result) {
   std::vector<real_t> x;
   const SolveResult res = solve(method, a_, rhs_, precond, x, solve_options_);
   result.preconditioned_converged = res.converged;
@@ -52,7 +49,71 @@ MetricResult PerformanceMeasurer::measure(const McmcParams& params,
       res.converged ? res.iterations : solve_options_.max_iterations;
   result.y = std::min(y_cap_, static_cast<real_t>(result.steps_with) /
                                   static_cast<real_t>(result.steps_without));
+}
+
+MetricResult PerformanceMeasurer::measure(const McmcParams& params,
+                                          KrylovMethod method,
+                                          index_t replicate) {
+  MetricResult result;
+  result.steps_without = baseline_steps(method);
+
+  McmcInverter inverter(a_, params, replicate_options(replicate));
+  inverter.set_kernel_cache(&kernel_cache_);
+  CsrMatrix p = inverter.compute();
+  result.build = inverter.info();
+  const SparseApproximateInverse precond(std::move(p), "mcmcmi");
+  score_solve(precond, method, result);
   return result;
+}
+
+std::vector<MetricResult> PerformanceMeasurer::measure_grid(
+    real_t alpha, const std::vector<GridTrial>& trials, KrylovMethod method,
+    index_t replicate) {
+  const index_t base = baseline_steps(method);
+
+  BatchedGridResult built = batched_grid_build(
+      a_, alpha, trials, replicate_options(replicate), &kernel_cache_);
+
+  std::vector<MetricResult> results(trials.size());
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    MetricResult& result = results[t];
+    result.steps_without = base;
+    result.build = built.info[t];
+    const SparseApproximateInverse precond(
+        std::move(built.preconditioners[t]), "mcmcmi");
+    score_solve(precond, method, result);
+  }
+  return results;
+}
+
+std::vector<std::vector<real_t>> PerformanceMeasurer::measure_grid_replicates(
+    real_t alpha, const std::vector<GridTrial>& trials, KrylovMethod method,
+    index_t replicates) {
+  MCMI_CHECK(replicates >= 1, "need at least one replicate");
+  std::vector<std::vector<real_t>> ys(trials.size());
+  for (auto& column : ys) column.reserve(static_cast<std::size_t>(replicates));
+  for (index_t r = 0; r < replicates; ++r) {
+    const std::vector<MetricResult> round =
+        measure_grid(alpha, trials, method, r);
+    for (std::size_t t = 0; t < trials.size(); ++t) {
+      ys[t].push_back(round[t].y);
+    }
+  }
+  return ys;
+}
+
+std::vector<real_t> PerformanceMeasurer::measure_grouped_medians(
+    const std::vector<McmcParams>& grid, KrylovMethod method,
+    index_t replicates) {
+  std::vector<real_t> medians(grid.size(), 0.0);
+  for (const AlphaGroup& group : group_grid_by_alpha(grid)) {
+    const std::vector<std::vector<real_t>> ys =
+        measure_grid_replicates(group.alpha, group.trials, method, replicates);
+    for (std::size_t t = 0; t < group.trials.size(); ++t) {
+      medians[static_cast<std::size_t>(group.indices[t])] = median(ys[t]);
+    }
+  }
+  return medians;
 }
 
 std::vector<real_t> PerformanceMeasurer::measure_replicates(

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "krylov/solver.hpp"
+#include "mcmc/batched_build.hpp"
 #include "mcmc/inverter.hpp"
 #include "mcmc/params.hpp"
 #include "sparse/csr.hpp"
@@ -48,6 +49,29 @@ class PerformanceMeasurer {
                                          KrylovMethod method,
                                          index_t replicates);
 
+  /// Batched grid probe: one walk ensemble at this alpha serves every
+  /// (eps, delta) trial (mcmc/batched_build.hpp), then one solve per trial.
+  /// Element r of the result equals measure({alpha, eps_t, delta_t}, method,
+  /// replicate) exactly — same seeds, bit-identical preconditioner.
+  std::vector<MetricResult> measure_grid(real_t alpha,
+                                         const std::vector<GridTrial>& trials,
+                                         KrylovMethod method,
+                                         index_t replicate);
+
+  /// Replicated batched probe: ys[t][r] = y of trial t, replicate r
+  /// (identical to measure_replicates per trial, at one ensemble per
+  /// replicate instead of one per trial x replicate).
+  std::vector<std::vector<real_t>> measure_grid_replicates(
+      real_t alpha, const std::vector<GridTrial>& trials, KrylovMethod method,
+      index_t replicates);
+
+  /// Median replicated y per point of an arbitrary parameter list, grouped
+  /// by alpha internally so each group runs as batched grid probes.
+  /// Results are in source order.
+  std::vector<real_t> measure_grouped_medians(
+      const std::vector<McmcParams>& grid, KrylovMethod method,
+      index_t replicates);
+
   /// Baseline (unpreconditioned) step count for a solver.
   index_t baseline_steps(KrylovMethod method);
 
@@ -57,6 +81,15 @@ class PerformanceMeasurer {
   }
 
  private:
+  /// Sampler options for one replicate: the seed keyed by (base seed,
+  /// replicate) — the single definition both measure paths share, so the
+  /// batched probe cannot drift from the per-trial one.
+  [[nodiscard]] McmcOptions replicate_options(index_t replicate) const;
+  /// Solve with `precond`, fill the step counts and the capped eq. (4)
+  /// ratio of `result` (steps_without must be set).
+  void score_solve(const SparseApproximateInverse& precond,
+                   KrylovMethod method, MetricResult& result);
+
   const CsrMatrix& a_;
   SolveOptions solve_options_;
   McmcOptions mcmc_options_;

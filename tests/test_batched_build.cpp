@@ -1,0 +1,184 @@
+// Tests for src/mcmc/batched_build: every trial of a batched grid build must
+// be bit-identical to its standalone McmcInverter::compute() — the CRN
+// prefix-sharing invariant — across thread counts, rank partitions, sampling
+// methods, and convergent / divergent kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "gen/laplace.hpp"
+#include "gen/random_sparse.hpp"
+#include "mcmc/batched_build.hpp"
+#include "mcmc/inverter.hpp"
+#include "sparse/coo.hpp"
+
+namespace mcmi {
+namespace {
+
+/// A matrix whose off-diagonal mass exceeds the diagonal: with near-zero
+/// alpha the Neumann series diverges (||B||_inf >= 1) and walks hit the
+/// divergence guard / walk cap instead of the delta truncation.
+CsrMatrix divergent_matrix() {
+  CooMatrix coo(20, 20);
+  for (index_t i = 0; i < 20; ++i) {
+    coo.add(i, i, 1.0);
+    coo.add(i, (i + 1) % 20, 1.0);
+    coo.add(i, (i + 7) % 20, -1.0);
+  }
+  return CsrMatrix::from_coo(std::move(coo));
+}
+
+/// The shared 6-point (eps, delta) grid exercised by the equality tests:
+/// spans chain counts 2..117 and both loose and tight truncation.
+std::vector<GridTrial> test_grid() {
+  return {{0.5, 0.5},      {0.5, 0.0625}, {0.25, 0.125},
+          {0.125, 0.0625}, {0.0625, 0.5}, {0.0625, 0.03125}};
+}
+
+void expect_equal(const CsrMatrix& batched, const CsrMatrix& standalone,
+                  const char* label, std::size_t trial) {
+  ASSERT_EQ(batched.nnz(), standalone.nnz()) << label << " trial " << trial;
+  EXPECT_EQ(batched.row_ptr(), standalone.row_ptr())
+      << label << " trial " << trial;
+  EXPECT_EQ(batched.col_idx(), standalone.col_idx())
+      << label << " trial " << trial;
+  EXPECT_EQ(batched.values(), standalone.values())  // bit-identical
+      << label << " trial " << trial;
+}
+
+/// Batched-vs-standalone bit-equality for every grid point of `trials` on
+/// `a`, under `options`.
+void check_grid(const CsrMatrix& a, real_t alpha,
+                const std::vector<GridTrial>& trials,
+                const McmcOptions& options, const char* label) {
+  const BatchedGridResult batched =
+      batched_grid_build(a, alpha, trials, options);
+  ASSERT_EQ(batched.preconditioners.size(), trials.size());
+  ASSERT_EQ(batched.info.size(), trials.size());
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    McmcInverter standalone(a, {alpha, trials[t].eps, trials[t].delta},
+                            options);
+    const CsrMatrix reference = standalone.compute();
+    expect_equal(batched.preconditioners[t], reference, label, t);
+    // The per-trial accounting must match the trial's own truncated work.
+    EXPECT_EQ(batched.info[t].total_transitions,
+              standalone.info().total_transitions)
+        << label << " trial " << t;
+    EXPECT_EQ(batched.info[t].chains_per_row,
+              standalone.info().chains_per_row);
+    EXPECT_EQ(batched.info[t].walk_cutoff, standalone.info().walk_cutoff);
+    EXPECT_EQ(batched.info[t].b_norm_inf, standalone.info().b_norm_inf);
+    EXPECT_EQ(batched.info[t].neumann_convergent,
+              standalone.info().neumann_convergent);
+    EXPECT_GE(batched.info[t].build_seconds, 0.0);
+  }
+}
+
+TEST(BatchedBuild, BitIdenticalOnLaplace) {
+  const CsrMatrix a = laplace_2d(10);
+  check_grid(a, 1.0, test_grid(), {}, "laplace/alias");
+  McmcOptions cdf;
+  cdf.sampling = SamplingMethod::kInverseCdf;
+  check_grid(a, 1.0, test_grid(), cdf, "laplace/cdf");
+}
+
+TEST(BatchedBuild, BitIdenticalOnRandomSparse) {
+  const CsrMatrix a = pdd_real_sparse(60, 0.12, 77);
+  check_grid(a, 2.0, test_grid(), {}, "random/alias");
+  McmcOptions cdf;
+  cdf.sampling = SamplingMethod::kInverseCdf;
+  check_grid(a, 2.0, test_grid(), cdf, "random/cdf");
+}
+
+TEST(BatchedBuild, BitIdenticalOnDivergentKernel) {
+  // ||B||_inf >= 1: walks run to the cap or the divergence guard; both the
+  // guard step and the cap must freeze each trial exactly as standalone.
+  const CsrMatrix a = divergent_matrix();
+  McmcOptions opt;
+  opt.walk_cap = 64;
+  check_grid(a, 0.01, test_grid(), opt, "divergent/alias");
+  McmcOptions cdf = opt;
+  cdf.sampling = SamplingMethod::kInverseCdf;
+  check_grid(a, 0.01, test_grid(), cdf, "divergent/cdf");
+}
+
+TEST(BatchedBuild, DeterministicAcrossThreadCountsAndRanks) {
+  const CsrMatrix a = pdd_real_sparse(50, 0.15, 51);
+  const std::vector<GridTrial> trials = test_grid();
+
+  auto build = [&](int threads, index_t ranks) {
+#ifdef _OPENMP
+    omp_set_num_threads(threads);
+#else
+    (void)threads;
+#endif
+    McmcOptions opt;
+    opt.ranks = ranks;
+    return batched_grid_build(a, 1.0, trials, opt);
+  };
+
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+#endif
+  const BatchedGridResult r1 = build(1, 2);
+  const BatchedGridResult r2 = build(2, 2);
+  const BatchedGridResult r4 = build(4, 2);
+  const BatchedGridResult rank1 = build(4, 1);
+#ifdef _OPENMP
+  omp_set_num_threads(saved);
+#endif
+
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    expect_equal(r2.preconditioners[t], r1.preconditioners[t], "2-thread", t);
+    expect_equal(r4.preconditioners[t], r1.preconditioners[t], "4-thread", t);
+    expect_equal(rank1.preconditioners[t], r1.preconditioners[t], "1-rank", t);
+    EXPECT_EQ(r2.info[t].total_transitions, r1.info[t].total_transitions);
+    EXPECT_EQ(r4.info[t].total_transitions, r1.info[t].total_transitions);
+  }
+}
+
+TEST(BatchedBuild, DuplicateTrialsGetIdenticalOutputs) {
+  const CsrMatrix a = laplace_2d(8);
+  const std::vector<GridTrial> trials = {{0.25, 0.125}, {0.25, 0.125}};
+  const BatchedGridResult r = batched_grid_build(a, 1.0, trials);
+  expect_equal(r.preconditioners[1], r.preconditioners[0], "duplicate", 1);
+  EXPECT_EQ(r.info[0].total_transitions, r.info[1].total_transitions);
+}
+
+TEST(BatchedBuild, KernelCacheIsUsedAndHarmless) {
+  const CsrMatrix a = pdd_real_sparse(40, 0.15, 51);
+  const std::vector<GridTrial> trials = {{0.5, 0.25}, {0.25, 0.0625}};
+  const BatchedGridResult no_cache = batched_grid_build(a, 1.0, trials);
+  WalkKernelCache cache;
+  const BatchedGridResult first =
+      batched_grid_build(a, 1.0, trials, {}, &cache);
+  const BatchedGridResult second =
+      batched_grid_build(a, 1.0, trials, {}, &cache);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 1);
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    EXPECT_FALSE(first.info[t].kernel_cache_hit);
+    EXPECT_TRUE(second.info[t].kernel_cache_hit);
+    expect_equal(first.preconditioners[t], no_cache.preconditioners[t],
+                 "cache-first", t);
+    expect_equal(second.preconditioners[t], no_cache.preconditioners[t],
+                 "cache-second", t);
+  }
+}
+
+TEST(BatchedBuild, RejectsBadInputs) {
+  const CsrMatrix a = laplace_1d(4);
+  EXPECT_THROW(batched_grid_build(a, -1.0, {{0.5, 0.5}}), Error);
+  EXPECT_THROW(batched_grid_build(a, 1.0, {}), Error);
+  EXPECT_THROW(batched_grid_build(a, 1.0, {{0.0, 0.5}}), Error);
+  EXPECT_THROW(batched_grid_build(a, 1.0, {{0.5, 2.0}}), Error);
+}
+
+}  // namespace
+}  // namespace mcmi

@@ -6,7 +6,9 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "gen/matrix_set.hpp"
 #include "hpo/asha.hpp"
+#include "hpo/mcmc_tuner.hpp"
 #include "hpo/space.hpp"
 #include "hpo/tpe.hpp"
 
@@ -123,6 +125,55 @@ TEST(Tpe, BestThrowsWithoutHistory) {
 TEST(Tpe, RecordValidatesDimension) {
   TpeSampler tpe(synthetic_space());
   EXPECT_THROW(tpe.record({1.0}, 0.5), Error);
+}
+
+TEST(McmcTuner, SearchSpaceShape) {
+  McmcTuneOptions options;
+  const SearchSpace space = mcmc_search_space(options);
+  EXPECT_EQ(space.dim(), 3);
+  EXPECT_EQ(space.params[space.index_of("alpha")].kind, ParamKind::kChoice);
+  EXPECT_EQ(space.params[space.index_of("alpha")].cardinality(), 4);
+  EXPECT_EQ(space.params[space.index_of("eps")].kind, ParamKind::kUniform);
+  McmcTuneOptions bad;
+  bad.alphas.clear();
+  EXPECT_THROW(mcmc_search_space(bad), Error);
+}
+
+TEST(McmcTuner, TunesThroughBatchedGridProbes) {
+  const NamedMatrix nm = make_matrix("PDD_RealSparse_N64");
+  SolveOptions solve;
+  solve.restart = 250;
+  solve.max_iterations = 1500;
+  McmcTuneOptions options;
+  options.rounds = 2;
+  options.candidates_per_round = 4;
+  options.replicates = 2;
+  PerformanceMeasurer measurer(nm.matrix, solve);
+  const McmcTuneResult result =
+      tune_mcmc_params(measurer, KrylovMethod::kGMRES, options);
+  ASSERT_EQ(result.history.size(), 8u);
+  EXPECT_TRUE(std::isfinite(result.best_median));
+  for (const McmcTrialResult& trial : result.history) {
+    EXPECT_GE(trial.median_y, result.best_median);
+    // Alpha snapped to the categorical grid.
+    bool on_grid = false;
+    for (real_t alpha : options.alphas) {
+      if (trial.params.alpha == alpha) on_grid = true;
+    }
+    EXPECT_TRUE(on_grid);
+    EXPECT_GE(trial.params.eps, options.eps_min);
+    EXPECT_LE(trial.params.eps, options.eps_max);
+  }
+  // Deterministic: same seeds, same history.
+  PerformanceMeasurer rerun(nm.matrix, solve);
+  const McmcTuneResult again =
+      tune_mcmc_params(rerun, KrylovMethod::kGMRES, options);
+  ASSERT_EQ(again.history.size(), result.history.size());
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    EXPECT_EQ(again.history[i].median_y, result.history[i].median_y);
+    EXPECT_EQ(again.history[i].params.alpha, result.history[i].params.alpha);
+  }
+  EXPECT_EQ(again.best_median, result.best_median);
 }
 
 TEST(Asha, RungLadderMatchesPaperSettings) {

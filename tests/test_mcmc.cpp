@@ -212,6 +212,25 @@ TEST(Inverter, KernelCacheDoesNotChangeOutput) {
   EXPECT_EQ(cache.misses(), 1);
 }
 
+TEST(Inverter, BuildPreconditionerReusesKernelCache) {
+  // The one-call convenience path accepts a cache so repeated trials stop
+  // rebuilding the walk kernel (and its alias tables) per call — and the
+  // cache must not change the output.
+  const CsrMatrix a = pdd_real_sparse(50, 0.1, 43);
+  const McmcParams params{2.0, 0.25, 0.25};
+  const auto plain = McmcInverter::build_preconditioner(a, params);
+  WalkKernelCache cache;
+  const auto first =
+      McmcInverter::build_preconditioner(a, params, {}, &cache);
+  const auto second =
+      McmcInverter::build_preconditioner(a, {2.0, 0.5, 0.25}, {}, &cache);
+  EXPECT_EQ(cache.misses(), 1);  // alpha shared: one build, one hit
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(first->matrix().values(), plain->matrix().values());
+  EXPECT_EQ(first->matrix().col_idx(), plain->matrix().col_idx());
+  EXPECT_GT(second->matrix().nnz(), 0);
+}
+
 TEST(Inverter, SeedChangesEstimate) {
   const CsrMatrix a = pdd_real_sparse(50, 0.1, 43);
   McmcOptions o1, o2;

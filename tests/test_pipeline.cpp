@@ -5,9 +5,11 @@
 
 #include <cmath>
 
+#include "core/rng.hpp"
 #include "gen/matrix_set.hpp"
 #include "pipeline/dataset_builder.hpp"
 #include "pipeline/metric.hpp"
+#include "stats/summary.hpp"
 
 namespace mcmi {
 namespace {
@@ -72,6 +74,51 @@ TEST(Metric, DivergentAlphaIsCappedFailureSignal) {
   EXPECT_LE(r.y, 4.0);  // the cap
 }
 
+TEST(Metric, MeasureGridMatchesPerTrialMeasure) {
+  // The batched probe must reproduce measure() exactly: same replicate
+  // seeds, bit-identical preconditioner, so identical step counts and y.
+  const NamedMatrix nm = make_matrix("PDD_RealSparse_N64");
+  PerformanceMeasurer batched(nm.matrix, quick_solve());
+  PerformanceMeasurer serial(nm.matrix, quick_solve());
+  const real_t alpha = 1.0;
+  const std::vector<GridTrial> trials = {
+      {0.5, 0.5}, {0.25, 0.125}, {0.125, 0.0625}, {0.5, 0.0625}};
+  for (index_t replicate = 0; replicate < 2; ++replicate) {
+    const std::vector<MetricResult> grid =
+        batched.measure_grid(alpha, trials, KrylovMethod::kGMRES, replicate);
+    ASSERT_EQ(grid.size(), trials.size());
+    for (std::size_t t = 0; t < trials.size(); ++t) {
+      const MetricResult single = serial.measure(
+          {alpha, trials[t].eps, trials[t].delta}, KrylovMethod::kGMRES,
+          replicate);
+      EXPECT_EQ(grid[t].steps_with, single.steps_with) << "trial " << t;
+      EXPECT_EQ(grid[t].steps_without, single.steps_without);
+      EXPECT_EQ(grid[t].y, single.y) << "trial " << t;  // bit-identical
+      EXPECT_EQ(grid[t].build.total_transitions,
+                single.build.total_transitions)
+          << "trial " << t;
+      EXPECT_EQ(grid[t].build.chains_per_row, single.build.chains_per_row);
+      EXPECT_EQ(grid[t].build.walk_cutoff, single.build.walk_cutoff);
+    }
+  }
+}
+
+TEST(Metric, MeasureGridReplicatesShape) {
+  const NamedMatrix nm = make_matrix("PDD_RealSparse_N64");
+  PerformanceMeasurer measurer(nm.matrix, quick_solve());
+  const std::vector<GridTrial> trials = {{0.5, 0.5}, {0.25, 0.25}};
+  const auto ys =
+      measurer.measure_grid_replicates(1.0, trials, KrylovMethod::kGMRES, 3);
+  ASSERT_EQ(ys.size(), 2u);
+  for (const auto& column : ys) {
+    ASSERT_EQ(column.size(), 3u);
+    for (real_t y : column) EXPECT_GT(y, 0.0);
+  }
+  const auto per_trial =
+      measurer.measure_replicates({1.0, 0.5, 0.5}, KrylovMethod::kGMRES, 3);
+  EXPECT_EQ(ys[0], per_trial);  // identical replicate seeding
+}
+
 TEST(DatasetBuilder, SampleCountFormula) {
   // One SPD matrix: 64 grid x 2 solvers + 16 CG + 2 divergence x 2 solvers.
   DatasetBuildOptions opt;
@@ -119,6 +166,38 @@ TEST(DatasetBuilder, AppendReusesMatrixEntry) {
       ds, other, {{2.0, 0.5, 0.5}}, {KrylovMethod::kGMRES}, opt);
   EXPECT_EQ(id2, 1);
   EXPECT_EQ(ds.num_matrices(), 2);
+}
+
+TEST(DatasetBuilder, BatchedGridLabelsMatchPerTrialLabels) {
+  // The alpha-grouped batched path must label exactly like the per-trial
+  // loop it replaced: same sample order (grid-major, method-minor), same
+  // means and deviations.  The grid interleaves two alphas to exercise the
+  // group-and-scatter logic.
+  DatasetBuildOptions opt;
+  opt.replicates = 2;
+  opt.divergence_samples = 0;
+  opt.grid = {{1.0, 0.5, 0.5},
+              {2.0, 0.5, 0.25},
+              {1.0, 0.25, 0.5},
+              {2.0, 0.25, 0.25}};
+  const NamedMatrix m = make_matrix("PDD_RealSparse_N64");
+  const SurrogateDataset ds = build_dataset({m}, opt);
+  ASSERT_EQ(ds.size(), static_cast<index_t>(opt.grid.size() * 2));
+
+  McmcOptions mcmc = opt.mcmc;
+  mcmc.seed = mix64(opt.seed ^ 1u);  // matrix_id 0
+  PerformanceMeasurer measurer(m.matrix, opt.solve, mcmc);
+  std::size_t s = 0;
+  for (const McmcParams& params : opt.grid) {
+    for (KrylovMethod method :
+         {KrylovMethod::kGMRES, KrylovMethod::kBiCGStab}) {
+      const std::vector<real_t> ys =
+          measurer.measure_replicates(params, method, opt.replicates);
+      EXPECT_EQ(ds.samples[s].y_mean, mean(ys)) << "sample " << s;
+      EXPECT_EQ(ds.samples[s].y_std, sample_std(ys)) << "sample " << s;
+      ++s;
+    }
+  }
 }
 
 TEST(DatasetBuilder, GraphAndFeaturesMatchMatrix) {
