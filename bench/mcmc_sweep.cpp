@@ -45,9 +45,11 @@ int main() {
                      TextTable::fmt(eps_values[1], 4),
                      TextTable::fmt(eps_values[2], 4),
                      TextTable::fmt(eps_values[3], 4)});
-    // The whole per-alpha heatmap shares one walk ensemble per replicate
-    // (trials differ only in chain count and truncation): a single
-    // measure_grid_replicates call replaces the 16 per-trial builds.
+    // The whole per-alpha heatmap shares one interleaved walk ensemble
+    // across all 16 trials AND all replicates (trials differ only in chain
+    // count and truncation; replicates only in their stream seeds): a
+    // single measure_grid_replicates call replaces 16 x replicates
+    // per-trial builds.
     std::vector<GridTrial> trials;
     for (real_t eps : eps_values) {
       for (real_t delta : eps_values) trials.push_back({eps, delta});

@@ -315,6 +315,139 @@ void BM_BatchedGridBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchedGridBuild)->Unit(benchmark::kMillisecond);
 
+// ---- replicate-batched grid builds ------------------------------------------
+// The variance-estimation shape of the tuning loop: the same 8-trial batch
+// as the pair above, replicated 4x with distinct chain-stream seeds (the
+// PerformanceMeasurer keying).  Three rows:
+//
+//   * BM_SerialReplicateGridBuild — the fully serial status quo in the
+//     BM_SerialGridBuild convention: one standalone McmcInverter::compute()
+//     per (trial, replicate), sharing the walk kernel through a cache.
+//   * BM_PerReplicateGridBuild — the PR 3 middle point: one batched (eps,
+//     delta) ensemble per replicate (what measure_grid_replicates did
+//     before this PR).
+//   * BM_ReplicateBatchedGridBuild — one interleaved ensemble for the whole
+//     (trial, replicate) grid (replicate_batched_grid_build).
+//
+// The gated pair is batched-vs-serial: the whole CRN stack must collapse
+// the 32-build grid by >= 2x.  Replicates share no random draws (their
+// streams are keyed by distinct seeds), so against the PER-REPLICATE loop
+// the interleaved build can only win by overlapping walk latency across
+// lanes — roughly neutral on cache-resident systems like this one, growing
+// with matrix size — and the second pair just guards against regression.
+// items/s = serial-equivalent transitions/s; all rows report identical item
+// counts by construction.
+
+const std::vector<u64>& replicate_bench_seeds() {
+  static const std::vector<u64> seeds = {
+      mix64(20250922 + 0x9e3779b9 * 1), mix64(20250922 + 0x9e3779b9 * 2),
+      mix64(20250922 + 0x9e3779b9 * 3), mix64(20250922 + 0x9e3779b9 * 4)};
+  return seeds;
+}
+
+void BM_SerialReplicateGridBuild(benchmark::State& state) {
+  const CsrMatrix& a = grid_bench_matrix();
+  WalkKernelCache cache;
+  long long transitions = 0;
+  for (auto _ : state) {
+    for (u64 seed : replicate_bench_seeds()) {
+      McmcOptions opt;
+      opt.seed = seed;
+      for (const GridTrial& t : grid_bench_trials()) {
+        McmcInverter inverter(a, {kGridBenchAlpha, t.eps, t.delta}, opt);
+        inverter.set_kernel_cache(&cache);
+        benchmark::DoNotOptimize(inverter.compute().nnz());
+        transitions += inverter.info().total_transitions;
+      }
+    }
+  }
+  state.SetItemsProcessed(transitions);
+}
+BENCHMARK(BM_SerialReplicateGridBuild)->Unit(benchmark::kMillisecond);
+
+void BM_PerReplicateGridBuild(benchmark::State& state) {
+  const CsrMatrix& a = grid_bench_matrix();
+  WalkKernelCache cache;
+  long long transitions = 0;
+  for (auto _ : state) {
+    for (u64 seed : replicate_bench_seeds()) {
+      McmcOptions opt;
+      opt.seed = seed;
+      const BatchedGridResult r = batched_grid_build(
+          a, kGridBenchAlpha, grid_bench_trials(), opt, &cache);
+      benchmark::DoNotOptimize(r.preconditioners.data());
+      for (const McmcBuildInfo& info : r.info) {
+        transitions += info.total_transitions;
+      }
+    }
+  }
+  state.SetItemsProcessed(transitions);
+}
+BENCHMARK(BM_PerReplicateGridBuild)->Unit(benchmark::kMillisecond);
+
+void BM_ReplicateBatchedGridBuild(benchmark::State& state) {
+  const CsrMatrix& a = grid_bench_matrix();
+  WalkKernelCache cache;
+  long long transitions = 0;
+  for (auto _ : state) {
+    const ReplicatedGridResult r = replicate_batched_grid_build(
+        a, kGridBenchAlpha, grid_bench_trials(), replicate_bench_seeds(), {},
+        &cache);
+    benchmark::DoNotOptimize(r.replicates.data());
+    for (const BatchedGridResult& rep : r.replicates) {
+      for (const McmcBuildInfo& info : rep.info) {
+        transitions += info.total_transitions;
+      }
+    }
+  }
+  state.SetItemsProcessed(transitions);
+}
+BENCHMARK(BM_ReplicateBatchedGridBuild)->Unit(benchmark::kMillisecond);
+
+// ---- multi-alpha grid builds: shared successor draws across alphas ----------
+// The hpo::tune_mcmc_params shape: one 4-trial (eps, delta) batch evaluated
+// at two alphas whose perturbed diagonals differ by a power of two, so the
+// alias tables round identically and the runtime check enables successor
+// sharing — one RNG draw + alias lookup per step serves both alphas, each
+// with its own weight stream.  Unlike replicate interleaving this removes
+// work outright, and CI gates the /1-vs-/0 pair (see bench/README.md).
+
+void BM_MultiAlphaGridBuild(benchmark::State& state) {
+  const CsrMatrix& a = grid_bench_matrix();
+  const std::vector<GridTrial> trials(grid_bench_trials().begin(),
+                                      grid_bench_trials().begin() + 4);
+  const std::vector<AlphaGroup> groups = {{1.0, {}, trials},
+                                          {3.0, {}, trials}};
+  const std::vector<u64> seeds = {replicate_bench_seeds()[0],
+                                  replicate_bench_seeds()[1]};
+  WalkKernelCache cache;
+  const bool shared = state.range(0) == 1;
+  long long transitions = 0;
+  for (auto _ : state) {
+    MultiAlphaGridResult r;
+    if (shared) {
+      r = multi_alpha_grid_build(a, groups, seeds, {}, &cache);
+    } else {
+      // Fallback shape for comparison: one ensemble per alpha.
+      for (const AlphaGroup& g : groups) {
+        r.groups.push_back(replicate_batched_grid_build(a, g.alpha, g.trials,
+                                                        seeds, {}, &cache));
+      }
+    }
+    benchmark::DoNotOptimize(r.groups.data());
+    for (const ReplicatedGridResult& rep : r.groups) {
+      for (const BatchedGridResult& b : rep.replicates) {
+        for (const McmcBuildInfo& info : b.info) {
+          transitions += info.total_transitions;
+        }
+      }
+    }
+  }
+  state.SetItemsProcessed(transitions);
+}
+BENCHMARK(BM_MultiAlphaGridBuild)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RegenerativeBuild(benchmark::State& state) {
   const CsrMatrix a = laplace_2d(32);
   for (auto _ : state) {

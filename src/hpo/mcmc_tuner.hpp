@@ -1,12 +1,19 @@
 #pragma once
-// Direct TPE search over the MCMC parameters x_M = (alpha, eps, delta) for
-// one linear system — the surrogate-free counterpart of the paper's BO loop,
-// built to exploit batched grid builds: alpha is a categorical choice over a
-// small grid, so each round's candidate batch collapses into one shared walk
-// ensemble per distinct alpha (PerformanceMeasurer::measure_grid) instead of
-// one preconditioner build per candidate.  The eps/delta box mirrors the
-// low corner of the BO search space, where tuning converges and common
-// random numbers pay the most.
+/// @file mcmc_tuner.hpp
+/// @brief Direct TPE search over the MCMC parameters x_M = (alpha, eps,
+/// delta) for one linear system — the surrogate-free counterpart of the
+/// paper's BO loop, built to exploit batched grid builds.
+///
+/// Alpha is a categorical choice over a small grid, so each round's
+/// candidate batch collapses into a handful of alpha groups that evaluate
+/// through `PerformanceMeasurer::measure_grouped_medians`: one interleaved
+/// walk ensemble serves every (candidate, replicate) of an alpha — and,
+/// when the per-alpha kernels round to bitwise-identical alias tables
+/// (multi_alpha_grid_build), a single ensemble's successor draws serve
+/// every alpha at once — instead of one preconditioner build per candidate
+/// per replicate.  The eps/delta box mirrors the low corner of the BO
+/// search space, where tuning converges and common random numbers pay the
+/// most.
 
 #include <vector>
 
@@ -17,12 +24,15 @@
 
 namespace mcmi::hpo {
 
+/// Knobs of the direct x_M tuning loop.
 struct McmcTuneOptions {
-  std::vector<real_t> alphas = {1.0, 2.0, 4.0, 5.0};  ///< categorical grid
-  real_t eps_min = 0.05;
-  real_t eps_max = 0.5;
-  real_t delta_min = 0.05;
-  real_t delta_max = 0.5;
+  /// Categorical alpha grid the sampler chooses from; candidates snap to
+  /// these exact values so they collapse into few batched ensembles.
+  std::vector<real_t> alphas = {1.0, 2.0, 4.0, 5.0};
+  real_t eps_min = 0.05;    ///< lower edge of the eps box
+  real_t eps_max = 0.5;     ///< upper edge of the eps box
+  real_t delta_min = 0.05;  ///< lower edge of the delta box
+  real_t delta_max = 0.5;   ///< upper edge of the delta box
   index_t rounds = 3;                ///< TPE rounds
   index_t candidates_per_round = 8;  ///< batch size per round
   index_t replicates = 2;            ///< y replicates per candidate
@@ -31,22 +41,25 @@ struct McmcTuneOptions {
 
 /// One evaluated candidate.
 struct McmcTrialResult {
-  McmcParams params;
+  McmcParams params;      ///< the evaluated x_M
   real_t median_y = 0.0;  ///< sample median of the replicated eq.(4) ratio
 };
 
+/// Outcome of a tuning run.
 struct McmcTuneResult {
-  McmcParams best;
-  real_t best_median = 0.0;
+  McmcParams best;           ///< incumbent x_M (lowest median y)
+  real_t best_median = 0.0;  ///< the incumbent's median y
   std::vector<McmcTrialResult> history;  ///< evaluation order
 };
 
-/// The x_M search space TPE samples from: categorical alpha over `alphas`,
-/// uniform eps and delta inside the box.
+/// The x_M search space TPE samples from: categorical alpha over
+/// `options.alphas`, uniform eps and delta inside the box.
 SearchSpace mcmc_search_space(const McmcTuneOptions& options);
 
 /// Tune x_M for the system inside `measurer` with `method`.  Deterministic
-/// for a fixed (measurer seed, options.tpe.seed).
+/// for a fixed (measurer seed, options.tpe.seed), and — because the batched
+/// evaluation paths are bit-identical to standalone builds — invariant to
+/// how candidates get grouped into shared ensembles.
 McmcTuneResult tune_mcmc_params(PerformanceMeasurer& measurer,
                                 KrylovMethod method,
                                 const McmcTuneOptions& options = {});

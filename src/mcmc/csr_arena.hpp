@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/types.hpp"
@@ -33,25 +34,42 @@ struct RowSlice {
 
 /// Keep the `budget` largest-|value| entries of the row occupying
 /// [base, base+count) of `arena`, preserving sorted column order, and shrink
-/// the arena back down.  `order` is reusable caller scratch.  The selection
-/// (ties included) matches nth_element over the emission order, which depends
-/// only on the row content — never on thread scheduling.
+/// the arena back down.  `scratch` is reusable caller scratch.  The cut
+/// magnitude is the budget-th largest |value| (an nth_element over a flat
+/// copy of the magnitudes — direct double compares, no index indirection);
+/// entries strictly above it always survive and ties at the cut keep the
+/// lowest columns, so a single forward compaction pass both applies the
+/// selection and preserves column order with no trailing sort.  The
+/// selection depends only on the row content — never on thread scheduling.
 inline index_t truncate_row_to_budget(RowArena& arena, index_t base,
                                       index_t count, index_t budget,
-                                      std::vector<index_t>& order) {
+                                      std::vector<real_t>& scratch) {
   if (count <= budget) return count;
-  order.resize(static_cast<std::size_t>(count));
-  for (index_t q = 0; q < count; ++q) order[q] = q;
-  std::nth_element(order.begin(), order.begin() + budget - 1, order.end(),
-                   [&](index_t x, index_t y) {
-                     return std::abs(arena.vals[base + x]) >
-                            std::abs(arena.vals[base + y]);
-                   });
-  order.resize(static_cast<std::size_t>(budget));
-  std::sort(order.begin(), order.end());  // restore ascending column order
-  for (index_t q = 0; q < budget; ++q) {  // order[q] >= q: forward copy safe
-    arena.cols[base + q] = arena.cols[base + order[q]];
-    arena.vals[base + q] = arena.vals[base + order[q]];
+  scratch.resize(static_cast<std::size_t>(count));
+  for (index_t q = 0; q < count; ++q) {
+    scratch[static_cast<std::size_t>(q)] = std::abs(arena.vals[base + q]);
+  }
+  std::nth_element(scratch.begin(), scratch.begin() + (budget - 1),
+                   scratch.end(), std::greater<real_t>());
+  const real_t cut = scratch[static_cast<std::size_t>(budget - 1)];
+  index_t above = 0;
+  for (index_t q = 0; q < count; ++q) {
+    above += std::abs(arena.vals[base + q]) > cut ? 1 : 0;
+  }
+  index_t ties_left = budget - above;  // >= 1: the cut entry itself ties
+  index_t kept = 0;
+  for (index_t q = 0; q < count; ++q) {  // q >= kept: forward copy safe
+    const real_t av = std::abs(arena.vals[base + q]);
+    if (av > cut) {
+      // always kept
+    } else if (av == cut && ties_left > 0) {
+      --ties_left;
+    } else {
+      continue;
+    }
+    arena.cols[base + kept] = arena.cols[base + q];
+    arena.vals[base + kept] = arena.vals[base + q];
+    ++kept;
   }
   arena.cols.resize(static_cast<std::size_t>(base + budget));
   arena.vals.resize(static_cast<std::size_t>(base + budget));
@@ -71,7 +89,7 @@ inline RowSlice emit_row_from_accumulator(
     RowArena& arena, int tid, real_t* accum,
     const std::vector<index_t>& touched, index_t row, real_t inv_chains,
     const std::vector<real_t>& inv_diag, real_t threshold, index_t budget,
-    std::vector<index_t>& order) {
+    std::vector<real_t>& scratch) {
   const index_t base = static_cast<index_t>(arena.cols.size());
   for (index_t j : touched) {
     const real_t pij = accum[j] * inv_chains * inv_diag[j];
@@ -84,7 +102,7 @@ inline RowSlice emit_row_from_accumulator(
   }
   const index_t kept = truncate_row_to_budget(
       arena, base, static_cast<index_t>(arena.cols.size()) - base, budget,
-      order);
+      scratch);
   return {tid, base, kept};
 }
 

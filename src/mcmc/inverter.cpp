@@ -137,7 +137,7 @@ CsrMatrix McmcInverter::compute() {
       RowArena& arena = arenas[static_cast<std::size_t>(tid)];
       std::vector<real_t> accum(static_cast<std::size_t>(n), 0.0);
       std::vector<index_t> touched;
-      std::vector<index_t> order;
+      std::vector<real_t> scratch;
       long long local_transitions = 0;
 #pragma omp for schedule(dynamic, 8)
       for (index_t i = begin; i < end; ++i) {
@@ -163,7 +163,7 @@ CsrMatrix McmcInverter::compute() {
                       touched.end());
         row_slices[i] = emit_row_from_accumulator(
             arena, tid, accum.data(), touched, i, inv_chains,
-            kernel.inv_diag, threshold, row_budget, order);
+            kernel.inv_diag, threshold, row_budget, scratch);
       }
       transitions += local_transitions;
     }

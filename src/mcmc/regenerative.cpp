@@ -160,7 +160,7 @@ CsrMatrix RegenerativeInverter::compute() {
     RowArena& arena = arenas[static_cast<std::size_t>(tid)];
     std::vector<real_t> accum(static_cast<std::size_t>(n), 0.0);
     std::vector<index_t> touched;
-    std::vector<index_t> order;
+    std::vector<real_t> scratch;
     long long local_transitions = 0;
     long long local_regens = 0;
 #pragma omp for schedule(dynamic, 8)
@@ -198,7 +198,7 @@ CsrMatrix RegenerativeInverter::compute() {
       }
       const index_t kept = truncate_row_to_budget(
           arena, base, static_cast<index_t>(arena.cols.size()) - base,
-          row_budget, order);
+          row_budget, scratch);
       row_slices[i] = {tid, base, kept};
     }
     transitions += local_transitions;

@@ -36,11 +36,13 @@ LabeledSample make_sample(PerformanceMeasurer& measurer, index_t matrix_id,
 }
 
 /// Grid-search labels over `grid` x `methods`: trials sharing an alpha run
-/// as one batched walk ensemble per (method, replicate) through
-/// measure_grid_replicates, and the labels land in the dataset in the same
-/// grid-major, method-minor order (and with the same values — batched
-/// builds are bit-identical to standalone ones) as the per-trial loop this
-/// replaces.
+/// as ONE interleaved walk ensemble through
+/// measure_grid_replicates_methods — every replicate advances in lockstep
+/// through the same kernel pass, and the method-independent preconditioners
+/// are built once and solved once per method — and the labels land in the
+/// dataset in the same grid-major, method-minor order (and with the same
+/// values — replicate-batched builds are bit-identical to standalone ones)
+/// as the per-(trial, method) loop this replaces.
 void append_grid_samples(SurrogateDataset& dataset,
                          PerformanceMeasurer& measurer, index_t matrix_id,
                          const std::vector<McmcParams>& grid,
@@ -51,13 +53,13 @@ void append_grid_samples(SurrogateDataset& dataset,
   std::vector<std::vector<LabeledSample>> labels(
       grid.size(), std::vector<LabeledSample>(methods.size()));
   for (const AlphaGroup& group : groups) {
+    const std::vector<std::vector<std::vector<real_t>>> ys =
+        measurer.measure_grid_replicates_methods(group.alpha, group.trials,
+                                                 methods, replicates);
     for (std::size_t m = 0; m < methods.size(); ++m) {
-      const std::vector<std::vector<real_t>> ys =
-          measurer.measure_grid_replicates(group.alpha, group.trials,
-                                           methods[m], replicates);
       for (std::size_t t = 0; t < group.trials.size(); ++t) {
         const auto gi = static_cast<std::size_t>(group.indices[t]);
-        labels[gi][m] = make_label(matrix_id, grid[gi], methods[m], ys[t]);
+        labels[gi][m] = make_label(matrix_id, grid[gi], methods[m], ys[m][t]);
       }
     }
   }
@@ -116,8 +118,8 @@ SurrogateDataset build_dataset(const std::vector<NamedMatrix>& matrices,
     PerformanceMeasurer measurer(m.matrix, options.solve, mcmc);
 
     // SPD matrices additionally run CG at the small alpha of §4.2: one
-    // (eps, delta) grid at a single alpha — exactly one batched ensemble
-    // per replicate.
+    // (eps, delta) grid at a single alpha — exactly one replicate-batched
+    // ensemble.
     if (m.spd) {
       std::vector<McmcParams> cg_grid;
       for (real_t eps : paper_eps_values()) {

@@ -98,9 +98,10 @@ StrategyResult TuningExperiment::run_bo_strategy(
 
   StrategyResult result;
   result.name = name;
-  // Candidates sharing an alpha evaluate through one batched walk ensemble
-  // per replicate; results scatter back into recommendation order (the
-  // values are identical to the per-candidate loop this replaces).
+  // Candidates sharing an alpha evaluate through one interleaved walk
+  // ensemble serving every replicate at once; results scatter back into
+  // recommendation order (the values are identical to the per-candidate
+  // loop this replaces).
   result.evaluated.resize(recs.size());
   for (const AlphaGroup& group : group_recommendations_by_alpha(recs)) {
     const std::vector<std::vector<real_t>> ys =
@@ -169,8 +170,9 @@ void TuningExperiment::run() {
       static_cast<long long>(results_.baseline_steps),
       method_name(options_.test_method).c_str());
 
-  // Ground-truth grid: one batched walk ensemble per (alpha, replicate)
-  // serves all 16 (eps, delta) trials of that alpha.
+  // Ground-truth grid: one interleaved walk ensemble per alpha serves all
+  // 16 (eps, delta) trials x every variance-estimation replicate of that
+  // alpha in a single kernel pass.
   results_.test_grid.assign(options_.data.grid.size(), GridObservation{});
   for (const AlphaGroup& group : group_grid_by_alpha(options_.data.grid)) {
     const std::vector<std::vector<real_t>> ys =

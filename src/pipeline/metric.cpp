@@ -86,17 +86,60 @@ std::vector<MetricResult> PerformanceMeasurer::measure_grid(
   return results;
 }
 
+std::vector<u64> PerformanceMeasurer::replicate_seeds(
+    index_t replicates) const {
+  std::vector<u64> seeds;
+  seeds.reserve(static_cast<std::size_t>(replicates));
+  for (index_t r = 0; r < replicates; ++r) {
+    seeds.push_back(replicate_options(r).seed);
+  }
+  return seeds;
+}
+
 std::vector<std::vector<real_t>> PerformanceMeasurer::measure_grid_replicates(
     real_t alpha, const std::vector<GridTrial>& trials, KrylovMethod method,
     index_t replicates) {
+  return measure_grid_replicates_methods(alpha, trials, {method},
+                                         replicates)[0];
+}
+
+std::vector<std::vector<std::vector<real_t>>>
+PerformanceMeasurer::measure_grid_replicates_methods(
+    real_t alpha, const std::vector<GridTrial>& trials,
+    const std::vector<KrylovMethod>& methods, index_t replicates) {
   MCMI_CHECK(replicates >= 1, "need at least one replicate");
-  std::vector<std::vector<real_t>> ys(trials.size());
-  for (auto& column : ys) column.reserve(static_cast<std::size_t>(replicates));
+  MCMI_CHECK(!methods.empty(), "need at least one Krylov method");
+  std::vector<index_t> bases;
+  bases.reserve(methods.size());
+  for (KrylovMethod method : methods) bases.push_back(baseline_steps(method));
+
+  // One interleaved walk ensemble serves every (trial, replicate) — and
+  // every method, because P does not depend on the solver: each replicate's
+  // build is bit-identical to measure()'s, so the solves — and the y's —
+  // match per-(method, replicate) loops exactly.
+  ReplicatedGridResult built = replicate_batched_grid_build(
+      a_, alpha, trials, replicate_seeds(replicates), mcmc_options_,
+      &kernel_cache_);
+
+  std::vector<std::vector<std::vector<real_t>>> ys(
+      methods.size(), std::vector<std::vector<real_t>>(trials.size()));
+  for (auto& per_method : ys) {
+    for (auto& column : per_method) {
+      column.reserve(static_cast<std::size_t>(replicates));
+    }
+  }
   for (index_t r = 0; r < replicates; ++r) {
-    const std::vector<MetricResult> round =
-        measure_grid(alpha, trials, method, r);
+    BatchedGridResult& round = built.replicates[static_cast<std::size_t>(r)];
     for (std::size_t t = 0; t < trials.size(); ++t) {
-      ys[t].push_back(round[t].y);
+      const SparseApproximateInverse precond(
+          std::move(round.preconditioners[t]), "mcmcmi");
+      for (std::size_t m = 0; m < methods.size(); ++m) {
+        MetricResult result;
+        result.steps_without = bases[m];
+        result.build = round.info[t];
+        score_solve(precond, methods[m], result);
+        ys[m][t].push_back(result.y);
+      }
     }
   }
   return ys;
@@ -105,12 +148,37 @@ std::vector<std::vector<real_t>> PerformanceMeasurer::measure_grid_replicates(
 std::vector<real_t> PerformanceMeasurer::measure_grouped_medians(
     const std::vector<McmcParams>& grid, KrylovMethod method,
     index_t replicates) {
+  MCMI_CHECK(replicates >= 1, "need at least one replicate");
+  if (grid.empty()) return {};
+  const index_t base = baseline_steps(method);
+  const std::vector<AlphaGroup> groups = group_grid_by_alpha(grid);
+
+  // The multi-alpha builder shares one ensemble's successor draws across
+  // every alpha when the kernels allow it (alias path, bitwise-identical
+  // tables) and falls back to one replicate-batched ensemble per alpha
+  // otherwise; the per-(point, replicate) preconditioners — and so the
+  // medians — are bit-identical either way.
+  MultiAlphaGridResult built = multi_alpha_grid_build(
+      a_, groups, replicate_seeds(replicates), mcmc_options_, &kernel_cache_);
+
   std::vector<real_t> medians(grid.size(), 0.0);
-  for (const AlphaGroup& group : group_grid_by_alpha(grid)) {
-    const std::vector<std::vector<real_t>> ys =
-        measure_grid_replicates(group.alpha, group.trials, method, replicates);
-    for (std::size_t t = 0; t < group.trials.size(); ++t) {
-      medians[static_cast<std::size_t>(group.indices[t])] = median(ys[t]);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    std::vector<std::vector<real_t>> ys(groups[g].trials.size());
+    for (index_t r = 0; r < replicates; ++r) {
+      BatchedGridResult& round =
+          built.groups[g].replicates[static_cast<std::size_t>(r)];
+      for (std::size_t t = 0; t < groups[g].trials.size(); ++t) {
+        MetricResult result;
+        result.steps_without = base;
+        result.build = round.info[t];
+        const SparseApproximateInverse precond(
+            std::move(round.preconditioners[t]), "mcmcmi");
+        score_solve(precond, method, result);
+        ys[t].push_back(result.y);
+      }
+    }
+    for (std::size_t t = 0; t < groups[g].trials.size(); ++t) {
+      medians[static_cast<std::size_t>(groups[g].indices[t])] = median(ys[t]);
     }
   }
   return medians;

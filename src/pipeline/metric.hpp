@@ -59,15 +59,28 @@ class PerformanceMeasurer {
                                          index_t replicate);
 
   /// Replicated batched probe: ys[t][r] = y of trial t, replicate r
-  /// (identical to measure_replicates per trial, at one ensemble per
-  /// replicate instead of one per trial x replicate).
+  /// (identical to measure_replicates per trial, at ONE interleaved walk
+  /// ensemble for the whole (trial, replicate) grid — replicate lanes
+  /// advance in lockstep, see replicate_batched_grid_build — instead of one
+  /// ensemble per replicate).
   std::vector<std::vector<real_t>> measure_grid_replicates(
       real_t alpha, const std::vector<GridTrial>& trials, KrylovMethod method,
       index_t replicates);
 
+  /// Multi-method replicated probe: ys[m][t][r] = y of methods[m], trial t,
+  /// replicate r.  The preconditioner is method-independent, so ONE
+  /// replicate-batched ensemble serves every method — each (trial,
+  /// replicate) P is built once and solved once per method, with y's
+  /// identical to per-method measure_grid_replicates calls.
+  std::vector<std::vector<std::vector<real_t>>> measure_grid_replicates_methods(
+      real_t alpha, const std::vector<GridTrial>& trials,
+      const std::vector<KrylovMethod>& methods, index_t replicates);
+
   /// Median replicated y per point of an arbitrary parameter list, grouped
-  /// by alpha internally so each group runs as batched grid probes.
-  /// Results are in source order.
+  /// by alpha internally and routed through multi_alpha_grid_build: one
+  /// ensemble's successor draws serve every alpha when the kernels allow
+  /// sharing, one replicate-batched ensemble per alpha otherwise.  Results
+  /// are in source order and independent of which path ran.
   std::vector<real_t> measure_grouped_medians(
       const std::vector<McmcParams>& grid, KrylovMethod method,
       index_t replicates);
@@ -85,6 +98,9 @@ class PerformanceMeasurer {
   /// replicate) — the single definition both measure paths share, so the
   /// batched probe cannot drift from the per-trial one.
   [[nodiscard]] McmcOptions replicate_options(index_t replicate) const;
+  /// The chain-stream seeds of replicates 0..replicates-1, in order — the
+  /// lane seeds handed to the replicate-batched builders.
+  [[nodiscard]] std::vector<u64> replicate_seeds(index_t replicates) const;
   /// Solve with `precond`, fill the step counts and the capped eq. (4)
   /// ratio of `result` (steps_without must be set).
   void score_solve(const SparseApproximateInverse& precond,

@@ -1,32 +1,34 @@
 #pragma once
-// Precomputed SpMV execution plan: nnz-balanced row chunks + fused kernels.
-//
-// The naive row-parallel SpMV loop re-derives its schedule on every call and
-// pays for a zero-fill pass, 64-bit column indices and separate reduction
-// passes for the dot products every Krylov iteration needs right after the
-// product.  A SpmvPlan is built once per matrix shape and amortised across
-// the whole solve:
-//
-//   * rows are partitioned into contiguous chunks of roughly equal nonzero
-//     count (prefix-sum over row_ptr), so skewed matrices keep every thread
-//     busy without `schedule(dynamic)` bookkeeping;
-//   * chunks whose rows all share one short width dispatch to fully unrolled
-//     fixed-width kernels (diagonal / tridiagonal shapes);
-//   * column indices are re-encoded to 32 bits when the column count allows,
-//     halving the index traffic of the bandwidth-bound kernel;
-//   * fused variants compute <w, Ax> (and optionally ||Ax||^2) inside the
-//     product pass, cutting one full vector sweep per Krylov iteration.
-//
-// Determinism: the chunk decomposition depends only on the matrix shape, one
-// chunk's partial reductions are accumulated in row order and chunk partials
-// are combined in chunk order, so every result is bit-identical at any
-// OpenMP thread count — the same convention as the fixed-block reductions in
-// vector_ops.hpp.
-//
-// The plan reads the CSR arrays it was built for on every call (values may
-// change in place; the shape must not).  CsrMatrix owns one plan per matrix
-// and the transpose gather plan reuses the same chunking machinery, so this
-// is the layer a future sharded or multi-backend SpMV plugs into.
+/// @file spmv_plan.hpp
+/// @brief Precomputed SpMV execution plan: nnz-balanced row chunks + fused
+/// kernels.
+///
+/// The naive row-parallel SpMV loop re-derives its schedule on every call
+/// and pays for a zero-fill pass, 64-bit column indices and separate
+/// reduction passes for the dot products every Krylov iteration needs right
+/// after the product.  A SpmvPlan is built once per matrix shape and
+/// amortised across the whole solve:
+///
+///   * rows are partitioned into contiguous chunks of roughly equal nonzero
+///     count (prefix-sum over row_ptr), so skewed matrices keep every
+///     thread busy without `schedule(dynamic)` bookkeeping;
+///   * chunks whose rows all share one short width dispatch to fully
+///     unrolled fixed-width kernels (diagonal / tridiagonal shapes);
+///   * column indices are re-encoded to 32 bits when the column count
+///     allows, halving the index traffic of the bandwidth-bound kernel;
+///   * fused variants compute <w, Ax> (and optionally ||Ax||^2) inside the
+///     product pass, cutting one full vector sweep per Krylov iteration.
+///
+/// Determinism: the chunk decomposition depends only on the matrix shape,
+/// one chunk's partial reductions are accumulated in row order and chunk
+/// partials are combined in chunk order, so every result is bit-identical
+/// at any OpenMP thread count — the same convention as the fixed-block
+/// reductions in vector_ops.hpp.
+///
+/// The plan reads the CSR arrays it was built for on every call (values may
+/// change in place; the shape must not).  CsrMatrix owns one plan per
+/// matrix and the transpose gather plan reuses the same chunking machinery,
+/// so this is the layer a future sharded or multi-backend SpMV plugs into.
 
 #include <cstdint>
 #include <vector>
@@ -35,6 +37,10 @@
 
 namespace mcmi {
 
+/// One matrix's SpMV schedule: the chunk table, the unrolled-width dispatch
+/// tags, and the optional 32-bit column re-encoding, with plain-pointer
+/// kernel entry points so CsrMatrix (and the cached transpose view) can run
+/// any value array through the same plan.
 class SpmvPlan {
  public:
   SpmvPlan() = default;

@@ -172,6 +172,238 @@ TEST(BatchedBuild, KernelCacheIsUsedAndHarmless) {
   }
 }
 
+/// Replicate-batched builds must equal one batched build per seed — and so,
+/// transitively through the PR 3 tests above, the standalone inverter.
+void check_replicated(const CsrMatrix& a, real_t alpha,
+                      const std::vector<GridTrial>& trials,
+                      const std::vector<u64>& seeds,
+                      const McmcOptions& options, const char* label) {
+  const ReplicatedGridResult batched =
+      replicate_batched_grid_build(a, alpha, trials, seeds, options);
+  ASSERT_EQ(batched.replicates.size(), seeds.size());
+  for (std::size_t r = 0; r < seeds.size(); ++r) {
+    McmcOptions serial = options;
+    serial.seed = seeds[r];
+    ASSERT_EQ(batched.replicates[r].preconditioners.size(), trials.size());
+    for (std::size_t t = 0; t < trials.size(); ++t) {
+      McmcInverter standalone(a, {alpha, trials[t].eps, trials[t].delta},
+                              serial);
+      const CsrMatrix reference = standalone.compute();
+      expect_equal(batched.replicates[r].preconditioners[t], reference, label,
+                   r * 100 + t);
+      EXPECT_EQ(batched.replicates[r].info[t].total_transitions,
+                standalone.info().total_transitions)
+          << label << " replicate " << r << " trial " << t;
+      EXPECT_EQ(batched.replicates[r].info[t].chains_per_row,
+                standalone.info().chains_per_row);
+      EXPECT_EQ(batched.replicates[r].info[t].walk_cutoff,
+                standalone.info().walk_cutoff);
+      EXPECT_GE(batched.replicates[r].info[t].build_seconds, 0.0);
+    }
+  }
+}
+
+TEST(ReplicateBatchedBuild, BitIdenticalOnLaplace) {
+  const CsrMatrix a = laplace_2d(10);
+  const std::vector<u64> seeds = {11, 20250922, 77777};
+  check_replicated(a, 1.0, test_grid(), seeds, {}, "rep/laplace/alias");
+  McmcOptions cdf;
+  cdf.sampling = SamplingMethod::kInverseCdf;
+  check_replicated(a, 1.0, test_grid(), seeds, cdf, "rep/laplace/cdf");
+}
+
+TEST(ReplicateBatchedBuild, BitIdenticalOnRandomSparse) {
+  const CsrMatrix a = pdd_real_sparse(60, 0.12, 77);
+  const std::vector<u64> seeds = {1, 2, 3, 4};
+  check_replicated(a, 2.0, test_grid(), seeds, {}, "rep/random/alias");
+  McmcOptions cdf;
+  cdf.sampling = SamplingMethod::kInverseCdf;
+  check_replicated(a, 2.0, test_grid(), seeds, cdf, "rep/random/cdf");
+}
+
+TEST(ReplicateBatchedBuild, BitIdenticalOnDivergentKernel) {
+  const CsrMatrix a = divergent_matrix();
+  McmcOptions opt;
+  opt.walk_cap = 64;
+  const std::vector<u64> seeds = {5, 6};
+  check_replicated(a, 0.01, test_grid(), seeds, opt, "rep/divergent/alias");
+  McmcOptions cdf = opt;
+  cdf.sampling = SamplingMethod::kInverseCdf;
+  check_replicated(a, 0.01, test_grid(), seeds, cdf, "rep/divergent/cdf");
+}
+
+TEST(ReplicateBatchedBuild, DeterministicAcrossThreadCountsAndRanks) {
+  const CsrMatrix a = pdd_real_sparse(50, 0.15, 51);
+  const std::vector<GridTrial> trials = test_grid();
+  const std::vector<u64> seeds = {31, 32, 33};
+
+  auto build = [&](int threads, index_t ranks) {
+#ifdef _OPENMP
+    omp_set_num_threads(threads);
+#else
+    (void)threads;
+#endif
+    McmcOptions opt;
+    opt.ranks = ranks;
+    return replicate_batched_grid_build(a, 1.0, trials, seeds, opt);
+  };
+
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+#endif
+  const ReplicatedGridResult r1 = build(1, 2);
+  const ReplicatedGridResult r2 = build(2, 2);
+  const ReplicatedGridResult r4 = build(4, 2);
+  const ReplicatedGridResult rank1 = build(4, 1);
+#ifdef _OPENMP
+  omp_set_num_threads(saved);
+#endif
+
+  for (std::size_t r = 0; r < seeds.size(); ++r) {
+    for (std::size_t t = 0; t < trials.size(); ++t) {
+      expect_equal(r2.replicates[r].preconditioners[t],
+                   r1.replicates[r].preconditioners[t], "rep-2-thread", t);
+      expect_equal(r4.replicates[r].preconditioners[t],
+                   r1.replicates[r].preconditioners[t], "rep-4-thread", t);
+      expect_equal(rank1.replicates[r].preconditioners[t],
+                   r1.replicates[r].preconditioners[t], "rep-1-rank", t);
+      EXPECT_EQ(r2.replicates[r].info[t].total_transitions,
+                r1.replicates[r].info[t].total_transitions);
+    }
+  }
+}
+
+TEST(ReplicateBatchedBuild, DuplicateSeedsGiveIdenticalReplicates) {
+  const CsrMatrix a = laplace_2d(8);
+  const std::vector<GridTrial> trials = {{0.25, 0.125}, {0.5, 0.25}};
+  const ReplicatedGridResult r =
+      replicate_batched_grid_build(a, 1.0, trials, {42, 42});
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    expect_equal(r.replicates[1].preconditioners[t],
+                 r.replicates[0].preconditioners[t], "dup-seed", t);
+    EXPECT_EQ(r.replicates[0].info[t].total_transitions,
+              r.replicates[1].info[t].total_transitions);
+  }
+}
+
+TEST(ReplicateBatchedBuild, RejectsEmptySeeds) {
+  const CsrMatrix a = laplace_1d(4);
+  EXPECT_THROW(replicate_batched_grid_build(a, 1.0, {{0.5, 0.5}}, {}), Error);
+}
+
+/// Multi-alpha builds must equal one replicate-batched build per group,
+/// whether or not the shared-successor fast path engaged.
+void check_multi_alpha(const CsrMatrix& a,
+                       const std::vector<AlphaGroup>& groups,
+                       const std::vector<u64>& seeds,
+                       const McmcOptions& options, const char* label) {
+  const MultiAlphaGridResult multi =
+      multi_alpha_grid_build(a, groups, seeds, options);
+  ASSERT_EQ(multi.groups.size(), groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    ASSERT_EQ(multi.groups[g].replicates.size(), seeds.size());
+    for (std::size_t r = 0; r < seeds.size(); ++r) {
+      McmcOptions serial = options;
+      serial.seed = seeds[r];
+      for (std::size_t t = 0; t < groups[g].trials.size(); ++t) {
+        McmcInverter standalone(
+            a,
+            {groups[g].alpha, groups[g].trials[t].eps,
+             groups[g].trials[t].delta},
+            serial);
+        const CsrMatrix reference = standalone.compute();
+        expect_equal(multi.groups[g].replicates[r].preconditioners[t],
+                     reference, label, g * 1000 + r * 100 + t);
+        EXPECT_EQ(multi.groups[g].replicates[r].info[t].total_transitions,
+                  standalone.info().total_transitions)
+            << label << " group " << g << " replicate " << r << " trial " << t;
+      }
+    }
+  }
+}
+
+TEST(MultiAlphaBuild, SharesSuccessorDrawsWhenTablesAgree) {
+  // The perturbed diagonals d = a_ii (1 + alpha) of alphas 1 and 3 differ
+  // by exactly 2x, a power of two, so every kernel quantity scales exactly
+  // and the alias tables round bit-identically: the runtime check must
+  // enable sharing, and the shared ensemble must still reproduce each
+  // alpha's standalone builds bit for bit.
+  const CsrMatrix a = pdd_real_sparse(60, 0.12, 77);
+  const std::vector<AlphaGroup> groups = {
+      {1.0, {}, {{0.5, 0.5}, {0.25, 0.125}}},
+      {3.0, {}, {{0.25, 0.125}, {0.125, 0.0625}}}};
+  const std::vector<u64> seeds = {7, 8};
+  const MultiAlphaGridResult multi =
+      multi_alpha_grid_build(a, groups, seeds);
+  EXPECT_TRUE(multi.shared_successors);
+  check_multi_alpha(a, groups, seeds, {}, "multi/shared");
+}
+
+TEST(MultiAlphaBuild, FallsBackWhenTablesDiffer) {
+  // Alphas 1 and 2 scale the diagonals by 2 vs 3 — not a power-of-two
+  // ratio, so on a non-uniform matrix the per-alpha alias tables round
+  // differently and the builder must fall back to per-alpha ensembles.
+  const CsrMatrix a = pdd_real_sparse(60, 0.12, 77);
+  const std::vector<AlphaGroup> groups = {{1.0, {}, {{0.25, 0.125}}},
+                                          {2.0, {}, {{0.25, 0.125}}}};
+  const WalkKernel k1 = build_walk_kernel(a, 1.0);
+  const WalkKernel k2 = build_walk_kernel(a, 2.0);
+  ASSERT_FALSE(can_share_successor_draws(k1, k2));  // the premise
+  const std::vector<u64> seeds = {7, 8};
+  const MultiAlphaGridResult multi =
+      multi_alpha_grid_build(a, groups, seeds);
+  EXPECT_FALSE(multi.shared_successors);
+  check_multi_alpha(a, groups, seeds, {}, "multi/fallback");
+}
+
+TEST(MultiAlphaBuild, InverseCdfAlwaysFallsBack) {
+  // The inverse-CDF draw compares u * S_u against cumulative weights — not
+  // scale-invariant under rounding — so sharing is alias-path only.
+  const CsrMatrix a = pdd_real_sparse(40, 0.15, 51);
+  const std::vector<AlphaGroup> groups = {{1.0, {}, {{0.5, 0.25}}},
+                                          {3.0, {}, {{0.5, 0.25}}}};
+  McmcOptions cdf;
+  cdf.sampling = SamplingMethod::kInverseCdf;
+  const std::vector<u64> seeds = {9, 10};
+  const MultiAlphaGridResult multi =
+      multi_alpha_grid_build(a, groups, seeds, cdf);
+  EXPECT_FALSE(multi.shared_successors);
+  check_multi_alpha(a, groups, seeds, cdf, "multi/cdf");
+}
+
+TEST(MultiAlphaBuild, DivergenceRetiresOneAlphaOnly) {
+  // Alphas 0 and 1 share successor draws (d scales by exactly 2x) on a
+  // kernel that blows past the divergence guard at alpha 0 (row sums of 4:
+  // |W| = 4^s crosses 1e30 near step 50, inside the cap) but not at
+  // alpha 1 (row sums of 2: |W| = 2^64 stays under the guard): the shared
+  // walk must retire the diverging alpha's groups at the guard step while
+  // the other alpha keeps accumulating — and both must still match their
+  // standalone builds bit for bit.
+  CooMatrix coo(16, 16);
+  for (index_t i = 0; i < 16; ++i) {
+    coo.add(i, i, 1.0);
+    coo.add(i, (i + 1) % 16, 1.0);
+    coo.add(i, (i + 3) % 16, -1.0);
+    coo.add(i, (i + 5) % 16, 1.0);
+    coo.add(i, (i + 7) % 16, -1.0);
+  }
+  const CsrMatrix a = CsrMatrix::from_coo(std::move(coo));
+  McmcOptions opt;
+  opt.walk_cap = 64;
+  const std::vector<AlphaGroup> groups = {
+      {0.0, {}, {{0.25, 0.125}, {0.5, 0.5}}},
+      {1.0, {}, {{0.25, 0.125}, {0.5, 0.5}}}};
+  const WalkKernel k0 = build_walk_kernel(a, 0.0);
+  const WalkKernel k1 = build_walk_kernel(a, 1.0);
+  ASSERT_TRUE(can_share_successor_draws(k0, k1));
+  EXPECT_GE(k0.norm_inf, 1.0);
+  const std::vector<u64> seeds = {21, 22};
+  const MultiAlphaGridResult multi =
+      multi_alpha_grid_build(a, groups, seeds, opt);
+  EXPECT_TRUE(multi.shared_successors);
+  check_multi_alpha(a, groups, seeds, opt, "multi/divergent");
+}
+
 TEST(BatchedBuild, RejectsBadInputs) {
   const CsrMatrix a = laplace_1d(4);
   EXPECT_THROW(batched_grid_build(a, -1.0, {{0.5, 0.5}}), Error);

@@ -11,6 +11,7 @@
 #include "hpo/mcmc_tuner.hpp"
 #include "hpo/space.hpp"
 #include "hpo/tpe.hpp"
+#include "stats/summary.hpp"
 
 namespace mcmi::hpo {
 namespace {
@@ -174,6 +175,33 @@ TEST(McmcTuner, TunesThroughBatchedGridProbes) {
     EXPECT_EQ(again.history[i].params.alpha, result.history[i].params.alpha);
   }
   EXPECT_EQ(again.best_median, result.best_median);
+}
+
+TEST(McmcTuner, ResultsUnchangedByBatchedSharing) {
+  // The tuner evaluates candidates through the multi-alpha replicate-batched
+  // path; every history median must equal the median of plain per-point
+  // measure_replicates runs — the replicate/multi-alpha sharing layers must
+  // not move a single y.
+  const NamedMatrix nm = make_matrix("PDD_RealSparse_N64");
+  SolveOptions solve;
+  solve.restart = 250;
+  solve.max_iterations = 1500;
+  McmcTuneOptions options;
+  options.rounds = 1;
+  options.candidates_per_round = 6;
+  options.replicates = 3;
+  PerformanceMeasurer measurer(nm.matrix, solve);
+  const McmcTuneResult result =
+      tune_mcmc_params(measurer, KrylovMethod::kGMRES, options);
+  ASSERT_EQ(result.history.size(), 6u);
+  PerformanceMeasurer reference(nm.matrix, solve);
+  for (const McmcTrialResult& trial : result.history) {
+    const std::vector<real_t> ys = reference.measure_replicates(
+        trial.params, KrylovMethod::kGMRES, options.replicates);
+    EXPECT_EQ(trial.median_y, median(ys))
+        << trial.params.alpha << " " << trial.params.eps << " "
+        << trial.params.delta;
+  }
 }
 
 TEST(Asha, RungLadderMatchesPaperSettings) {

@@ -119,6 +119,71 @@ TEST(Metric, MeasureGridReplicatesShape) {
   EXPECT_EQ(ys[0], per_trial);  // identical replicate seeding
 }
 
+TEST(Metric, MeasureGridReplicatesMatchesPerReplicateMeasure) {
+  // The interleaved replicate-batched path must reproduce measure() for
+  // EVERY (trial, replicate) cell — bit-identical preconditioners, so
+  // bit-identical y's.
+  const NamedMatrix nm = make_matrix("PDD_RealSparse_N64");
+  PerformanceMeasurer batched(nm.matrix, quick_solve());
+  PerformanceMeasurer serial(nm.matrix, quick_solve());
+  const std::vector<GridTrial> trials = {
+      {0.5, 0.5}, {0.25, 0.125}, {0.125, 0.0625}};
+  const index_t replicates = 3;
+  const auto ys = batched.measure_grid_replicates(
+      2.0, trials, KrylovMethod::kBiCGStab, replicates);
+  ASSERT_EQ(ys.size(), trials.size());
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    ASSERT_EQ(ys[t].size(), static_cast<std::size_t>(replicates));
+    for (index_t r = 0; r < replicates; ++r) {
+      const MetricResult single =
+          serial.measure({2.0, trials[t].eps, trials[t].delta},
+                         KrylovMethod::kBiCGStab, r);
+      EXPECT_EQ(ys[t][static_cast<std::size_t>(r)], single.y)
+          << "trial " << t << " replicate " << r;
+    }
+  }
+}
+
+TEST(Metric, MultiMethodGridMatchesPerMethodGrids) {
+  // One ensemble serving both Krylov methods must score exactly like two
+  // per-method probes: P is method-independent, so only the solves differ.
+  const NamedMatrix nm = make_matrix("PDD_RealSparse_N64");
+  PerformanceMeasurer multi(nm.matrix, quick_solve());
+  PerformanceMeasurer gmres_only(nm.matrix, quick_solve());
+  PerformanceMeasurer bicg_only(nm.matrix, quick_solve());
+  const std::vector<GridTrial> trials = {{0.5, 0.5}, {0.25, 0.125}};
+  const auto ys = multi.measure_grid_replicates_methods(
+      1.0, trials, {KrylovMethod::kGMRES, KrylovMethod::kBiCGStab}, 2);
+  ASSERT_EQ(ys.size(), 2u);
+  EXPECT_EQ(ys[0], gmres_only.measure_grid_replicates(
+                       1.0, trials, KrylovMethod::kGMRES, 2));
+  EXPECT_EQ(ys[1], bicg_only.measure_grid_replicates(
+                       1.0, trials, KrylovMethod::kBiCGStab, 2));
+}
+
+TEST(Metric, GroupedMediansMatchPerPointMedians) {
+  // measure_grouped_medians routes through the multi-alpha builder; the
+  // alpha pair (1, 3) engages shared successor draws while 2.0 in the mix
+  // forms its own group — medians must match plain per-point replicate
+  // loops either way.
+  const NamedMatrix nm = make_matrix("PDD_RealSparse_N64");
+  PerformanceMeasurer grouped(nm.matrix, quick_solve());
+  PerformanceMeasurer serial(nm.matrix, quick_solve());
+  const std::vector<McmcParams> grid = {{1.0, 0.5, 0.25},
+                                        {3.0, 0.25, 0.125},
+                                        {1.0, 0.25, 0.25},
+                                        {2.0, 0.5, 0.125}};
+  const index_t replicates = 3;
+  const std::vector<real_t> medians =
+      grouped.measure_grouped_medians(grid, KrylovMethod::kGMRES, replicates);
+  ASSERT_EQ(medians.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const std::vector<real_t> ys =
+        serial.measure_replicates(grid[i], KrylovMethod::kGMRES, replicates);
+    EXPECT_EQ(medians[i], median(ys)) << "grid point " << i;
+  }
+}
+
 TEST(DatasetBuilder, SampleCountFormula) {
   // One SPD matrix: 64 grid x 2 solvers + 16 CG + 2 divergence x 2 solvers.
   DatasetBuildOptions opt;
