@@ -19,6 +19,8 @@
 #include "gnn/stack.hpp"
 #include "krylov/solver.hpp"
 #include "mcmc/batched_build.hpp"
+#include "mcmc/csr_arena.hpp"
+#include "mcmc/emission.hpp"
 #include "mcmc/inverter.hpp"
 #include "mcmc/regenerative.hpp"
 #include "mcmc/walk_kernel.hpp"
@@ -406,11 +408,14 @@ BENCHMARK(BM_ReplicateBatchedGridBuild)->Unit(benchmark::kMillisecond);
 
 // ---- multi-alpha grid builds: shared successor draws across alphas ----------
 // The hpo::tune_mcmc_params shape: one 4-trial (eps, delta) batch evaluated
-// at two alphas whose perturbed diagonals differ by a power of two, so the
-// alias tables round identically and the runtime check enables successor
-// sharing — one RNG draw + alias lookup per step serves both alphas, each
-// with its own weight stream.  Unlike replicate interleaving this removes
-// work outright, and CI gates the /1-vs-/0 pair (see bench/README.md).
+// at two alphas whose perturbed diagonals differ by a power of two, so both
+// samplers' draw decisions round identically and the runtime checks enable
+// successor sharing — one RNG draw per step serves both alphas, each with
+// its own weight stream.  Unlike replicate interleaving this removes work
+// outright.  Args: /0 = alias fallback shape (one ensemble per alpha),
+// /1 = alias shared, /2 = inverse-CDF fallback shape, /3 = inverse-CDF
+// shared (the scale-invariant normalised-cum_abs sharing).  CI gates the
+// /1-vs-/0 and /3-vs-/2 pairs (see bench/README.md).
 
 void BM_MultiAlphaGridBuild(benchmark::State& state) {
   const CsrMatrix& a = grid_bench_matrix();
@@ -421,17 +426,19 @@ void BM_MultiAlphaGridBuild(benchmark::State& state) {
   const std::vector<u64> seeds = {replicate_bench_seeds()[0],
                                   replicate_bench_seeds()[1]};
   WalkKernelCache cache;
-  const bool shared = state.range(0) == 1;
+  const bool shared = (state.range(0) & 1) == 1;
+  McmcOptions opt;
+  if (state.range(0) >= 2) opt.sampling = SamplingMethod::kInverseCdf;
   long long transitions = 0;
   for (auto _ : state) {
     MultiAlphaGridResult r;
     if (shared) {
-      r = multi_alpha_grid_build(a, groups, seeds, {}, &cache);
+      r = multi_alpha_grid_build(a, groups, seeds, opt, &cache);
     } else {
       // Fallback shape for comparison: one ensemble per alpha.
       for (const AlphaGroup& g : groups) {
         r.groups.push_back(replicate_batched_grid_build(a, g.alpha, g.trials,
-                                                        seeds, {}, &cache));
+                                                        seeds, opt, &cache));
       }
     }
     benchmark::DoNotOptimize(r.groups.data());
@@ -445,8 +452,97 @@ void BM_MultiAlphaGridBuild(benchmark::State& state) {
   }
   state.SetItemsProcessed(transitions);
 }
-BENCHMARK(BM_MultiAlphaGridBuild)->Arg(0)->Arg(1)
+BENCHMARK(BM_MultiAlphaGridBuild)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
     ->Unit(benchmark::kMillisecond);
+
+// ---- row emission: the RowEmitter engine vs the reference emitter -----------
+// The accumulator -> CSR-row pass every builder pays per (row, trial,
+// replicate, alpha) — after the batched builds collapsed the walk work this
+// is the dominant fixed cost of a grid build.  Each row measures the same
+// synthetic walk-accumulator emission two ways, selected by the benchmark
+// arg: /0 = emit_row_reference (the pre-engine path: stage every candidate,
+// nth_element cut, compaction), /1 = RowEmitter (touched-count fast path +
+// threshold-tracked top-budget cut).  Both sides re-fill the accumulator
+// from a template per iteration (identical overhead), produce bit-identical
+// rows, and report items/s = touched states streamed per second.
+
+/// One synthetic emission workload: `touched_count` states with walk-like
+/// geometrically decaying magnitudes and mixed signs, against `budget`.
+struct EmitWorkload {
+  std::vector<index_t> touched;
+  std::vector<real_t> accum;    ///< dense accumulator, zeroed by each emit
+  std::vector<real_t> restore;  ///< template the loop re-fills accum from
+  std::vector<real_t> inv_diag;
+  index_t row = 0;
+  index_t budget = 1;
+  real_t inv_chains = 1.0 / 116.0;  // the eps = 1/16 chain count
+};
+
+EmitWorkload make_emit_workload(index_t n, index_t touched_count,
+                                index_t budget) {
+  EmitWorkload w;
+  w.budget = budget;
+  w.accum.assign(static_cast<std::size_t>(n), 0.0);
+  w.restore.assign(static_cast<std::size_t>(n), 0.0);
+  w.inv_diag.assign(static_cast<std::size_t>(n), 0.2);
+  Xoshiro256 rng = make_stream(1234, 1);
+  const index_t stride = n / touched_count;
+  for (index_t t = 0; t < touched_count; ++t) {
+    const index_t j = t * stride;
+    w.touched.push_back(j);
+    // Chain sums decay geometrically in walk depth; duplicate magnitudes
+    // (tie stress at the cut) arise naturally from equal depths.
+    const real_t depth = std::floor(uniform01(rng) * 12.0);
+    const real_t sign = (rng() & 1u) != 0 ? 1.0 : -1.0;
+    w.restore[j] = sign * std::pow(0.55, depth) * (1.0 + uniform01(rng));
+  }
+  w.row = w.touched[static_cast<std::size_t>(touched_count / 2)];
+  return w;
+}
+
+void emit_row_bench(benchmark::State& state, index_t n, index_t touched_count,
+                    index_t budget) {
+  EmitWorkload w = make_emit_workload(n, touched_count, budget);
+  const bool engine = state.range(0) == 1;
+  RowArena arena;
+  RowEmitter emitter;
+  std::vector<real_t> scratch;
+  for (auto _ : state) {
+    arena.cols.clear();
+    arena.vals.clear();
+    for (index_t j : w.touched) w.accum[j] = w.restore[j];
+    const RowSlice s =
+        engine ? emitter.emit(arena, 0, w.accum.data(), w.touched, w.row,
+                              w.inv_chains, w.inv_diag, 1e-9, w.budget)
+               : emit_row_reference(arena, 0, w.accum.data(), w.touched,
+                                    w.row, w.inv_chains, w.inv_diag, 1e-9,
+                                    w.budget, scratch);
+    benchmark::DoNotOptimize(s.count);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<index_t>(w.touched.size()));
+}
+
+void BM_EmitRowDense(benchmark::State& state) {
+  // The over-budget lattice shape: a 2-D Laplace walk touches O(L^2) states
+  // (thousands at the eps = delta = 1/16 cutoff) against a budget of
+  // 2 * nnz/n ~ 10 — the workload the threshold-tracked cut targets.
+  emit_row_bench(state, 4096, 3000, 10);
+}
+BENCHMARK(BM_EmitRowDense)->Arg(0)->Arg(1);
+
+void BM_EmitRowSparse(benchmark::State& state) {
+  // Mildly over-budget (the a00512 plasma shape: reach ~2.5x the budget).
+  emit_row_bench(state, 4096, 96, 38);
+}
+BENCHMARK(BM_EmitRowSparse)->Arg(0)->Arg(1);
+
+void BM_EmitRowUnderBudget(benchmark::State& state) {
+  // Touched count below budget: both paths reduce to the bare
+  // threshold-filter loop (the engine skips all tracking).
+  emit_row_bench(state, 4096, 24, 38);
+}
+BENCHMARK(BM_EmitRowUnderBudget)->Arg(0)->Arg(1);
 
 void BM_RegenerativeBuild(benchmark::State& state) {
   const CsrMatrix a = laplace_2d(32);

@@ -23,6 +23,13 @@ shifts parallel rows relative to serial controls), so the hard gate is
 plan-based SpMV must stay faster than the naive row loop measured seconds
 earlier on the same machine — which no hardware difference can fake.
 
+Short ``--benchmark_min_time`` runs are load-spike-sensitive (a background
+burst landing on one side of a pair fakes a regression), so reports run
+with ``--benchmark_repetitions=N`` get best-of-N treatment: repeated
+iteration rows sharing a name collapse to their *minimum* cpu time before
+any gating, and a spike must hit every repetition of a row to survive.
+The CI invocation uses 3 repetitions for exactly this reason.
+
 The comparison table is written to stdout and, when the environment provides
 one (or ``--summary`` names a file), appended to the GitHub job summary.
 
@@ -41,7 +48,12 @@ TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_rows(path):
-    """name -> cpu_time (normalised to ns) for the iteration rows."""
+    """name -> cpu_time (normalised to ns) for the iteration rows.
+
+    Reports measured with ``--benchmark_repetitions=N`` carry N iteration
+    rows per name; they collapse to the per-name *minimum* (best-of-N), the
+    noise-robust statistic for gating under background load.
+    """
     try:
         with open(path, "r", encoding="utf-8") as f:
             report = json.load(f)
@@ -56,7 +68,8 @@ def load_rows(path):
         cpu = b.get("cpu_time")
         scale = TIME_UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
         if name and isinstance(cpu, (int, float)) and cpu > 0:
-            rows[name] = float(cpu) * scale
+            ns = float(cpu) * scale
+            rows[name] = min(rows[name], ns) if name in rows else ns
     return rows
 
 

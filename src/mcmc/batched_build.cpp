@@ -10,6 +10,7 @@
 #include "core/rng.hpp"
 #include "core/timer.hpp"
 #include "mcmc/csr_arena.hpp"
+#include "mcmc/emission.hpp"
 
 namespace mcmi {
 
@@ -420,12 +421,10 @@ EngineOutput run_interleaved_engine(const CsrMatrix& a,
   const auto n_units = static_cast<index_t>(units.trials.size());
   const auto n_lanes = static_cast<index_t>(seeds.size());
   const auto n_alphas = static_cast<index_t>(kernels.size());
+  // Multi-alpha requests reach the engine only after multi_alpha_grid_build
+  // verified that kernels[0]'s draws serve every alpha bit-identically
+  // (can_share_successor_draws / can_share_inverse_cdf_draws per method).
   const bool multi = n_alphas > 1;
-  // Multi-alpha sharing is gated to the alias path by multi_alpha_grid_build
-  // (the CDF draw decisions are not scale-invariant), so the inverse-CDF
-  // multi-alpha combination cannot reach this engine.
-  MCMI_CHECK(!multi || options.sampling == SamplingMethod::kAlias,
-             "inverse-CDF sampling cannot share a multi-alpha ensemble");
 
   std::vector<index_t> n_chains(units.trials.size());
   std::vector<index_t> cutoffs(units.trials.size());
@@ -486,7 +485,9 @@ EngineOutput run_interleaved_engine(const CsrMatrix& a,
       u32 epoch = 0;
       std::vector<std::vector<index_t>> visited(
           static_cast<std::size_t>(n_lanes));
-      std::vector<real_t> scratch;
+      // One emission engine per thread: its scratch is recycled across every
+      // (trial, replicate, alpha) lane instead of re-allocated per emission.
+      RowEmitter emitter;
       std::vector<long long> local_transitions(n_builds, 0);
       std::vector<real_t> inv_chains(units.trials.size());
       for (std::size_t u = 0; u < units.trials.size(); ++u) {
@@ -582,10 +583,15 @@ EngineOutput run_interleaved_engine(const CsrMatrix& a,
                     n_lanes, epoch);
               }
             } else {
-              // multi is excluded for the CDF path at engine entry.
-              run_lockstep_chains<SamplingMethod::kInverseCdf, false>(
-                  kernels.data(), n_alphas, lanes.data(), active_ptrs.data(),
-                  n_lanes, epoch);
+              if (multi) {
+                run_lockstep_chains<SamplingMethod::kInverseCdf, true>(
+                    kernels.data(), n_alphas, lanes.data(), active_ptrs.data(),
+                    n_lanes, epoch);
+              } else {
+                run_lockstep_chains<SamplingMethod::kInverseCdf, false>(
+                    kernels.data(), n_alphas, lanes.data(), active_ptrs.data(),
+                    n_lanes, epoch);
+              }
             }
           }
           for (const CopyOp& op : seg.copies) {
@@ -612,14 +618,14 @@ EngineOutput run_interleaved_engine(const CsrMatrix& a,
             const auto b = static_cast<std::size_t>(r) *
                                static_cast<std::size_t>(n_units) +
                            static_cast<std::size_t>(u);
-            row_slices[b][static_cast<std::size_t>(i)] =
-                emit_row_from_accumulator(
-                    arenas[b][static_cast<std::size_t>(tid)], tid,
-                    acc_of(r, u), visited[static_cast<std::size_t>(r)], i,
-                    inv_chains[static_cast<std::size_t>(u)],
-                    kernels[static_cast<std::size_t>(units.alpha_of[
-                        static_cast<std::size_t>(u)])]->inv_diag,
-                    threshold, row_budget, scratch);
+            row_slices[b][static_cast<std::size_t>(i)] = emitter.emit(
+                arenas[b][static_cast<std::size_t>(tid)], tid, acc_of(r, u),
+                visited[static_cast<std::size_t>(r)], i,
+                inv_chains[static_cast<std::size_t>(u)],
+                kernels[static_cast<std::size_t>(
+                            units.alpha_of[static_cast<std::size_t>(u)])]
+                    ->inv_diag,
+                threshold, row_budget);
           }
         }
       }
@@ -756,7 +762,8 @@ BatchedGridResult batched_grid_build(const CsrMatrix& a, real_t alpha,
       std::vector<u32> mark(static_cast<std::size_t>(n), 0);
       u32 epoch = 0;
       std::vector<index_t> visited;
-      std::vector<real_t> scratch;
+      // One emission engine per thread, recycled across every trial's rows.
+      RowEmitter emitter;
       std::vector<long long> local_transitions(trials.size(), 0);
       std::vector<real_t> inv_chains(trials.size());
       for (std::size_t t = 0; t < trials.size(); ++t) {
@@ -819,12 +826,11 @@ BatchedGridResult batched_grid_build(const CsrMatrix& a, real_t alpha,
         // emission helper the standalone inverter uses.
         for (index_t t = 0; t < g; ++t) {
           row_slices[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] =
-              emit_row_from_accumulator(
-                  arenas[static_cast<std::size_t>(t)]
-                        [static_cast<std::size_t>(tid)],
-                  tid, acc_of(t), visited, i,
-                  inv_chains[static_cast<std::size_t>(t)], kernel.inv_diag,
-                  threshold, row_budget, scratch);
+              emitter.emit(arenas[static_cast<std::size_t>(t)]
+                                 [static_cast<std::size_t>(tid)],
+                           tid, acc_of(t), visited, i,
+                           inv_chains[static_cast<std::size_t>(t)],
+                           kernel.inv_diag, threshold, row_budget);
         }
       }
 #pragma omp critical(mcmi_batched_transitions)
@@ -910,6 +916,40 @@ bool can_share_successor_draws(const WalkKernel& lhs, const WalkKernel& rhs) {
          lhs.alias.alias() == rhs.alias.alias();
 }
 
+bool can_share_inverse_cdf_draws(const WalkKernel& lhs, const WalkKernel& rhs) {
+  if (lhs.row_ptr != rhs.row_ptr || lhs.succ != rhs.succ ||
+      lhs.row_sum.size() != rhs.row_sum.size()) {
+    return false;
+  }
+  const auto n = static_cast<index_t>(lhs.row_sum.size());
+  for (index_t i = 0; i < n; ++i) {
+    const real_t ls = lhs.row_sum[i];
+    const real_t rs = rhs.row_sum[i];
+    if (ls == 0.0 && rs == 0.0) continue;  // no successors: never drawn from
+    if (ls <= 0.0 || rs <= 0.0) return false;
+    // The CDF draw compares u * S_u against the cum_abs prefix sums.  If
+    // rhs's row is lhs's scaled by an exact power of two, both sides of
+    // every comparison scale exactly (power-of-two products commute with
+    // rounding in the normal range), so each RNG word selects the same
+    // transition slot.  frexp only nominates the candidate ratio — the
+    // division may round — so the scaling itself is verified bitwise below.
+    int exponent = 0;
+    const real_t ratio = rs / ls;
+    if (std::frexp(ratio, &exponent) != 0.5) return false;
+    if (ls * ratio != rs) return false;
+    // u >= 2^-53 when nonzero, so row sums at 1e-100 or above keep every
+    // u * S_u product in the normal range where the scaling argument holds.
+    if (std::min(ls, rs) < 1e-100) return false;
+    for (index_t p = lhs.row_ptr[i]; p < lhs.row_ptr[i + 1]; ++p) {
+      if (lhs.cum_abs[static_cast<std::size_t>(p)] * ratio !=
+          rhs.cum_abs[static_cast<std::size_t>(p)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 MultiAlphaGridResult multi_alpha_grid_build(
     const CsrMatrix& a, const std::vector<AlphaGroup>& groups,
     const std::vector<u64>& replicate_seeds, const McmcOptions& options,
@@ -952,12 +992,15 @@ MultiAlphaGridResult multi_alpha_grid_build(
     hits[g] = hit;
   }
 
-  // Successor sharing is alias-path only: the inverse-CDF draw compares
-  // u * S_u against the cumulative row weights, a decision that is not
-  // scale-invariant under floating-point rounding.
-  bool shareable = options.sampling == SamplingMethod::kAlias;
+  // Draw sharing needs bitwise-identical successor decisions per method:
+  // bitwise-equal alias tables on the alias path, exact power-of-two
+  // scaling of the cumulative row weights on the inverse-CDF path (the
+  // binary search over u * S_u is scale-invariant exactly then).
+  bool shareable = true;
   for (std::size_t g = 1; shareable && g < groups.size(); ++g) {
-    shareable = can_share_successor_draws(*kernels[0], *kernels[g]);
+    shareable = options.sampling == SamplingMethod::kAlias
+                    ? can_share_successor_draws(*kernels[0], *kernels[g])
+                    : can_share_inverse_cdf_draws(*kernels[0], *kernels[g]);
   }
   if (!shareable) return per_group_fallback();
 

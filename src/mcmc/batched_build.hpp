@@ -57,10 +57,14 @@
 /// d_u = a_uu (1 + alpha) scales a row of B uniformly), so walks for
 /// different alphas can share successor draws and differ only in their
 /// weight streams W *= copysign(S_u(alpha), B_uv).  In floating point the
-/// invariance holds only when the per-alpha alias tables round to identical
-/// decisions; multi_alpha_grid_build() verifies this bitwise at runtime
-/// (can_share_successor_draws()) and falls back to one ensemble per alpha
-/// otherwise, so the bit-identity contract is unconditional.
+/// invariance holds only when the per-alpha sampling decisions round
+/// identically; multi_alpha_grid_build() verifies this bitwise at runtime —
+/// can_share_successor_draws() for the alias path (bitwise-equal alias
+/// tables), can_share_inverse_cdf_draws() for the inverse-CDF path (the
+/// normalised cumulative-weight arrays agree under an exact power-of-two
+/// rescaling, which makes the u * S_u binary search scale-invariant) — and
+/// falls back to one ensemble per alpha otherwise, so the bit-identity
+/// contract is unconditional.
 
 #include <vector>
 
@@ -175,17 +179,33 @@ struct MultiAlphaGridResult {
 /// tables agree exactly, keeping the output contract unconditional.
 bool can_share_successor_draws(const WalkKernel& lhs, const WalkKernel& rhs);
 
+/// Whether two walk kernels make bit-identical successor decisions from the
+/// same RNG stream on the inverse-CDF path: same walk graph, and per row an
+/// exact power-of-two factor scales lhs's cumulative |B| prefix sums and
+/// row sum onto rhs's (equivalently, the scale-invariant *normalised*
+/// cum_abs arrays are bitwise equal).  Multiplication by a power of two
+/// commutes with floating-point rounding away from the subnormal range, so
+/// under this condition the draw `upper_bound(cum_abs, u * S_u)` picks the
+/// same transition slot for every RNG word in both kernels; rows whose sums
+/// sit close enough to the subnormal range for that argument to leak
+/// (< 1e-100) conservatively fail the check.  This is the runtime gate for
+/// multi-alpha draw sharing on the inverse-CDF sampler, the counterpart of
+/// can_share_successor_draws() on the alias path — e.g. the (1+alpha)
+/// factors of alphas {1, 3} scale every row by exactly 2x and always pass.
+bool can_share_inverse_cdf_draws(const WalkKernel& lhs, const WalkKernel& rhs);
+
 /// Build every (group, trial, replicate) preconditioner, sharing one walk
 /// ensemble across *all* alphas when the kernels allow it: successor draws
-/// are sampled once per step through the first group's alias tables while
-/// each alpha carries its own weight stream, stopping rules, and
-/// accumulators.  The sharing fast path requires the alias sampling method
-/// and bitwise-identical alias tables across the groups
-/// (can_share_successor_draws()); otherwise — and for the inverse-CDF
-/// reference sampler, whose draw decisions are not scale-invariant in
-/// floating point — the builder runs one replicate-batched ensemble per
-/// group.  Either way every (group, trial, replicate) output is
-/// bit-identical to its standalone `McmcInverter::compute()`.
+/// are sampled once per step through the first group's sampling structures
+/// while each alpha carries its own weight stream, stopping rules, and
+/// accumulators.  The sharing fast path requires bitwise-identical draw
+/// decisions across the groups, verified at runtime per sampling method —
+/// can_share_successor_draws() for the alias path (bitwise-equal alias
+/// tables), can_share_inverse_cdf_draws() for the inverse-CDF path (exact
+/// power-of-two scaling of the cumulative weights); otherwise the builder
+/// runs one replicate-batched ensemble per group.  Either way every
+/// (group, trial, replicate) output is bit-identical to its standalone
+/// `McmcInverter::compute()`.
 ///
 /// @param a                square system matrix with nonzero diagonal
 /// @param groups           one trial list per alpha (AlphaGroup::indices is

@@ -1,5 +1,7 @@
 #include "mcmc/csr_arena.hpp"
 
+#include <algorithm>
+
 namespace mcmi {
 
 CsrMatrix assemble_csr_from_arenas(index_t n,

@@ -1,17 +1,17 @@
 #pragma once
-// Arena-based CSR row assembly shared by the MCMC inverters.
+// Arena-based CSR row storage shared by the MCMC inverters.
 //
 // Each worker thread appends its finished rows to a private flat arena
 // (cols/vals grow amortised — no per-row heap vectors), records where every
 // row landed, and a prefix-sum plus parallel copy concatenates the arenas
 // into the final CSR buffers.  Rows enter the arena in sorted-column order,
-// so no trailing re-sort pass is needed; the filling-factor truncation runs
-// in the arena with an nth_element over caller-owned index scratch.
+// so no trailing re-sort pass is needed.
+//
+// Rows are written into the arena by the emission engine (mcmc/emission.hpp,
+// RowEmitter) — the accumulator -> CSR-row pipeline with threshold-tracked
+// budget truncation that every builder shares.
 
-#include <algorithm>
-#include <cmath>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "core/types.hpp"
@@ -31,80 +31,6 @@ struct RowSlice {
   index_t offset = 0;
   index_t count = 0;
 };
-
-/// Keep the `budget` largest-|value| entries of the row occupying
-/// [base, base+count) of `arena`, preserving sorted column order, and shrink
-/// the arena back down.  `scratch` is reusable caller scratch.  The cut
-/// magnitude is the budget-th largest |value| (an nth_element over a flat
-/// copy of the magnitudes — direct double compares, no index indirection);
-/// entries strictly above it always survive and ties at the cut keep the
-/// lowest columns, so a single forward compaction pass both applies the
-/// selection and preserves column order with no trailing sort.  The
-/// selection depends only on the row content — never on thread scheduling.
-inline index_t truncate_row_to_budget(RowArena& arena, index_t base,
-                                      index_t count, index_t budget,
-                                      std::vector<real_t>& scratch) {
-  if (count <= budget) return count;
-  scratch.resize(static_cast<std::size_t>(count));
-  for (index_t q = 0; q < count; ++q) {
-    scratch[static_cast<std::size_t>(q)] = std::abs(arena.vals[base + q]);
-  }
-  std::nth_element(scratch.begin(), scratch.begin() + (budget - 1),
-                   scratch.end(), std::greater<real_t>());
-  const real_t cut = scratch[static_cast<std::size_t>(budget - 1)];
-  index_t above = 0;
-  for (index_t q = 0; q < count; ++q) {
-    above += std::abs(arena.vals[base + q]) > cut ? 1 : 0;
-  }
-  index_t ties_left = budget - above;  // >= 1: the cut entry itself ties
-  index_t kept = 0;
-  for (index_t q = 0; q < count; ++q) {  // q >= kept: forward copy safe
-    const real_t av = std::abs(arena.vals[base + q]);
-    if (av > cut) {
-      // always kept
-    } else if (av == cut && ties_left > 0) {
-      --ties_left;
-    } else {
-      continue;
-    }
-    arena.cols[base + kept] = arena.cols[base + q];
-    arena.vals[base + kept] = arena.vals[base + q];
-    ++kept;
-  }
-  arena.cols.resize(static_cast<std::size_t>(base + budget));
-  arena.vals.resize(static_cast<std::size_t>(base + budget));
-  return budget;
-}
-
-/// Emit one assembled row into `arena`: scale the accumulated walk sums to
-/// P entries (average over chains, column scaling by inv_diag), reset the
-/// accumulator slots, drop off-diagonals at or below `threshold` (the
-/// diagonal is always kept), and cap the row at `budget` entries.  `touched`
-/// must be sorted ascending and cover every nonzero accumulator slot —
-/// a superset is fine: untouched states carry an exact 0.0 and fall to the
-/// threshold filter.  Shared by the standalone and batched builders (their
-/// bit-identity contract rides on this single definition).  Returns the
-/// row's slice for thread `tid`.
-inline RowSlice emit_row_from_accumulator(
-    RowArena& arena, int tid, real_t* accum,
-    const std::vector<index_t>& touched, index_t row, real_t inv_chains,
-    const std::vector<real_t>& inv_diag, real_t threshold, index_t budget,
-    std::vector<real_t>& scratch) {
-  const index_t base = static_cast<index_t>(arena.cols.size());
-  for (index_t j : touched) {
-    const real_t pij = accum[j] * inv_chains * inv_diag[j];
-    accum[j] = 0.0;
-    if (j != row && std::abs(pij) <= threshold) {
-      continue;  // truncation threshold (diagonal always kept)
-    }
-    arena.cols.push_back(j);
-    arena.vals.push_back(pij);
-  }
-  const index_t kept = truncate_row_to_budget(
-      arena, base, static_cast<index_t>(arena.cols.size()) - base, budget,
-      scratch);
-  return {tid, base, kept};
-}
 
 /// Phase 2 of the two-phase assembly: prefix-sum the per-row lengths into a
 /// CSR row_ptr and copy every arena row into the final buffers in parallel.

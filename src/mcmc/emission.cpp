@@ -1,0 +1,162 @@
+#include "mcmc/emission.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace mcmi {
+
+namespace {
+
+/// Restore the min-heap property after overwriting the root of a full heap.
+inline void sift_down(real_t* heap, index_t size) {
+  const real_t value = heap[0];
+  index_t hole = 0;
+  while (true) {
+    index_t child = 2 * hole + 1;
+    if (child >= size) break;
+    if (child + 1 < size && heap[child + 1] < heap[child]) ++child;
+    if (heap[child] >= value) break;
+    heap[hole] = heap[child];
+    hole = child;
+  }
+  heap[hole] = value;
+}
+
+/// The exact-cut compaction shared by the engine and the reference path:
+/// keep the staged entries in [base, base + staged) whose magnitude exceeds
+/// `cut`, plus lowest-column ties at `cut` until `budget` entries are kept,
+/// preserving the staged (ascending-column) order; shrink the arena to the
+/// kept prefix.  `cut` must be the budget-th largest |value| over the row's
+/// full candidate set, and every candidate with |value| >= cut must be
+/// staged — both are what make the forward pass an exact selection.
+void compact_to_budget(RowArena& arena, index_t base, index_t staged,
+                       index_t budget, real_t cut) {
+  index_t above = 0;
+  for (index_t q = 0; q < staged; ++q) {
+    above += std::abs(arena.vals[base + q]) > cut ? 1 : 0;
+  }
+  index_t ties_left = budget - above;  // >= 1: the cut entry itself ties
+  index_t kept = 0;
+  for (index_t q = 0; q < staged; ++q) {  // q >= kept: forward copy safe
+    const real_t av = std::abs(arena.vals[base + q]);
+    if (av > cut) {
+      // always kept
+    } else if (av == cut && ties_left > 0) {
+      --ties_left;
+    } else {
+      continue;
+    }
+    arena.cols[base + kept] = arena.cols[base + q];
+    arena.vals[base + kept] = arena.vals[base + q];
+    ++kept;
+  }
+  arena.cols.resize(static_cast<std::size_t>(base + budget));
+  arena.vals.resize(static_cast<std::size_t>(base + budget));
+}
+
+}  // namespace
+
+RowSlice RowEmitter::emit(RowArena& arena, int tid, real_t* accum,
+                          const std::vector<index_t>& touched, index_t row,
+                          real_t inv_chains,
+                          const std::vector<real_t>& inv_diag,
+                          real_t threshold, index_t budget) {
+  const index_t base = static_cast<index_t>(arena.cols.size());
+
+  if (static_cast<index_t>(touched.size()) <= budget) {
+    // Touched-count fast path: the row cannot overflow the budget, so the
+    // bare threshold-filter loop is the whole emission.
+    for (index_t j : touched) {
+      const real_t pij = accum[j] * inv_chains * inv_diag[j];
+      accum[j] = 0.0;
+      if (j != row && std::abs(pij) <= threshold) continue;
+      arena.cols.push_back(j);
+      arena.vals.push_back(pij);
+    }
+    return {tid, base, static_cast<index_t>(arena.cols.size()) - base};
+  }
+
+  // Threshold-tracked path.  Stage plainly until the budget fills — rows
+  // whose post-threshold candidate count stays within budget never pay any
+  // tracking — then heapify the staged magnitudes once and stream the rest
+  // against the bounded min-heap of the `budget` largest magnitudes seen so
+  // far.  The heap minimum only grows toward the final cut, so a candidate
+  // strictly below it is rejected with one compare and never staged;
+  // candidates at the minimum must be staged (they may be lowest-column
+  // ties at the final cut).
+  const auto n_touched = static_cast<index_t>(touched.size());
+  index_t candidates = 0;
+  index_t t = 0;
+  for (; t < n_touched && candidates < budget; ++t) {
+    const index_t j = touched[static_cast<std::size_t>(t)];
+    const real_t pij = accum[j] * inv_chains * inv_diag[j];
+    accum[j] = 0.0;
+    if (j != row && std::abs(pij) <= threshold) continue;
+    ++candidates;
+    arena.cols.push_back(j);
+    arena.vals.push_back(pij);
+  }
+  if (t < n_touched) {
+    heap_.resize(static_cast<std::size_t>(budget));
+    for (index_t q = 0; q < budget; ++q) {
+      heap_[static_cast<std::size_t>(q)] = std::abs(arena.vals[base + q]);
+    }
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<real_t>());
+    for (; t < n_touched; ++t) {
+      const index_t j = touched[static_cast<std::size_t>(t)];
+      const real_t pij = accum[j] * inv_chains * inv_diag[j];
+      accum[j] = 0.0;
+      const real_t mag = std::abs(pij);
+      if (j != row && mag <= threshold) continue;
+      ++candidates;
+      if (mag < heap_.front()) continue;  // can never survive the cut
+      if (mag > heap_.front()) {
+        heap_.front() = mag;
+        sift_down(heap_.data(), budget);
+      }
+      arena.cols.push_back(j);
+      arena.vals.push_back(pij);
+    }
+  }
+  const index_t staged = static_cast<index_t>(arena.cols.size()) - base;
+  if (candidates <= budget) return {tid, base, staged};
+
+  // The heap min is now exactly the budget-th largest |value| over the full
+  // candidate set (every rejected candidate was strictly below a bound that
+  // never exceeds it), and every candidate >= the cut is staged.
+  compact_to_budget(arena, base, staged, budget, heap_.front());
+  return {tid, base, budget};
+}
+
+RowSlice emit_row_reference(RowArena& arena, int tid, real_t* accum,
+                            const std::vector<index_t>& touched, index_t row,
+                            real_t inv_chains,
+                            const std::vector<real_t>& inv_diag,
+                            real_t threshold, index_t budget,
+                            std::vector<real_t>& scratch) {
+  const index_t base = static_cast<index_t>(arena.cols.size());
+  for (index_t j : touched) {
+    const real_t pij = accum[j] * inv_chains * inv_diag[j];
+    accum[j] = 0.0;
+    if (j != row && std::abs(pij) <= threshold) continue;
+    arena.cols.push_back(j);
+    arena.vals.push_back(pij);
+  }
+  const index_t count = static_cast<index_t>(arena.cols.size()) - base;
+  if (count <= budget) return {tid, base, count};
+
+  // The pre-engine cut: nth_element over a flat copy of the magnitudes
+  // (direct double compares), then the shared exact compaction.
+  scratch.resize(static_cast<std::size_t>(count));
+  for (index_t q = 0; q < count; ++q) {
+    scratch[static_cast<std::size_t>(q)] = std::abs(arena.vals[base + q]);
+  }
+  std::nth_element(scratch.begin(), scratch.begin() + (budget - 1),
+                   scratch.end(), std::greater<real_t>());
+  compact_to_budget(arena, base, count, budget,
+                    scratch[static_cast<std::size_t>(budget - 1)]);
+  return {tid, base, budget};
+}
+
+}  // namespace mcmi

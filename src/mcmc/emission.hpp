@@ -1,0 +1,139 @@
+#pragma once
+/// @file emission.hpp
+/// @brief The row-emission engine: the accumulator -> CSR-row pipeline every
+/// MCMC builder shares, with threshold-tracked top-k truncation.
+///
+/// Emitting a row means streaming a walk accumulator's touched states into
+/// P entries (average over chains, column scaling by the inverse diagonal),
+/// dropping off-diagonals at or below the truncation threshold, and capping
+/// the row at the filling-factor budget.  After the batched builders
+/// collapsed the walk work (one ensemble serves every (eps, delta) trial x
+/// replicate x alpha), this per-(trial, replicate) emission pass became the
+/// dominant fixed cost of a grid build — on lattice-like matrices a row's
+/// touched set grows with the square of the walk length while the budget
+/// stays O(row degree), so almost all streamed candidates are doomed and a
+/// full selection pass per emission is wasted work.
+///
+/// ## The emission invariant (bit-identity contract)
+///
+/// Every builder — standalone, regenerative, batched, replicate-batched,
+/// multi-alpha — emits rows through this one engine, and the emitted row is
+/// a pure function of the row's content:
+///
+///   * **Values**: `P_ij = accum[j] * inv_chains * inv_diag[j]`, computed in
+///     ascending column order (the touched set is sorted), bit-for-bit the
+///     standalone arithmetic.
+///   * **Threshold**: off-diagonals with `|P_ij| <= threshold` are dropped;
+///     the diagonal entry is always a candidate.
+///   * **Budget cut**: when more than `budget` candidates survive the
+///     threshold, the row keeps entries whose magnitude exceeds the
+///     budget-th largest |value| (counting duplicates), and ties *at* the
+///     cut magnitude keep the lowest columns until the budget is filled.
+///   * **Ordering**: the emitted row is in ascending column order; no
+///     trailing sort exists anywhere in the pipeline.
+///
+/// The selection never depends on thread scheduling, batching arrangement,
+/// or which scratch the engine happened to reuse.
+///
+/// ## The threshold-tracked cut
+///
+/// RowEmitter keeps a bounded min-heap of the `budget` largest candidate
+/// magnitudes seen so far while the row streams.  Its minimum is a running
+/// lower bound on the final cut, and after the last candidate it *is* the
+/// exact budget-th largest magnitude — so:
+///
+///   * a candidate strictly below the running minimum can never survive and
+///     is rejected with one compare, without ever touching the arena;
+///   * candidates at or above it are staged into the arena (ties at the
+///     final cut must stay available for lowest-column selection);
+///   * the final compaction applies the exact cut to the staged survivors
+///     only, with no `nth_element` over the full candidate set.
+///
+/// Rows that cannot overflow the budget skip all tracking: the touched
+/// count is checked first (`touched.size() <= budget` emits through a bare
+/// threshold-filter loop), and a row whose post-threshold candidate count
+/// stays within budget returns its staged entries unchanged.
+///
+/// ## Scratch-reuse contract
+///
+/// One RowEmitter per worker thread, reused across every row and every
+/// (trial, replicate, alpha) lane of a batched build: the heap buffer is
+/// allocated once and recycled, so per-emission cost contains no heap
+/// allocation.  A RowEmitter holds no row state between calls — emit() is
+/// restartable and the engine may be shared across builds sequentially —
+/// but it is not thread-safe; threads own their engines.
+#include <vector>
+
+#include "core/types.hpp"
+#include "mcmc/csr_arena.hpp"
+
+namespace mcmi {
+
+/// Scratch-owning row-emission engine shared by every MCMC builder.  See
+/// the file comment for the emission invariant it implements and the
+/// scratch-reuse contract.  Construct one per worker thread and reuse it
+/// across rows, trials, replicates, and alpha lanes.
+class RowEmitter {
+ public:
+  /// Emit one assembled row into `arena`: scale the accumulated walk sums
+  /// to P entries, reset the consumed accumulator slots to exactly 0.0,
+  /// apply the truncation threshold (the diagonal is always a candidate),
+  /// and cap the row at `budget` entries by the budget-th-largest-|value|
+  /// cut with lowest-column ties.
+  ///
+  /// `touched` must be sorted ascending and cover every nonzero accumulator
+  /// slot — a superset is fine: untouched states carry an exact 0.0 and
+  /// fall to the threshold filter.  This is what lets the batched builders
+  /// stream one shared touched union through many accumulators.
+  ///
+  /// @param arena      the calling thread's append-only row storage
+  /// @param tid        the arena's index, recorded in the returned slice
+  /// @param accum      dense accumulator of the row's walk sums; consumed
+  ///                   slots are reset to 0.0
+  /// @param touched    ascending candidate states covering every nonzero
+  ///                   accumulator slot (supersets allowed)
+  /// @param row        the row index (its entry bypasses the threshold)
+  /// @param inv_chains 1 / chain count: the Monte-Carlo average factor
+  /// @param inv_diag   per-column scaling 1 / d_j of the perturbed matrix
+  /// @param threshold  drop off-diagonals with |P_ij| at or below this
+  /// @param budget     maximum entries the emitted row may keep (>= 1)
+  /// @return the emitted row's slice (arena id, offset, length)
+  RowSlice emit(RowArena& arena, int tid, real_t* accum,
+                const std::vector<index_t>& touched, index_t row,
+                real_t inv_chains, const std::vector<real_t>& inv_diag,
+                real_t threshold, index_t budget);
+
+ private:
+  /// Bounded min-heap over the `budget` largest candidate magnitudes of the
+  /// row in flight; cleared per emission, capacity recycled across calls.
+  std::vector<real_t> heap_;
+};
+
+/// Reference emitter: the same emission invariant implemented the
+/// pre-engine way (stage every post-threshold candidate, then one
+/// `nth_element` over a flat magnitude copy plus an ordered compaction).
+/// This is the spec the property tests pin RowEmitter against and the
+/// status-quo side of the gated `BM_EmitRow*` benchmark pairs; it is not
+/// used by any builder.
+///
+/// @param arena      the calling thread's append-only row storage
+/// @param tid        the arena's index, recorded in the returned slice
+/// @param accum      dense accumulator of the row's walk sums; consumed
+///                   slots are reset to 0.0
+/// @param touched    ascending candidate states covering every nonzero
+///                   accumulator slot (supersets allowed)
+/// @param row        the row index (its entry bypasses the threshold)
+/// @param inv_chains 1 / chain count: the Monte-Carlo average factor
+/// @param inv_diag   per-column scaling 1 / d_j of the perturbed matrix
+/// @param threshold  drop off-diagonals with |P_ij| at or below this
+/// @param budget     maximum entries the emitted row may keep (>= 1)
+/// @param scratch    reusable caller scratch for the magnitude copy
+/// @return the emitted row's slice (arena id, offset, length)
+RowSlice emit_row_reference(RowArena& arena, int tid, real_t* accum,
+                            const std::vector<index_t>& touched, index_t row,
+                            real_t inv_chains,
+                            const std::vector<real_t>& inv_diag,
+                            real_t threshold, index_t budget,
+                            std::vector<real_t>& scratch);
+
+}  // namespace mcmi

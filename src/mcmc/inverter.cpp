@@ -10,6 +10,7 @@
 #include "core/rng.hpp"
 #include "core/timer.hpp"
 #include "mcmc/csr_arena.hpp"
+#include "mcmc/emission.hpp"
 #include "mcmc/walk_kernel.hpp"
 
 namespace mcmi {
@@ -137,7 +138,7 @@ CsrMatrix McmcInverter::compute() {
       RowArena& arena = arenas[static_cast<std::size_t>(tid)];
       std::vector<real_t> accum(static_cast<std::size_t>(n), 0.0);
       std::vector<index_t> touched;
-      std::vector<real_t> scratch;
+      RowEmitter emitter;
       long long local_transitions = 0;
 #pragma omp for schedule(dynamic, 8)
       for (index_t i = begin; i < end; ++i) {
@@ -161,9 +162,9 @@ CsrMatrix McmcInverter::compute() {
         std::sort(touched.begin(), touched.end());
         touched.erase(std::unique(touched.begin(), touched.end()),
                       touched.end());
-        row_slices[i] = emit_row_from_accumulator(
-            arena, tid, accum.data(), touched, i, inv_chains,
-            kernel.inv_diag, threshold, row_budget, scratch);
+        row_slices[i] = emitter.emit(arena, tid, accum.data(), touched, i,
+                                     inv_chains, kernel.inv_diag, threshold,
+                                     row_budget);
       }
       transitions += local_transitions;
     }

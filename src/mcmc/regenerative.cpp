@@ -10,6 +10,7 @@
 #include "core/timer.hpp"
 #include "mcmc/alias_table.hpp"
 #include "mcmc/csr_arena.hpp"
+#include "mcmc/emission.hpp"
 
 namespace mcmi {
 
@@ -160,7 +161,7 @@ CsrMatrix RegenerativeInverter::compute() {
     RowArena& arena = arenas[static_cast<std::size_t>(tid)];
     std::vector<real_t> accum(static_cast<std::size_t>(n), 0.0);
     std::vector<index_t> touched;
-    std::vector<real_t> scratch;
+    RowEmitter emitter;
     long long local_transitions = 0;
     long long local_regens = 0;
 #pragma omp for schedule(dynamic, 8)
@@ -188,18 +189,9 @@ CsrMatrix RegenerativeInverter::compute() {
       touched.erase(std::unique(touched.begin(), touched.end()),
                     touched.end());
       const real_t inv_chains = 1.0 / static_cast<real_t>(chains);
-      const index_t base = static_cast<index_t>(arena.cols.size());
-      for (index_t j : touched) {
-        const real_t pij = accum[j] * inv_chains * kernel.inv_diag[j];
-        accum[j] = 0.0;
-        if (j != i && std::abs(pij) <= options_.truncation_threshold) continue;
-        arena.cols.push_back(j);
-        arena.vals.push_back(pij);
-      }
-      const index_t kept = truncate_row_to_budget(
-          arena, base, static_cast<index_t>(arena.cols.size()) - base,
-          row_budget, scratch);
-      row_slices[i] = {tid, base, kept};
+      row_slices[i] = emitter.emit(arena, tid, accum.data(), touched, i,
+                                   inv_chains, kernel.inv_diag,
+                                   options_.truncation_threshold, row_budget);
     }
     transitions += local_transitions;
     regenerations += local_regens;

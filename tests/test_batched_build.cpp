@@ -356,19 +356,76 @@ TEST(MultiAlphaBuild, FallsBackWhenTablesDiffer) {
   check_multi_alpha(a, groups, seeds, {}, "multi/fallback");
 }
 
-TEST(MultiAlphaBuild, InverseCdfAlwaysFallsBack) {
-  // The inverse-CDF draw compares u * S_u against cumulative weights — not
-  // scale-invariant under rounding — so sharing is alias-path only.
+TEST(MultiAlphaBuild, InverseCdfSharesWhenScalingExact) {
+  // Alphas 1 and 3 scale every row's cumulative weights and row sum by
+  // exactly 2x, so the u * S_u binary search picks the same transition slot
+  // in both kernels for every RNG word: the inverse-CDF sharing check must
+  // pass and the shared ensemble must reproduce each alpha's standalone
+  // builds bit for bit — the A/B counterpart of the alias-path sharing test
+  // above on the same matrix and grid shape.
+  const CsrMatrix a = pdd_real_sparse(40, 0.15, 51);
+  const std::vector<AlphaGroup> groups = {
+      {1.0, {}, {{0.5, 0.25}, {0.25, 0.125}}},
+      {3.0, {}, {{0.5, 0.25}, {0.125, 0.0625}}}};
+  const WalkKernel k1 = build_walk_kernel(a, 1.0);
+  const WalkKernel k3 = build_walk_kernel(a, 3.0);
+  ASSERT_TRUE(can_share_inverse_cdf_draws(k1, k3));  // the premise
+  McmcOptions cdf;
+  cdf.sampling = SamplingMethod::kInverseCdf;
+  const std::vector<u64> seeds = {9, 10};
+  const MultiAlphaGridResult multi =
+      multi_alpha_grid_build(a, groups, seeds, cdf);
+  EXPECT_TRUE(multi.shared_successors);
+  check_multi_alpha(a, groups, seeds, cdf, "multi/cdf-shared");
+}
+
+TEST(MultiAlphaBuild, InverseCdfFallsBackWhenScalingInexact) {
+  // Alphas 1 and 2 scale the diagonals by 2 vs 3 — not a power-of-two
+  // ratio — so the rounded cumulative weights are not exact rescalings and
+  // the inverse-CDF builder must fall back to per-alpha ensembles.
   const CsrMatrix a = pdd_real_sparse(40, 0.15, 51);
   const std::vector<AlphaGroup> groups = {{1.0, {}, {{0.5, 0.25}}},
-                                          {3.0, {}, {{0.5, 0.25}}}};
+                                          {2.0, {}, {{0.5, 0.25}}}};
+  const WalkKernel k1 = build_walk_kernel(a, 1.0);
+  const WalkKernel k2 = build_walk_kernel(a, 2.0);
+  ASSERT_FALSE(can_share_inverse_cdf_draws(k1, k2));  // the premise
   McmcOptions cdf;
   cdf.sampling = SamplingMethod::kInverseCdf;
   const std::vector<u64> seeds = {9, 10};
   const MultiAlphaGridResult multi =
       multi_alpha_grid_build(a, groups, seeds, cdf);
   EXPECT_FALSE(multi.shared_successors);
-  check_multi_alpha(a, groups, seeds, cdf, "multi/cdf");
+  check_multi_alpha(a, groups, seeds, cdf, "multi/cdf-fallback");
+}
+
+TEST(MultiAlphaBuild, InverseCdfDivergenceRetiresOneAlphaOnly) {
+  // The inverse-CDF twin of DivergenceRetiresOneAlphaOnly below: alphas 0
+  // and 1 share draws (exact 2x scaling), alpha 0 diverges, alpha 1 keeps
+  // accumulating — both must still match their standalone builds.
+  CooMatrix coo(16, 16);
+  for (index_t i = 0; i < 16; ++i) {
+    coo.add(i, i, 1.0);
+    coo.add(i, (i + 1) % 16, 1.0);
+    coo.add(i, (i + 3) % 16, -1.0);
+    coo.add(i, (i + 5) % 16, 1.0);
+    coo.add(i, (i + 7) % 16, -1.0);
+  }
+  const CsrMatrix a = CsrMatrix::from_coo(std::move(coo));
+  McmcOptions opt;
+  opt.walk_cap = 64;
+  opt.sampling = SamplingMethod::kInverseCdf;
+  const std::vector<AlphaGroup> groups = {
+      {0.0, {}, {{0.25, 0.125}, {0.5, 0.5}}},
+      {1.0, {}, {{0.25, 0.125}, {0.5, 0.5}}}};
+  const WalkKernel k0 = build_walk_kernel(a, 0.0);
+  const WalkKernel k1 = build_walk_kernel(a, 1.0);
+  ASSERT_TRUE(can_share_inverse_cdf_draws(k0, k1));
+  EXPECT_GE(k0.norm_inf, 1.0);
+  const std::vector<u64> seeds = {21, 22};
+  const MultiAlphaGridResult multi =
+      multi_alpha_grid_build(a, groups, seeds, opt);
+  EXPECT_TRUE(multi.shared_successors);
+  check_multi_alpha(a, groups, seeds, opt, "multi/cdf-divergent");
 }
 
 TEST(MultiAlphaBuild, DivergenceRetiresOneAlphaOnly) {

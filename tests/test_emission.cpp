@@ -1,0 +1,251 @@
+// Property tests for src/mcmc/emission: RowEmitter must be bit-identical to
+// a naive full-sort reference emitter (and to emit_row_reference, the
+// pre-engine nth_element path) across random row contents, budgets,
+// duplicate magnitudes (tie stress), threshold filtering, and the
+// touched-count < / = / > budget boundaries — the emission invariant every
+// builder's bit-identity contract rides on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "mcmc/csr_arena.hpp"
+#include "mcmc/emission.hpp"
+
+namespace mcmi {
+namespace {
+
+struct OracleEntry {
+  index_t col = 0;
+  real_t val = 0.0;
+};
+
+/// The emission spec, written the obvious O(k log k) way: threshold-filter
+/// the candidates, then a full sort by (|value| descending, column
+/// ascending) keeps the first `budget` — entries above the cut magnitude
+/// always survive and ties at the cut keep the lowest columns — and the
+/// kept set is re-sorted into ascending column order.
+std::vector<OracleEntry> oracle_emit(const std::vector<index_t>& touched,
+                                     const std::vector<real_t>& accum,
+                                     index_t row, real_t inv_chains,
+                                     const std::vector<real_t>& inv_diag,
+                                     real_t threshold, index_t budget) {
+  std::vector<OracleEntry> cand;
+  for (index_t j : touched) {
+    const real_t pij = accum[static_cast<std::size_t>(j)] * inv_chains *
+                       inv_diag[static_cast<std::size_t>(j)];
+    if (j != row && std::abs(pij) <= threshold) continue;
+    cand.push_back({j, pij});
+  }
+  if (static_cast<index_t>(cand.size()) > budget) {
+    std::sort(cand.begin(), cand.end(),
+              [](const OracleEntry& x, const OracleEntry& y) {
+                const real_t ax = std::abs(x.val);
+                const real_t ay = std::abs(y.val);
+                if (ax != ay) return ax > ay;
+                return x.col < y.col;
+              });
+    cand.resize(static_cast<std::size_t>(budget));
+    std::sort(cand.begin(), cand.end(),
+              [](const OracleEntry& x, const OracleEntry& y) {
+                return x.col < y.col;
+              });
+  }
+  return cand;
+}
+
+/// One randomized emission case: builds a touched set of `touched_count`
+/// states over `n` (a superset is simulated by zero-accumulator slots),
+/// emits it through RowEmitter, emit_row_reference, and the oracle, and
+/// expects all three bit-identical.  The engines and arenas are the
+/// caller's, reused across cases — the scratch-reuse contract says reuse
+/// must never leak state between rows.
+void check_case(Xoshiro256& rng, RowEmitter& emitter, RowArena& engine_arena,
+                RowArena& ref_arena, std::vector<real_t>& ref_scratch,
+                index_t n, index_t touched_count, index_t budget,
+                real_t threshold, bool tie_stress, const char* label) {
+  std::vector<index_t> touched;
+  {
+    // touched_count distinct ascending states out of [0, n).
+    std::vector<index_t> pool(static_cast<std::size_t>(n));
+    for (index_t j = 0; j < n; ++j) pool[static_cast<std::size_t>(j)] = j;
+    for (index_t t = 0; t < touched_count; ++t) {
+      const auto pick =
+          t + static_cast<index_t>(rng() % static_cast<u64>(n - t));
+      std::swap(pool[static_cast<std::size_t>(t)],
+                pool[static_cast<std::size_t>(pick)]);
+    }
+    touched.assign(pool.begin(), pool.begin() + touched_count);
+    std::sort(touched.begin(), touched.end());
+  }
+  const index_t row = touched[static_cast<std::size_t>(
+      rng() % static_cast<u64>(touched.size()))];
+
+  std::vector<real_t> inv_diag(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    inv_diag[static_cast<std::size_t>(j)] = 0.125 + uniform01(rng);
+  }
+  const real_t inv_chains = 1.0 / (1.0 + std::floor(uniform01(rng) * 100.0));
+
+  // Walk-sum-like accumulator contents.  Tie stress draws magnitudes from a
+  // pool of four values so duplicates collide at the cut; zero slots model
+  // a touched superset (states whose weights cancelled exactly).
+  std::vector<real_t> accum(static_cast<std::size_t>(n), 0.0);
+  for (index_t j : touched) {
+    const u64 kind = rng() % 8;
+    real_t mag;
+    if (kind == 0) {
+      mag = 0.0;
+    } else if (tie_stress) {
+      const real_t pool[4] = {0.5, 0.25, 0.125, 1e-12};
+      mag = pool[rng() % 4];
+    } else {
+      mag = std::pow(0.5, uniform01(rng) * 30.0);
+    }
+    const real_t sign = (rng() & 1u) != 0 ? 1.0 : -1.0;
+    accum[static_cast<std::size_t>(j)] = sign * mag;
+  }
+
+  const std::vector<OracleEntry> expected = oracle_emit(
+      touched, accum, row, inv_chains, inv_diag, threshold, budget);
+
+  std::vector<real_t> engine_accum = accum;
+  std::vector<real_t> ref_accum = accum;
+  const RowSlice es = emitter.emit(engine_arena, 0, engine_accum.data(),
+                                   touched, row, inv_chains, inv_diag,
+                                   threshold, budget);
+  const RowSlice rs = emit_row_reference(ref_arena, 0, ref_accum.data(),
+                                         touched, row, inv_chains, inv_diag,
+                                         threshold, budget, ref_scratch);
+
+  ASSERT_EQ(es.count, static_cast<index_t>(expected.size())) << label;
+  ASSERT_EQ(rs.count, es.count) << label;
+  for (index_t q = 0; q < es.count; ++q) {
+    const auto eq = static_cast<std::size_t>(es.offset + q);
+    const auto rq = static_cast<std::size_t>(rs.offset + q);
+    const auto oq = static_cast<std::size_t>(q);
+    EXPECT_EQ(engine_arena.cols[eq], expected[oq].col) << label << " q=" << q;
+    EXPECT_EQ(engine_arena.vals[eq], expected[oq].val) << label << " q=" << q;
+    EXPECT_EQ(ref_arena.cols[rq], expected[oq].col) << label << " q=" << q;
+    EXPECT_EQ(ref_arena.vals[rq], expected[oq].val) << label << " q=" << q;
+  }
+  // Both emitters must reset every consumed accumulator slot to exactly 0.
+  for (index_t j : touched) {
+    EXPECT_EQ(engine_accum[static_cast<std::size_t>(j)], 0.0) << label;
+    EXPECT_EQ(ref_accum[static_cast<std::size_t>(j)], 0.0) << label;
+  }
+}
+
+TEST(Emission, BitIdenticalToFullSortOracleRandomized) {
+  Xoshiro256 rng = make_stream(987654321, 1);
+  RowEmitter emitter;
+  RowArena engine_arena;
+  RowArena ref_arena;
+  std::vector<real_t> ref_scratch;
+  for (int iter = 0; iter < 400; ++iter) {
+    const auto budget = static_cast<index_t>(1 + rng() % 12);
+    const index_t n = budget + 2 + static_cast<index_t>(rng() % 200);
+    // Sweep the touched-count boundary: below, at, just above, and far
+    // above the budget (the fast path, both degenerate cuts, and the
+    // threshold-tracked path).
+    const index_t counts[4] = {
+        std::max<index_t>(1, budget - 1), budget,
+        std::min<index_t>(n, budget + 1),
+        std::min<index_t>(n, budget + 1 + static_cast<index_t>(rng() % 64))};
+    const index_t touched_count = counts[rng() % 4];
+    const real_t threshold = (rng() % 4 == 0) ? 1e-3 : 1e-9;
+    const bool tie_stress = (rng() % 2) == 0;
+    check_case(rng, emitter, engine_arena, ref_arena, ref_scratch, n,
+               touched_count, budget, threshold, tie_stress, "randomized");
+  }
+}
+
+TEST(Emission, AllMagnitudesEqualKeepsLowestColumns) {
+  // Total tie stress: every candidate has the same |value|, so the cut
+  // equals that magnitude and the budget must be filled by the lowest
+  // columns in order.
+  const index_t n = 64;
+  std::vector<index_t> touched;
+  std::vector<real_t> accum(static_cast<std::size_t>(n), 0.0);
+  std::vector<real_t> inv_diag(static_cast<std::size_t>(n), 1.0);
+  for (index_t j = 1; j < n; j += 2) {
+    touched.push_back(j);
+    accum[static_cast<std::size_t>(j)] = (j % 4 == 1) ? 0.5 : -0.5;
+  }
+  RowEmitter emitter;
+  RowArena arena;
+  const index_t budget = 5;
+  const RowSlice s = emitter.emit(arena, 0, accum.data(), touched, 1, 1.0,
+                                  inv_diag, 1e-9, budget);
+  ASSERT_EQ(s.count, budget);
+  for (index_t q = 0; q < budget; ++q) {
+    EXPECT_EQ(arena.cols[static_cast<std::size_t>(s.offset + q)], 2 * q + 1);
+  }
+}
+
+TEST(Emission, DiagonalBypassesThresholdButNotBudget) {
+  // The diagonal is always a candidate even below the threshold, yet it
+  // competes by magnitude in the budget cut like any entry.
+  const index_t n = 8;
+  std::vector<index_t> touched = {0, 1, 2, 3, 4};
+  std::vector<real_t> inv_diag(static_cast<std::size_t>(n), 1.0);
+  std::vector<real_t> accum(static_cast<std::size_t>(n), 0.0);
+  accum[0] = 1e-12;  // the diagonal: below threshold, kept as candidate
+  accum[1] = 0.5;
+  accum[2] = -0.25;
+  accum[3] = 0.125;
+  accum[4] = 1e-12;  // off-diagonal at the same magnitude: dropped
+  RowEmitter emitter;
+  RowArena arena;
+  std::vector<real_t> accum2 = accum;
+
+  // Budget 4 keeps every candidate, including the tiny diagonal.
+  const RowSlice keep = emitter.emit(arena, 0, accum.data(), touched, 0, 1.0,
+                                     inv_diag, 1e-9, 4);
+  ASSERT_EQ(keep.count, 4);
+  EXPECT_EQ(arena.cols[static_cast<std::size_t>(keep.offset)], 0);
+
+  // Budget 3 cuts by magnitude: the diagonal is the smallest and loses.
+  const RowSlice cut = emitter.emit(arena, 0, accum2.data(), touched, 0, 1.0,
+                                    inv_diag, 1e-9, 3);
+  ASSERT_EQ(cut.count, 3);
+  EXPECT_EQ(arena.cols[static_cast<std::size_t>(cut.offset)], 1);
+  EXPECT_EQ(arena.cols[static_cast<std::size_t>(cut.offset + 1)], 2);
+  EXPECT_EQ(arena.cols[static_cast<std::size_t>(cut.offset + 2)], 3);
+}
+
+TEST(Emission, TouchedSupersetWithZeroSlotsMatchesExactSet) {
+  // Batched builders stream a shared touched union through per-trial
+  // accumulators; never-touched slots carry an exact 0.0 and must fall to
+  // the threshold filter, leaving the emitted row identical to an emission
+  // over the exact touched set.
+  const index_t n = 32;
+  std::vector<real_t> inv_diag(static_cast<std::size_t>(n), 0.5);
+  std::vector<index_t> exact = {3, 7, 11, 19};
+  std::vector<index_t> superset = {1, 3, 5, 7, 9, 11, 15, 19, 23, 29};
+  std::vector<real_t> accum(static_cast<std::size_t>(n), 0.0);
+  accum[3] = 0.75;
+  accum[7] = -0.5;
+  accum[11] = 0.25;
+  accum[19] = -0.125;
+  std::vector<real_t> accum2 = accum;
+  RowEmitter emitter;
+  RowArena arena;
+  const RowSlice a = emitter.emit(arena, 0, accum.data(), exact, 3, 1.0,
+                                  inv_diag, 1e-9, 3);
+  const RowSlice b = emitter.emit(arena, 0, accum2.data(), superset, 3, 1.0,
+                                  inv_diag, 1e-9, 3);
+  ASSERT_EQ(a.count, b.count);
+  for (index_t q = 0; q < a.count; ++q) {
+    EXPECT_EQ(arena.cols[static_cast<std::size_t>(a.offset + q)],
+              arena.cols[static_cast<std::size_t>(b.offset + q)]);
+    EXPECT_EQ(arena.vals[static_cast<std::size_t>(a.offset + q)],
+              arena.vals[static_cast<std::size_t>(b.offset + q)]);
+  }
+}
+
+}  // namespace
+}  // namespace mcmi
