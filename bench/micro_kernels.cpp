@@ -25,6 +25,7 @@
 #include "mcmc/regenerative.hpp"
 #include "mcmc/walk_kernel.hpp"
 #include "precond/ilu0.hpp"
+#include "solve/orchestrator.hpp"
 #include "sparse/vector_ops.hpp"
 #include "surrogate/model.hpp"
 
@@ -579,6 +580,75 @@ void BM_GmresSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GmresSolve);
+
+// ---- solve orchestrator: healthy path vs the degraded fallback path ----
+// Three rows sharing one matrix and request shape so the pair ratios isolate
+// the orchestration cost:
+//   * BM_DirectMcmcSolve     — the pre-orchestrator status quo: build the
+//     MCMC preconditioner by hand, call the solver, no lifecycle management;
+//   * BM_OrchestratorHealthy — the same work through SolveOrchestrator's
+//     ladder (the first rung converges), measuring the request-lifecycle
+//     overhead: token plumbing, stage bookkeeping, the report;
+//   * BM_OrchestratorDegraded — an injected MCMC build failure per request,
+//     measuring a full fallback hop (failed stage + Jacobi rescue).
+// Orchestrators and caches are constructed inside the timed loop so the
+// kernel cache cannot bias the healthy-vs-direct comparison.
+
+constexpr real_t kOrchBenchTol = 1e-8;
+
+const CsrMatrix& orch_bench_matrix() {
+  static const CsrMatrix a = laplace_2d(24);
+  return a;
+}
+
+SolveRequest orch_bench_request() {
+  SolveRequest req;
+  req.tolerance = kOrchBenchTol;
+  req.mcmc_params = {1.0, 0.25, 0.125};
+  return req;
+}
+
+void BM_DirectMcmcSolve(benchmark::State& state) {
+  const CsrMatrix& a = orch_bench_matrix();
+  const std::vector<real_t> b(static_cast<std::size_t>(a.rows()), 1.0);
+  const SolveRequest req = orch_bench_request();
+  SolveOptions opt;
+  opt.tolerance = req.tolerance;
+  for (auto _ : state) {
+    const auto p =
+        McmcInverter::build_preconditioner(a, req.mcmc_params);
+    std::vector<real_t> x;
+    benchmark::DoNotOptimize(
+        solve_gmres(a, b, *p, x, opt).iterations);
+  }
+}
+BENCHMARK(BM_DirectMcmcSolve)->Unit(benchmark::kMillisecond);
+
+void BM_OrchestratorHealthy(benchmark::State& state) {
+  const CsrMatrix& a = orch_bench_matrix();
+  const std::vector<real_t> b(static_cast<std::size_t>(a.rows()), 1.0);
+  const SolveRequest req = orch_bench_request();
+  for (auto _ : state) {
+    SolveOrchestrator orch(a);
+    std::vector<real_t> x;
+    benchmark::DoNotOptimize(orch.solve(b, x, req).iterations);
+  }
+}
+BENCHMARK(BM_OrchestratorHealthy)->Unit(benchmark::kMillisecond);
+
+void BM_OrchestratorDegraded(benchmark::State& state) {
+  const CsrMatrix& a = orch_bench_matrix();
+  const std::vector<real_t> b(static_cast<std::size_t>(a.rows()), 1.0);
+  const SolveRequest req = orch_bench_request();
+  for (auto _ : state) {
+    FaultInjector faults;
+    faults.fail_builds(SolveStage::kMcmc, 1);
+    SolveOrchestrator orch(a, &faults);
+    std::vector<real_t> x;
+    benchmark::DoNotOptimize(orch.solve(b, x, req).iterations);
+  }
+}
+BENCHMARK(BM_OrchestratorDegraded)->Unit(benchmark::kMillisecond);
 
 void BM_Ilu0Factorise(benchmark::State& state) {
   const CsrMatrix a = laplace_2d(64);

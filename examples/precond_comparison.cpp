@@ -37,7 +37,7 @@ int main() {
 
     auto steps = [&](const Preconditioner& p) -> std::string {
       const SolveResult res = solve_gmres(a, b, p, x, options);
-      return res.converged ? std::to_string(res.iterations) : "diverged";
+      return res.converged() ? std::to_string(res.iterations) : "diverged";
     };
 
     IdentityPreconditioner none;

@@ -35,7 +35,7 @@ int main() {
   const SolveResult baseline = solve_gmres(a, b, identity, x, options);
   std::printf("unpreconditioned GMRES : %lld steps (converged=%d)\n",
               static_cast<long long>(baseline.iterations),
-              baseline.converged);
+              baseline.converged());
 
   // 2. MCMC matrix-inversion preconditioner with the paper's parameter
   //    vector x_M = (alpha, eps, delta).
@@ -49,7 +49,7 @@ int main() {
       solve_gmres(a, b, *preconditioner, x, options);
   std::printf("MCMC-preconditioned    : %lld steps (converged=%d)\n",
               static_cast<long long>(accelerated.iterations),
-              accelerated.converged);
+              accelerated.converged());
 
   // 3. The paper's performance metric (eq. 4).
   const real_t y = static_cast<real_t>(accelerated.iterations) /

@@ -1,0 +1,106 @@
+#pragma once
+// Cooperative cancellation and wall-clock deadlines.
+//
+// A CancelToken is owned by whoever issues the work (the orchestrator, a
+// test, a server loop) and observed — never mutated — by the workers: the
+// Krylov inner loops and the MCMC row loops poll should_stop() and abandon
+// cleanly.  Tokens chain: a per-stage token created with a stage budget
+// also reports stop when the request-level parent stops, so one pointer
+// threads the whole hierarchy through SolveOptions / McmcOptions.
+//
+// Polling cost is one relaxed atomic load plus (when a deadline is set)
+// one steady_clock read — cheap enough for once-per-iteration checks in
+// solvers and once-per-row checks in builders.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+#include "core/status.hpp"
+#include "core/types.hpp"
+
+namespace mcmi {
+
+class CancelToken {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  /// No deadline; stops only on request_cancel() (or via the parent).
+  CancelToken() = default;
+
+  /// Deadline `seconds_from_now` in the future (<= 0 expires immediately).
+  explicit CancelToken(real_t seconds_from_now) {
+    set_deadline(seconds_from_now);
+  }
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void set_deadline(real_t seconds_from_now) {
+    deadline_ = clock::now() + std::chrono::duration_cast<clock::duration>(
+                                   std::chrono::duration<real_t>(
+                                       std::max<real_t>(seconds_from_now, 0)));
+    has_deadline_ = true;
+  }
+
+  void clear_deadline() { has_deadline_ = false; }
+
+  /// Owner-side reuse between requests: clears a previous cancel request
+  /// (the deadline, if any, is managed separately via set/clear_deadline).
+  void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+  /// Observe `parent` as well: should_stop() also fires when the parent
+  /// stops.  The parent must outlive this token.
+  void chain_to(const CancelToken* parent) { parent_ = parent; }
+
+  /// Thread-safe; flips every observer of this token (and children chained
+  /// to it) into the stopped state.
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancel_requested() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return parent_ != nullptr && parent_->cancel_requested();
+  }
+
+  [[nodiscard]] bool deadline_passed() const {
+    if (has_deadline_ && clock::now() >= deadline_) return true;
+    return parent_ != nullptr && parent_->deadline_passed();
+  }
+
+  [[nodiscard]] bool should_stop() const {
+    return cancel_requested() || deadline_passed();
+  }
+
+  /// Seconds until the nearest deadline in the chain (infinity if none).
+  [[nodiscard]] real_t remaining_seconds() const {
+    real_t remaining = std::numeric_limits<real_t>::infinity();
+    if (has_deadline_) {
+      remaining = std::chrono::duration<real_t>(deadline_ - clock::now())
+                      .count();
+    }
+    if (parent_ != nullptr) {
+      remaining = std::min(remaining, parent_->remaining_seconds());
+    }
+    return remaining;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  clock::time_point deadline_{};
+  const CancelToken* parent_ = nullptr;
+};
+
+/// Why a stopped token stopped: explicit cancellation wins over deadline.
+inline SolveStatus stop_reason(const CancelToken& token) {
+  return token.cancel_requested() ? SolveStatus::kCancelled
+                                  : SolveStatus::kDeadlineExceeded;
+}
+
+inline BuildStatus build_stop_reason(const CancelToken& token) {
+  return token.cancel_requested() ? BuildStatus::kCancelled
+                                  : BuildStatus::kDeadlineExceeded;
+}
+
+}  // namespace mcmi

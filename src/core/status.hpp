@@ -1,0 +1,71 @@
+#pragma once
+// Structured outcome taxonomy shared by the Krylov solvers, the MCMC
+// builders and the solve orchestrator.
+//
+// Every terminal state a solve or a preconditioner build can reach has a
+// name here; layers report *why* they stopped instead of a bare boolean.
+// The orchestrator's fallback ladder keys its retry/degrade decisions on
+// these values, so additions must keep the existing enumerators stable.
+
+namespace mcmi {
+
+/// Terminal state of a Krylov solve.
+enum class SolveStatus {
+  kConverged,         ///< relative preconditioned residual below tolerance
+  kMaxIterations,     ///< iteration budget exhausted without convergence
+  kBreakdown,         ///< exact breakdown (zero rho / omega / pivot)
+  kStagnation,        ///< no residual progress over the stagnation window
+  kDiverged,          ///< residual grows without bound / lost definiteness
+  kNonFinite,         ///< NaN or Inf entered the iteration
+  kDeadlineExceeded,  ///< cooperative deadline passed mid-solve
+  kCancelled,         ///< cooperative cancellation requested
+};
+
+/// Terminal state of a preconditioner build.
+enum class BuildStatus {
+  kBuilt,             ///< preconditioner assembled and usable
+  kDivergentKernel,   ///< MCMC walk kernel has ||B|| >= 1 (garbage P)
+  kZeroPivot,         ///< factorisation breakdown (zero diagonal / pivot)
+  kDeadlineExceeded,  ///< build abandoned: deadline passed
+  kCancelled,         ///< build abandoned: cancellation requested
+  kInjectedFault,     ///< failed by the fault-injection harness
+};
+
+inline const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kConverged: return "converged";
+    case SolveStatus::kMaxIterations: return "max_iterations";
+    case SolveStatus::kBreakdown: return "breakdown";
+    case SolveStatus::kStagnation: return "stagnation";
+    case SolveStatus::kDiverged: return "diverged";
+    case SolveStatus::kNonFinite: return "non_finite";
+    case SolveStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case SolveStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+inline const char* to_string(BuildStatus s) {
+  switch (s) {
+    case BuildStatus::kBuilt: return "built";
+    case BuildStatus::kDivergentKernel: return "divergent_kernel";
+    case BuildStatus::kZeroPivot: return "zero_pivot";
+    case BuildStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case BuildStatus::kCancelled: return "cancelled";
+    case BuildStatus::kInjectedFault: return "injected_fault";
+  }
+  return "unknown";
+}
+
+/// True when the solve stopped because of the cooperative budget rather
+/// than a numerical event — the orchestrator must not fall further down
+/// the ladder in that case.
+inline bool is_budget_stop(SolveStatus s) {
+  return s == SolveStatus::kDeadlineExceeded || s == SolveStatus::kCancelled;
+}
+
+inline bool is_budget_stop(BuildStatus s) {
+  return s == BuildStatus::kDeadlineExceeded || s == BuildStatus::kCancelled;
+}
+
+}  // namespace mcmi

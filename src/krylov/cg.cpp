@@ -24,19 +24,38 @@ SolveResult solve_cg(const CsrMatrix& a, const std::vector<real_t>& b,
   p.apply_dot_norm2(r, z, r, rho, norm_pb_sq);
   const real_t norm_pb = std::sqrt(norm_pb_sq);
   if (norm_pb == 0.0) {
-    result.converged = true;
+    result.status = SolveStatus::kConverged;
     return result;
   }
   if (!std::isfinite(norm_pb)) {
-    result.iterations = opt.max_iterations;
+    result.status = SolveStatus::kNonFinite;
     return result;
   }
   std::vector<real_t> q = z;  // search direction
   std::vector<real_t> aq(static_cast<std::size_t>(n));
+  StagnationTracker stagnation(opt.stagnation_window);
 
   for (index_t it = 0; it < opt.max_iterations; ++it) {
+    if (opt.cancel != nullptr && opt.cancel->should_stop()) {
+      result.status = stop_reason(*opt.cancel);
+      return result;
+    }
     const real_t qaq = a.multiply_dot(q, aq);  // aq = A q and <q, aq> fused
-    if (qaq <= 0.0) break;  // lost positive definiteness: report divergence
+    // alpha = rho / qaq: a non-finite denominator means overflow/NaN entered
+    // the iteration, zero is an exact breakdown, and a negative value means
+    // the operator is not positive definite — report each distinctly.
+    if (!std::isfinite(qaq)) {
+      result.status = SolveStatus::kNonFinite;
+      return result;
+    }
+    if (qaq == 0.0) {
+      result.status = SolveStatus::kBreakdown;
+      return result;
+    }
+    if (qaq < 0.0) {
+      result.status = SolveStatus::kDiverged;
+      return result;
+    }
     const real_t alpha = rho / qaq;
     axpy2(alpha, q, aq, x, r);  // x += alpha q, r -= alpha aq, one pass
     real_t rho_next, norm_z_sq;
@@ -46,13 +65,22 @@ SolveResult solve_cg(const CsrMatrix& a, const std::vector<real_t>& b,
     result.residual = rel;
     if (opt.record_history) result.history.push_back(rel);
     if (rel < opt.tolerance) {
-      result.converged = true;
+      result.status = SolveStatus::kConverged;
+      return result;
+    }
+    if (!std::isfinite(rel)) {
+      result.status = SolveStatus::kNonFinite;
+      return result;
+    }
+    if (stagnation.update(rel)) {
+      result.status = SolveStatus::kStagnation;
       return result;
     }
     const real_t beta = rho_next / rho;
     rho = rho_next;
     xpby(z, beta, q);  // q = z + beta q
   }
+  result.status = SolveStatus::kMaxIterations;
   return result;
 }
 

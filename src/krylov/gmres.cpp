@@ -22,13 +22,13 @@ SolveResult solve_gmres(const CsrMatrix& a, const std::vector<real_t>& b,
   const std::vector<real_t> pb = p.apply(b);
   const real_t norm_pb = norm2(pb);
   if (norm_pb == 0.0) {
-    result.converged = true;
+    result.status = SolveStatus::kConverged;
     return result;
   }
   if (!std::isfinite(norm_pb)) {
     // Degenerate preconditioner (overflow/NaN): report failure instead of
     // iterating on garbage.
-    result.iterations = opt.max_iterations;
+    result.status = SolveStatus::kNonFinite;
     return result;
   }
 
@@ -43,7 +43,12 @@ SolveResult solve_gmres(const CsrMatrix& a, const std::vector<real_t>& b,
   std::vector<real_t> g(static_cast<std::size_t>(m) + 1);
 
   std::vector<real_t> pr;
-  while (result.iterations < opt.max_iterations) {
+  StagnationTracker stagnation(opt.stagnation_window);
+  while (true) {
+    if (opt.cancel != nullptr && opt.cancel->should_stop()) {
+      result.status = stop_reason(*opt.cancel);
+      return result;
+    }
     // Restart: r = P(b - A x), with ||r|| taken from the apply pass.
     a.multiply(x, scratch);
     const std::vector<real_t> diff = subtract(b, scratch);
@@ -52,12 +57,20 @@ SolveResult solve_gmres(const CsrMatrix& a, const std::vector<real_t>& b,
     (void)ddotr;
     real_t beta = std::sqrt(beta_sq);
     if (!std::isfinite(beta)) {
-      result.iterations = opt.max_iterations;
+      result.status = SolveStatus::kNonFinite;
       return result;
     }
     result.residual = beta / norm_pb;
+    // Convergence is only ever declared here, on the recomputed residual of
+    // the actual iterate: the in-cycle Givens estimate drifts in finite
+    // precision and reads exactly zero at a happy breakdown even when the
+    // operator is singular and the true residual is not small.
     if (result.residual < opt.tolerance) {
-      result.converged = true;
+      result.status = SolveStatus::kConverged;
+      return result;
+    }
+    if (result.iterations >= opt.max_iterations) {
+      result.status = SolveStatus::kMaxIterations;
       return result;
     }
     scale_into(1.0 / beta, pr, basis[0]);
@@ -65,6 +78,8 @@ SolveResult solve_gmres(const CsrMatrix& a, const std::vector<real_t>& b,
     g[0] = beta;
 
     index_t k = 0;  // inner iterations completed in this cycle
+    bool stagnated = false;
+    bool stopped = false;
     for (; k < m && result.iterations < opt.max_iterations; ++k) {
       // Arnoldi with fused modified Gram-Schmidt: the projection onto basis
       // j+1 rides the same pass that subtracts component j, the first
@@ -108,11 +123,25 @@ SolveResult solve_gmres(const CsrMatrix& a, const std::vector<real_t>& b,
       result.iterations++;
       result.residual = std::abs(g[k + 1]) / norm_pb;
       if (opt.record_history) result.history.push_back(result.residual);
+      if (!std::isfinite(result.residual)) {
+        result.status = SolveStatus::kNonFinite;
+        return result;
+      }
       if (result.residual < opt.tolerance) {
         ++k;
         break;
       }
       if (hk1 == 0.0) {  // happy breakdown: exact solution in the subspace
+        ++k;
+        break;
+      }
+      if (stagnation.update(result.residual)) {
+        stagnated = true;  // finish the cycle so x still gets the correction
+        ++k;
+        break;
+      }
+      if (opt.cancel != nullptr && opt.cancel->should_stop()) {
+        stopped = true;
         ++k;
         break;
       }
@@ -126,8 +155,8 @@ SolveResult solve_gmres(const CsrMatrix& a, const std::vector<real_t>& b,
       real_t sum = g[i];
       for (index_t j = i + 1; j < k; ++j) sum -= h[i * m + j] * y[j];
       if (h[i * m + i] == 0.0 || !std::isfinite(h[i * m + i])) {
-        result.converged = false;
-        result.iterations = opt.max_iterations;
+        result.status = std::isfinite(h[i * m + i]) ? SolveStatus::kBreakdown
+                                                    : SolveStatus::kNonFinite;
         return result;
       }
       y[i] = sum / h[i * m + i];
@@ -135,11 +164,17 @@ SolveResult solve_gmres(const CsrMatrix& a, const std::vector<real_t>& b,
     for (index_t j = 0; j < k; ++j) axpy(y[j], basis[j], x);
 
     if (result.residual < opt.tolerance) {
-      result.converged = true;
+      continue;  // estimate says converged: let the restart verify it
+    }
+    if (stagnated) {
+      result.status = SolveStatus::kStagnation;
+      return result;
+    }
+    if (stopped) {
+      result.status = stop_reason(*opt.cancel);
       return result;
     }
   }
-  return result;
 }
 
 }  // namespace mcmi

@@ -6,9 +6,12 @@
 // performance metric y(A, x_M) compares iteration counts with P against the
 // identity-preconditioned baseline.
 
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "core/cancellation.hpp"
+#include "core/status.hpp"
 #include "precond/preconditioner.hpp"
 #include "sparse/csr.hpp"
 
@@ -28,13 +31,48 @@ struct SolveOptions {
   index_t max_iterations = 5000;
   index_t restart = 50;       ///< GMRES restart length m
   bool record_history = false;  ///< store the residual at every step
+  /// Iterations without any relative residual improvement before the solve
+  /// reports SolveStatus::kStagnation (0 disables the check).
+  index_t stagnation_window = 250;
+  /// Cooperative cancellation / deadline, polled once per iteration; not
+  /// owned.  nullptr runs unbounded (legacy behaviour).
+  const CancelToken* cancel = nullptr;
 };
 
 struct SolveResult {
-  bool converged = false;
+  SolveStatus status = SolveStatus::kMaxIterations;
   index_t iterations = 0;     ///< matrix-vector products consumed ("steps")
   real_t residual = 0.0;      ///< final relative preconditioned residual
   std::vector<real_t> history;  ///< per-step residuals when recorded
+
+  [[nodiscard]] bool converged() const {
+    return status == SolveStatus::kConverged;
+  }
+};
+
+/// Uniform stagnation detector shared by CG/GMRES/BiCGStab: tracks the best
+/// relative residual seen and trips after `window` consecutive iterations
+/// without meaningful improvement (a relative decrease of at least 1e-9 —
+/// any genuinely converging iteration clears it, round-off jitter does not).
+class StagnationTracker {
+ public:
+  explicit StagnationTracker(index_t window) : window_(window) {}
+
+  /// Feed one iteration's relative residual; true once stagnated.
+  bool update(real_t rel) {
+    if (window_ <= 0) return false;
+    if (rel < best_ * (1.0 - 1e-9)) {
+      best_ = rel;
+      stalled_ = 0;
+      return false;
+    }
+    return ++stalled_ >= window_;
+  }
+
+ private:
+  index_t window_;
+  index_t stalled_ = 0;
+  real_t best_ = std::numeric_limits<real_t>::infinity();
 };
 
 /// Solve P A x = P b starting from x = 0.

@@ -1,6 +1,7 @@
 #include "mcmc/batched_build.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <vector>
@@ -169,7 +170,8 @@ std::vector<ChainSegment> build_segments(const std::vector<index_t>& n_chains,
 template <SamplingMethod method>
 void run_shared_walk(const WalkKernel& k, index_t start, LiveGroup* live,
                      index_t live_count, long long* transitions,
-                     Xoshiro256& rng, std::vector<u32>& mark, u32 epoch,
+                     long long* retired, Xoshiro256& rng,
+                     std::vector<u32>& mark, u32 epoch,
                      std::vector<index_t>& visited) {
   if (mark[static_cast<std::size_t>(start)] != epoch) {
     mark[static_cast<std::size_t>(start)] = epoch;
@@ -204,9 +206,12 @@ void run_shared_walk(const WalkKernel& k, index_t start, LiveGroup* live,
       // Divergent kernel blow-up: every still-running group breaks at this
       // step, uncounted in its accumulator (run_walk breaks before the
       // accumulate).  A group is live only while steps <= its cutoff, so
-      // the step is always a counted transition.
+      // the step is always a counted transition — and a counted retirement.
       for (index_t m = 0; m < live_count; ++m) {
-        for (index_t t : live[m].entry->trials) transitions[t] += steps;
+        for (index_t t : live[m].entry->trials) {
+          transitions[t] += steps;
+          retired[t] += 1;
+        }
       }
       return;
     }
@@ -250,6 +255,7 @@ struct Lane {
   LiveGroup* live = nullptr;  ///< lane-private scratch slice
   real_t* weights = nullptr;  ///< per-alpha weights, 1.0 at chain start
   long long* trans = nullptr; ///< per-unit transition counters of this lane
+  long long* retired = nullptr;  ///< per-unit divergence retirements
   u32* mark = nullptr;        ///< lane-private epoch marks (size n)
   std::vector<index_t>* visited = nullptr;  ///< lane-private touched states
   u64 diverged = 0;           ///< per-alpha sticky divergence bitmask
@@ -321,6 +327,7 @@ void run_lockstep_chains(const WalkKernel* const* kernels, index_t n_alphas,
           for (index_t m = 0; m < lane.live_count; ++m) {
             for (index_t t : lane.live[m].entry->trials) {
               lane.trans[t] += lane.steps;
+              lane.retired[t] += 1;
             }
           }
           active_lanes[w] = active_lanes[--active];
@@ -356,7 +363,10 @@ void run_lockstep_chains(const WalkKernel* const* kernels, index_t n_alphas,
         for (index_t m = 0; m < lane.live_count;) {
           LiveGroup& e = lane.live[m];
           if ((lane.diverged >> e.alpha) & 1u) {
-            for (index_t t : e.entry->trials) lane.trans[t] += lane.steps;
+            for (index_t t : e.entry->trials) {
+              lane.trans[t] += lane.steps;
+              lane.retired[t] += 1;
+            }
             e = lane.live[--lane.live_count];
             continue;
           }
@@ -464,6 +474,11 @@ EngineOutput run_interleaved_engine(const CsrMatrix& a,
   std::vector<std::vector<RowSlice>> row_slices(
       n_builds, std::vector<RowSlice>(static_cast<std::size_t>(n)));
   std::vector<long long> transitions(n_builds, 0);
+  std::vector<long long> retired(n_builds, 0);
+  // Cooperative cancellation: an `omp for` cannot break, so a shared flag
+  // turns the remaining rows into no-ops; the partial ensemble is discarded
+  // after the loops.
+  std::atomic<bool> aborted{false};
 
   const ChainPartition partition(n, options.ranks);
   for (index_t rank = 0; rank < options.ranks; ++rank) {
@@ -489,6 +504,7 @@ EngineOutput run_interleaved_engine(const CsrMatrix& a,
       // (trial, replicate, alpha) lane instead of re-allocated per emission.
       RowEmitter emitter;
       std::vector<long long> local_transitions(n_builds, 0);
+      std::vector<long long> local_retired(n_builds, 0);
       std::vector<real_t> inv_chains(units.trials.size());
       for (std::size_t u = 0; u < units.trials.size(); ++u) {
         inv_chains[u] = 1.0 / static_cast<real_t>(n_chains[u]);
@@ -530,12 +546,20 @@ EngineOutput run_interleaved_engine(const CsrMatrix& a,
         lane.trans = local_transitions.data() +
                      static_cast<std::size_t>(r) *
                          static_cast<std::size_t>(n_units);
+        lane.retired = local_retired.data() +
+                       static_cast<std::size_t>(r) *
+                           static_cast<std::size_t>(n_units);
         lane.mark = mark.data() +
                     static_cast<std::size_t>(r) * static_cast<std::size_t>(n);
         lane.visited = &visited[static_cast<std::size_t>(r)];
       }
 #pragma omp for schedule(dynamic, 8)
       for (index_t i = row_begin; i < row_end; ++i) {
+        if (aborted.load(std::memory_order_relaxed)) continue;
+        if (options.cancel != nullptr && options.cancel->should_stop()) {
+          aborted.store(true, std::memory_order_relaxed);
+          continue;
+        }
         // ---- Phase A: every lane's chain c advances in lockstep through
         // the shared segment schedule, scattering into its own replicate's
         // group streams; at each segment boundary the finished members
@@ -633,6 +657,7 @@ EngineOutput run_interleaved_engine(const CsrMatrix& a,
       {
         for (std::size_t b = 0; b < n_builds; ++b) {
           transitions[b] += local_transitions[b];
+          retired[b] += local_retired[b];
         }
       }
     }
@@ -642,8 +667,11 @@ EngineOutput run_interleaved_engine(const CsrMatrix& a,
   // Phase C: per-(lane, unit) CSR assembly, timed per build; the shared
   // ensemble time is apportioned by each build's own truncated transition
   // share so build_seconds reflects the work it would have paid standalone.
+  // An aborted ensemble skips assembly: every build reports the stop reason
+  // and an empty matrix (partial artifacts discarded).
   long long total_transitions = 0;
   for (long long t : transitions) total_transitions += t;
+  const bool was_aborted = aborted.load();
 
   EngineOutput out;
   out.p.resize(static_cast<std::size_t>(n_lanes));
@@ -658,9 +686,13 @@ EngineOutput run_interleaved_engine(const CsrMatrix& a,
                          static_cast<std::size_t>(n_units) +
                      static_cast<std::size_t>(u);
       WallTimer assembly_timer;
-      lane_p.push_back(assemble_csr_from_arenas(n, row_slices[b], arenas[b]));
+      lane_p.push_back(was_aborted ? CsrMatrix()
+                                   : assemble_csr_from_arenas(n, row_slices[b],
+                                                              arenas[b]));
       McmcBuildInfo info = info_template[static_cast<std::size_t>(u)];
+      if (was_aborted) info.status = build_stop_reason(*options.cancel);
       info.total_transitions = transitions[b];
+      info.divergence_retirements = retired[b];
       const real_t share =
           total_transitions > 0
               ? static_cast<real_t>(transitions[b]) /
@@ -744,6 +776,11 @@ BatchedGridResult batched_grid_build(const CsrMatrix& a, real_t alpha,
   std::vector<std::vector<RowSlice>> row_slices(
       trials.size(), std::vector<RowSlice>(static_cast<std::size_t>(n)));
   std::vector<long long> transitions(trials.size(), 0);
+  std::vector<long long> retired(trials.size(), 0);
+  // Cooperative cancellation: an `omp for` cannot break, so a shared flag
+  // turns the remaining rows into no-ops; the partial batch is discarded
+  // after the loops.
+  std::atomic<bool> aborted{false};
 
   const ChainPartition partition(n, options.ranks);
   for (index_t rank = 0; rank < options.ranks; ++rank) {
@@ -765,6 +802,7 @@ BatchedGridResult batched_grid_build(const CsrMatrix& a, real_t alpha,
       // One emission engine per thread, recycled across every trial's rows.
       RowEmitter emitter;
       std::vector<long long> local_transitions(trials.size(), 0);
+      std::vector<long long> local_retired(trials.size(), 0);
       std::vector<real_t> inv_chains(trials.size());
       for (std::size_t t = 0; t < trials.size(); ++t) {
         inv_chains[t] = 1.0 / static_cast<real_t>(n_chains[t]);
@@ -787,6 +825,11 @@ BatchedGridResult batched_grid_build(const CsrMatrix& a, real_t alpha,
       std::vector<LiveGroup> live(max_entries);
 #pragma omp for schedule(dynamic, 8)
       for (index_t i = row_begin; i < row_end; ++i) {
+        if (aborted.load(std::memory_order_relaxed)) continue;
+        if (options.cancel != nullptr && options.cancel->should_stop()) {
+          aborted.store(true, std::memory_order_relaxed);
+          continue;
+        }
         // ---- Phase A: one shared walk per chain, scattering into every
         // running group's stream accumulator; at each segment boundary the
         // finished members freeze bit-copies of their stream (see the CRN
@@ -805,11 +848,13 @@ BatchedGridResult batched_grid_build(const CsrMatrix& a, real_t alpha,
             if (options.sampling == SamplingMethod::kAlias) {
               run_shared_walk<SamplingMethod::kAlias>(
                   kernel, i, live.data(), live_count,
-                  local_transitions.data(), rng, mark, epoch, visited);
+                  local_transitions.data(), local_retired.data(), rng, mark,
+                  epoch, visited);
             } else {
               run_shared_walk<SamplingMethod::kInverseCdf>(
                   kernel, i, live.data(), live_count,
-                  local_transitions.data(), rng, mark, epoch, visited);
+                  local_transitions.data(), local_retired.data(), rng, mark,
+                  epoch, visited);
             }
           }
           for (const CopyOp& op : seg.copies) {
@@ -837,6 +882,7 @@ BatchedGridResult batched_grid_build(const CsrMatrix& a, real_t alpha,
       {
         for (std::size_t t = 0; t < trials.size(); ++t) {
           transitions[t] += local_transitions[t];
+          retired[t] += local_retired[t];
         }
       }
     }
@@ -846,17 +892,23 @@ BatchedGridResult batched_grid_build(const CsrMatrix& a, real_t alpha,
   // Phase C: per-trial CSR assembly, timed per trial; the shared ensemble
   // time is apportioned by each trial's own truncated transition share so
   // build_seconds reflects the work the trial would have paid standalone.
+  // An aborted batch skips assembly: every trial reports the stop reason
+  // and an empty matrix (partial artifacts discarded).
   long long total_transitions = 0;
   for (std::size_t t = 0; t < trials.size(); ++t) {
     total_transitions += transitions[t];
   }
+  const bool was_aborted = aborted.load();
   result.preconditioners.reserve(trials.size());
   for (std::size_t t = 0; t < trials.size(); ++t) {
     WallTimer assembly_timer;
     result.preconditioners.push_back(
-        assemble_csr_from_arenas(n, row_slices[t], arenas[t]));
+        was_aborted ? CsrMatrix()
+                    : assemble_csr_from_arenas(n, row_slices[t], arenas[t]));
     McmcBuildInfo& info = result.info[t];
+    if (was_aborted) info.status = build_stop_reason(*options.cancel);
     info.total_transitions = transitions[t];
+    info.divergence_retirements = retired[t];
     const real_t share =
         total_transitions > 0
             ? static_cast<real_t>(transitions[t]) /

@@ -65,6 +65,15 @@
 /// rescaling, which makes the u * S_u binary search scale-invariant) — and
 /// falls back to one ensemble per alpha otherwise, so the bit-identity
 /// contract is unconditional.
+///
+/// ## Cancellation
+///
+/// Every builder polls McmcOptions::cancel once per row.  A build that
+/// stops early discards all partial artifacts: each trial reports
+/// BuildStatus::kDeadlineExceeded / kCancelled in its McmcBuildInfo and an
+/// empty (0 x 0) preconditioner matrix.  Divergence-guard walk retirements
+/// are counted per trial in McmcBuildInfo::divergence_retirements either
+/// way, matching the standalone inverter's accounting exactly.
 
 #include <vector>
 

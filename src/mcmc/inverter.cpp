@@ -27,7 +27,7 @@ namespace {
 template <SamplingMethod method>
 index_t run_walk(const WalkKernel& k, index_t start, index_t cutoff,
                  real_t delta, Xoshiro256& rng, std::vector<real_t>& accum,
-                 std::vector<index_t>& touched) {
+                 std::vector<index_t>& touched, long long& retired) {
   // k = 0 term of the Neumann series: the walk starts at `start` with W = 1.
   if (accum[start] == 0.0) touched.push_back(start);
   accum[start] += 1.0;
@@ -59,8 +59,11 @@ index_t run_walk(const WalkKernel& k, index_t start, index_t cutoff,
     // Divergent kernel (||B|| > 1): bound the blow-up so the estimate stays
     // finite — the resulting garbage preconditioner is the intended failure
     // signal for near-zero alpha, but it must not poison the solver with
-    // inf/nan.
-    if (std::abs(weight) > kDivergenceGuard) break;
+    // inf/nan.  Retirements are counted so callers can see the divergence.
+    if (std::abs(weight) > kDivergenceGuard) {
+      ++retired;
+      break;
+    }
     if (accum[state] == 0.0) touched.push_back(state);
     accum[state] += weight;
   }
@@ -83,6 +86,12 @@ McmcInverter::McmcInverter(const CsrMatrix& a, McmcParams params,
 CsrMatrix McmcInverter::compute() {
   WallTimer timer;
   const index_t n = a_.rows();
+
+  if (options_.cancel != nullptr && options_.cancel->should_stop()) {
+    info_ = McmcBuildInfo{};
+    info_.status = build_stop_reason(*options_.cancel);
+    return CsrMatrix();  // refused before any work
+  }
 
   // The kernel is a pure function of (A, alpha): reuse it across trials that
   // share alpha when the caller attached a cache.
@@ -124,6 +133,11 @@ CsrMatrix McmcInverter::compute() {
   std::vector<RowArena> arenas(static_cast<std::size_t>(max_threads()));
   std::vector<RowSlice> row_slices(static_cast<std::size_t>(n));
   std::atomic<long long> transitions{0};
+  std::atomic<long long> retirements{0};
+  // Cooperative cancellation: an `omp for` cannot break, so a shared flag
+  // turns the remaining rows into no-ops and the partial build is discarded
+  // after the loops.
+  std::atomic<bool> aborted{false};
 
   // The rank loop mirrors the paper's 2-rank MPI decomposition; inside each
   // rank block rows are OpenMP-parallel.  Results are identical at any
@@ -140,8 +154,14 @@ CsrMatrix McmcInverter::compute() {
       std::vector<index_t> touched;
       RowEmitter emitter;
       long long local_transitions = 0;
+      long long local_retired = 0;
 #pragma omp for schedule(dynamic, 8)
       for (index_t i = begin; i < end; ++i) {
+        if (aborted.load(std::memory_order_relaxed)) continue;
+        if (options_.cancel != nullptr && options_.cancel->should_stop()) {
+          aborted.store(true, std::memory_order_relaxed);
+          continue;
+        }
         touched.clear();
         for (index_t c = 0; c < chains; ++c) {
           Xoshiro256 rng = make_stream(options_.seed, static_cast<u64>(i),
@@ -150,10 +170,10 @@ CsrMatrix McmcInverter::compute() {
               options_.sampling == SamplingMethod::kAlias
                   ? run_walk<SamplingMethod::kAlias>(kernel, i, cutoff,
                                                      params_.delta, rng, accum,
-                                                     touched)
-                  : run_walk<SamplingMethod::kInverseCdf>(kernel, i, cutoff,
-                                                          params_.delta, rng,
-                                                          accum, touched);
+                                                     touched, local_retired)
+                  : run_walk<SamplingMethod::kInverseCdf>(
+                        kernel, i, cutoff, params_.delta, rng, accum, touched,
+                        local_retired);
         }
         // Integer weights can cancel to exactly zero and re-accumulate, in
         // which case a state enters `touched` twice — deduplicate before
@@ -167,10 +187,17 @@ CsrMatrix McmcInverter::compute() {
                                      row_budget);
       }
       transitions += local_transitions;
+      retirements += local_retired;
     }
   }
 
   info_.total_transitions = transitions.load();
+  info_.divergence_retirements = retirements.load();
+  if (aborted.load()) {
+    info_.status = build_stop_reason(*options_.cancel);
+    info_.build_seconds = timer.seconds();
+    return CsrMatrix();  // partial artifacts discarded
+  }
   CsrMatrix p = assemble_csr_from_arenas(n, row_slices, arenas);
   info_.build_seconds = timer.seconds();
   return p;

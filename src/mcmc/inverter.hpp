@@ -24,6 +24,8 @@
 
 #include <memory>
 
+#include "core/cancellation.hpp"
+#include "core/status.hpp"
 #include "core/types.hpp"
 #include "mcmc/params.hpp"
 #include "mcmc/walk_kernel.hpp"
@@ -40,15 +42,23 @@ struct McmcOptions {
   index_t ranks = 2;              ///< rank-like chain partition (paper: 2 MPI)
   u64 seed = 20250922;            ///< base RNG seed (arXiv date of the paper)
   SamplingMethod sampling = SamplingMethod::kAlias;  ///< successor sampler
+  /// Cooperative cancellation / deadline, polled once per row; not owned.
+  /// A build that stops early discards all partial artifacts and reports
+  /// the reason in McmcBuildInfo::status.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Diagnostics from a preconditioner build.
 struct McmcBuildInfo {
+  BuildStatus status = BuildStatus::kBuilt;  ///< why the build ended
   real_t b_norm_inf = 0.0;        ///< ||B||_inf of the iteration matrix
   bool neumann_convergent = false;  ///< ||B||_inf < 1
   index_t chains_per_row = 0;     ///< N implied by eps
   index_t walk_cutoff = 0;        ///< T implied by delta (and the cap)
   long long total_transitions = 0;  ///< Markov-chain steps consumed
+  /// Walks retired by the divergence guard (|W| > kDivergenceGuard): nonzero
+  /// counts are the per-build signature of a divergent kernel.
+  long long divergence_retirements = 0;
   bool kernel_cache_hit = false;  ///< walk kernel came from a WalkKernelCache
   real_t build_seconds = 0.0;
 };

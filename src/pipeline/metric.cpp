@@ -26,7 +26,7 @@ index_t PerformanceMeasurer::baseline_steps(KrylovMethod method) {
     const SolveResult res =
         solve(method, a_, rhs_, identity, x, solve_options_);
     baseline_[m] =
-        res.converged ? res.iterations : solve_options_.max_iterations;
+        res.converged() ? res.iterations : solve_options_.max_iterations;
   }
   return baseline_[m];
 }
@@ -43,10 +43,10 @@ void PerformanceMeasurer::score_solve(const SparseApproximateInverse& precond,
                                       MetricResult& result) {
   std::vector<real_t> x;
   const SolveResult res = solve(method, a_, rhs_, precond, x, solve_options_);
-  result.preconditioned_converged = res.converged;
+  result.preconditioned_converged = res.converged();
   result.baseline_converged = true;  // baseline counted even when saturated
   result.steps_with =
-      res.converged ? res.iterations : solve_options_.max_iterations;
+      res.converged() ? res.iterations : solve_options_.max_iterations;
   result.y = std::min(y_cap_, static_cast<real_t>(result.steps_with) /
                                   static_cast<real_t>(result.steps_without));
 }

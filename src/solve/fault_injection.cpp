@@ -1,0 +1,114 @@
+#include "solve/fault_injection.hpp"
+
+#include <atomic>
+#include <limits>
+#include <utility>
+
+namespace mcmi {
+
+namespace {
+
+/// Decorator that passes the first `clean_applies` applications through to
+/// the wrapped preconditioner and then emits a constant `fill` value —
+/// quiet_NaN for poisoned intermediate vectors, 0.0 for forced breakdowns.
+/// Only apply() is overridden: the base class's fused apply_dot /
+/// apply_dot_norm2 defaults route through it, so every solver entry point
+/// sees the fault.  The counter is atomic so the decorator stays safe if a
+/// solver ever applies from a parallel region.
+class DegradingPreconditioner final : public Preconditioner {
+ public:
+  DegradingPreconditioner(std::unique_ptr<Preconditioner> inner, real_t fill,
+                          index_t clean_applies)
+      : inner_(std::move(inner)), fill_(fill), clean_(clean_applies) {}
+
+  using Preconditioner::apply;
+  void apply(const std::vector<real_t>& x,
+             std::vector<real_t>& y) const override {
+    if (applies_.fetch_add(1, std::memory_order_relaxed) < clean_) {
+      inner_->apply(x, y);
+      return;
+    }
+    y.assign(x.size(), fill_);
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "+fault";
+  }
+
+ private:
+  std::unique_ptr<Preconditioner> inner_;
+  real_t fill_;
+  index_t clean_;
+  mutable std::atomic<index_t> applies_{0};
+};
+
+}  // namespace
+
+void FaultInjector::fail_builds(SolveStage stage, index_t count,
+                                bool transient, BuildStatus status) {
+  StageScript& s = script(stage);
+  s.fail_remaining = count;
+  s.fail_transient = transient;
+  s.fail_status = status;
+}
+
+void FaultInjector::delay_builds(SolveStage stage, real_t seconds,
+                                 index_t count) {
+  StageScript& s = script(stage);
+  s.delay_remaining = count;
+  s.delay_seconds = seconds;
+}
+
+void FaultInjector::poison_solves(SolveStage stage, index_t count) {
+  script(stage).poison_remaining = count;
+}
+
+void FaultInjector::break_solves(SolveStage stage, index_t count) {
+  script(stage).break_remaining = count;
+}
+
+FaultInjector::BuildFault FaultInjector::next_build(SolveStage stage) {
+  StageScript& s = script(stage);
+  ++s.builds;
+  BuildFault fault;
+  if (s.delay_remaining > 0) {
+    --s.delay_remaining;
+    fault.delay_seconds = s.delay_seconds;
+  }
+  if (s.fail_remaining > 0) {
+    --s.fail_remaining;
+    fault.fail = true;
+    fault.transient = s.fail_transient;
+    fault.status = s.fail_status;
+  }
+  return fault;
+}
+
+std::unique_ptr<Preconditioner> FaultInjector::wrap(
+    SolveStage stage, std::unique_ptr<Preconditioner> p, bool* injected) {
+  StageScript& s = script(stage);
+  *injected = false;
+  if (s.poison_remaining > 0) {
+    --s.poison_remaining;
+    *injected = true;
+    // First apply clean (the solve starts plausibly), then NaN vectors.
+    return std::make_unique<DegradingPreconditioner>(
+        std::move(p), std::numeric_limits<real_t>::quiet_NaN(), 1);
+  }
+  if (s.break_remaining > 0) {
+    --s.break_remaining;
+    *injected = true;
+    // Zero output collapses the Krylov inner products to an exact breakdown.
+    // Two clean applies let the solver get past its initial-residual setup
+    // (where a zero P r would read as a spurious "already converged") so the
+    // zeros land inside the iteration and surface as kBreakdown.
+    return std::make_unique<DegradingPreconditioner>(std::move(p), 0.0, 2);
+  }
+  return p;
+}
+
+index_t FaultInjector::builds_seen(SolveStage stage) const {
+  return scripts_[static_cast<int>(stage)].builds;
+}
+
+}  // namespace mcmi

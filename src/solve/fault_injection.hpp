@@ -1,0 +1,93 @@
+#pragma once
+// Deterministic fault-injection harness for the solve orchestrator.
+//
+// Compiled in always, dormant unless an injector is handed to the
+// orchestrator (tests and the degraded-path benchmark do) — production
+// requests pay one null-pointer check per stage.  Faults are scripted
+// per stage as bounded counters, so a test decides exactly which build or
+// solve attempt fails, how, and how many times; there is no randomness and
+// no global state.
+//
+// Four fault families cover every fallback edge:
+//   * build failures   — the stage's preconditioner build reports a scripted
+//                        BuildStatus (optionally marked transient, which the
+//                        orchestrator may retry within the stage);
+//   * build delays     — the build stalls a fixed wall-clock time first,
+//                        deterministically burning stage/deadline budget;
+//   * poisoned solves  — the stage's preconditioner emits NaN output after
+//                        its first apply, driving the solvers' kNonFinite
+//                        detection;
+//   * forced breakdowns — the preconditioner emits exact zeros after its
+//                        first apply, driving an exact Krylov breakdown
+//                        (rho / rhv = 0).
+
+#include <memory>
+
+#include "core/status.hpp"
+#include "core/types.hpp"
+#include "precond/preconditioner.hpp"
+#include "solve/stage.hpp"
+
+namespace mcmi {
+
+class FaultInjector {
+ public:
+  // --- test-facing scripting ---
+
+  /// The next `count` builds of `stage` fail with `status`; `transient`
+  /// marks them retryable within the stage's attempt budget.
+  void fail_builds(SolveStage stage, index_t count, bool transient = false,
+                   BuildStatus status = BuildStatus::kInjectedFault);
+
+  /// The next `count` builds of `stage` stall `seconds` of wall clock
+  /// before any work (the orchestrator never sleeps past its deadline).
+  void delay_builds(SolveStage stage, real_t seconds, index_t count = 1);
+
+  /// The next `count` solves of `stage` run with a preconditioner that
+  /// emits NaN after its first apply.
+  void poison_solves(SolveStage stage, index_t count = 1);
+
+  /// The next `count` solves of `stage` run with a preconditioner that
+  /// emits exact zeros after its first apply.
+  void break_solves(SolveStage stage, index_t count = 1);
+
+  // --- orchestrator-facing ---
+
+  struct BuildFault {
+    bool fail = false;
+    bool transient = false;
+    BuildStatus status = BuildStatus::kBuilt;
+    real_t delay_seconds = 0.0;
+  };
+
+  /// Consume the scripted fault (if any) for the next build of `stage`.
+  BuildFault next_build(SolveStage stage);
+
+  /// Wrap `p` with the scripted solve-side fault (if any) for `stage`;
+  /// `*injected` reports whether a fault was consumed.
+  std::unique_ptr<Preconditioner> wrap(SolveStage stage,
+                                       std::unique_ptr<Preconditioner> p,
+                                       bool* injected);
+
+  /// Builds observed for `stage` so far (diagnostic, includes failed ones).
+  [[nodiscard]] index_t builds_seen(SolveStage stage) const;
+
+ private:
+  struct StageScript {
+    index_t fail_remaining = 0;
+    bool fail_transient = false;
+    BuildStatus fail_status = BuildStatus::kInjectedFault;
+    index_t delay_remaining = 0;
+    real_t delay_seconds = 0.0;
+    index_t poison_remaining = 0;
+    index_t break_remaining = 0;
+    index_t builds = 0;
+  };
+  StageScript scripts_[kSolveStageCount];
+
+  StageScript& script(SolveStage stage) {
+    return scripts_[static_cast<int>(stage)];
+  }
+};
+
+}  // namespace mcmi

@@ -1,0 +1,242 @@
+#include "solve/orchestrator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+#include "precond/ilu0.hpp"
+#include "precond/jacobi.hpp"
+
+namespace mcmi {
+
+namespace {
+
+/// Sleep at most `seconds`, never past the token's nearest deadline (plus a
+/// small grace so the deadline is observably passed when we wake).
+void bounded_sleep(real_t seconds, const CancelToken& token) {
+  if (seconds <= 0) return;
+  const real_t remaining = token.remaining_seconds();
+  if (std::isfinite(remaining)) {
+    seconds = std::min(seconds, std::max<real_t>(remaining, 0) + 1e-3);
+  }
+  std::this_thread::sleep_for(std::chrono::duration<real_t>(seconds));
+}
+
+}  // namespace
+
+std::vector<StagePolicy> default_ladder() {
+  return {
+      {SolveStage::kMcmc, 0.0, 1, 0.0},
+      {SolveStage::kIlu0, 0.0, 1, 0.0},
+      {SolveStage::kJacobi, 0.0, 1, 0.0},
+      {SolveStage::kIdentity, 0.0, 1, 0.0},
+  };
+}
+
+std::string SolveReport::summary() const {
+  std::ostringstream out;
+  out << to_string(status) << " via " << stage_name(served_by);
+  if (degraded) out << " (degraded)";
+  out << " |";
+  for (const StageAttempt& a : attempts) {
+    out << " " << stage_name(a.stage) << "#" << a.attempt;
+    if (a.build_status != BuildStatus::kBuilt) {
+      out << " build=" << to_string(a.build_status) << ";";
+      continue;
+    }
+    if (!a.solve_ran) {
+      out << " built;";
+      continue;
+    }
+    out << " " << to_string(a.solve_status) << " in " << a.iterations
+        << " its;";
+  }
+  return out.str();
+}
+
+SolveOrchestrator::SolveOrchestrator(const CsrMatrix& a, FaultInjector* faults)
+    : a_(a), faults_(faults) {}
+
+std::unique_ptr<Preconditioner> SolveOrchestrator::build_stage(
+    const SolveRequest& request, const StagePolicy& policy,
+    const CancelToken& token, StageAttempt& rec, bool& transient_fault,
+    bool& injected_solve_fault) {
+  transient_fault = false;
+  injected_solve_fault = false;
+  WallTimer timer;
+
+  if (faults_ != nullptr) {
+    const FaultInjector::BuildFault fault = faults_->next_build(policy.stage);
+    bounded_sleep(fault.delay_seconds, token);
+    if (fault.fail) {
+      rec.build_status = fault.status;
+      transient_fault = fault.transient;
+      rec.build_seconds = timer.seconds();
+      return nullptr;
+    }
+  }
+
+  if (token.should_stop()) {
+    rec.build_status = build_stop_reason(token);
+    rec.build_seconds = timer.seconds();
+    return nullptr;
+  }
+
+  std::unique_ptr<Preconditioner> p;
+  switch (policy.stage) {
+    case SolveStage::kMcmc: {
+      McmcOptions mo = request.mcmc_options;
+      mo.cancel = &token;
+      McmcInverter inverter(a_, request.mcmc_params, mo);
+      inverter.set_kernel_cache(&kernel_cache_);
+      CsrMatrix pm = inverter.compute();
+      const McmcBuildInfo& info = inverter.info();
+      if (info.status != BuildStatus::kBuilt) {
+        rec.build_status = info.status;
+      } else if (!info.neumann_convergent) {
+        // A divergent walk kernel yields garbage weights — retiring the
+        // stage deterministically beats serving a poisoned P.
+        rec.build_status = BuildStatus::kDivergentKernel;
+      } else {
+        p = std::make_unique<SparseApproximateInverse>(std::move(pm), "mcmc");
+      }
+      break;
+    }
+    case SolveStage::kIlu0:
+      try {
+        p = std::make_unique<Ilu0Preconditioner>(a_);
+      } catch (const Error&) {
+        rec.build_status = BuildStatus::kZeroPivot;
+      }
+      break;
+    case SolveStage::kJacobi:
+      try {
+        p = std::make_unique<JacobiPreconditioner>(a_);
+      } catch (const Error&) {
+        rec.build_status = BuildStatus::kZeroPivot;
+      }
+      break;
+    case SolveStage::kIdentity:
+      p = std::make_unique<IdentityPreconditioner>();
+      break;
+  }
+
+  if (p != nullptr && faults_ != nullptr) {
+    p = faults_->wrap(policy.stage, std::move(p), &injected_solve_fault);
+  }
+  rec.build_seconds = timer.seconds();
+  return p;
+}
+
+SolveReport SolveOrchestrator::solve(const std::vector<real_t>& b,
+                                     std::vector<real_t>& x,
+                                     const SolveRequest& request) {
+  WallTimer timer;
+  SolveReport report;
+  request_token_.reset();
+  if (std::isfinite(request.deadline_seconds)) {
+    request_token_.set_deadline(request.deadline_seconds);
+  } else {
+    request_token_.clear_deadline();
+  }
+
+  for (std::size_t si = 0; si < request.ladder.size(); ++si) {
+    const StagePolicy& policy = request.ladder[si];
+    if (request_token_.should_stop()) {
+      report.status = stop_reason(request_token_);
+      break;
+    }
+
+    CancelToken stage_token;
+    stage_token.chain_to(&request_token_);
+    if (policy.time_budget > 0) stage_token.set_deadline(policy.time_budget);
+
+    index_t restart = request.restart;
+    const index_t max_attempts = std::max<index_t>(policy.max_attempts, 1);
+    for (index_t attempt = 0; attempt < max_attempts; ++attempt) {
+      report.attempts.push_back({});
+      StageAttempt& rec = report.attempts.back();
+      rec.stage = policy.stage;
+      rec.attempt = attempt;
+
+      bool transient_fault = false;
+      bool injected_solve_fault = false;
+      std::unique_ptr<Preconditioner> p = build_stage(
+          request, policy, stage_token, rec, transient_fault,
+          injected_solve_fault);
+
+      if (p == nullptr) {
+        if (is_budget_stop(rec.build_status)) break;  // stage budget spent
+        if (transient_fault && attempt + 1 < max_attempts) {
+          bounded_sleep(policy.backoff * std::pow(2.0, attempt),
+                        stage_token);
+          continue;  // retry the build within the stage
+        }
+        break;  // deterministic build failure: fall through the ladder
+      }
+
+      SolveOptions opts;
+      opts.tolerance = request.tolerance;
+      opts.max_iterations = request.max_iterations;
+      opts.restart = restart;
+      opts.stagnation_window = request.stagnation_window;
+      opts.cancel = &stage_token;
+
+      WallTimer solve_timer;
+      SolveResult res = mcmi::solve(request.method, a_, b, *p, x, opts);
+      rec.solve_ran = true;
+      rec.solve_status = res.status;
+      rec.iterations = res.iterations;
+      rec.residual = res.residual;
+      rec.restart = request.method == KrylovMethod::kGMRES ? restart : 0;
+      rec.solve_seconds = solve_timer.seconds();
+
+      if (res.status == SolveStatus::kConverged) {
+        report.status = SolveStatus::kConverged;
+        report.served_by = policy.stage;
+        report.degraded = si > 0;
+        report.iterations = res.iterations;
+        report.residual = res.residual;
+        report.total_seconds = timer.seconds();
+        return report;
+      }
+
+      report.status = res.status;
+      report.served_by = policy.stage;
+      report.iterations = res.iterations;
+      report.residual = res.residual;
+
+      if (is_budget_stop(res.status)) break;  // stage budget spent
+
+      // Retryable within the stage: an injected solve-side fault (the
+      // injector consumed its script, so the retry runs clean), or a
+      // breakdown/stagnation that a longer GMRES restart may clear.
+      bool retry = injected_solve_fault;
+      if (request.escalate_restart &&
+          request.method == KrylovMethod::kGMRES &&
+          (res.status == SolveStatus::kBreakdown ||
+           res.status == SolveStatus::kStagnation)) {
+        restart = std::min<index_t>(restart * 2, a_.rows());
+        retry = true;
+      }
+      if (!retry || attempt + 1 >= max_attempts) break;
+      bounded_sleep(policy.backoff * std::pow(2.0, attempt), stage_token);
+    }
+
+    // If the whole request (not just the stage budget) is spent, stop.
+    if (request_token_.should_stop()) {
+      report.status = stop_reason(request_token_);
+      break;
+    }
+    if (si + 1 < request.ladder.size()) report.degraded = true;
+  }
+
+  report.total_seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace mcmi

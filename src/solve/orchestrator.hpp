@@ -1,0 +1,136 @@
+#pragma once
+// Deadline-aware solve orchestrator: the request lifecycle of the
+// solver-as-a-service layer (ROADMAP item 1).
+//
+// A SolveRequest carries everything but the matrix: rhs semantics
+// (tolerance, Krylov method, iteration cap), a wall-clock deadline, the
+// tuned MCMC parameters for the strongest stage, and a fallback ladder.
+// The orchestrator walks the ladder — tuned MCMC preconditioner → ILU(0) →
+// Jacobi → unpreconditioned by default — building each stage's
+// preconditioner under a per-stage time budget, solving with cooperative
+// cancellation threaded into the Krylov inner loops, and retrying
+// transient failures with bounded backoff (GMRES escalates its restart
+// length on breakdown/stagnation retries).  A stage that fails for a
+// deterministic reason (divergent MCMC kernel, zero ILU pivot, breakdown)
+// degrades to the next rung; only the request deadline or an explicit
+// cancel() ends the ladder early.  Every attempt is recorded in the
+// report's status history, so a caller can see exactly which stage served
+// the answer and why the stronger ones did not.
+//
+// Fault injection (solve/fault_injection.hpp) hooks both the build and the
+// solve side of every stage; handing the orchestrator an injector is the
+// only switch, so tests and the degraded-path benchmark exercise the same
+// code path production requests run.
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cancellation.hpp"
+#include "core/status.hpp"
+#include "krylov/solver.hpp"
+#include "mcmc/inverter.hpp"
+#include "mcmc/params.hpp"
+#include "mcmc/walk_kernel.hpp"
+#include "solve/fault_injection.hpp"
+#include "solve/stage.hpp"
+#include "sparse/csr.hpp"
+
+namespace mcmi {
+
+/// One rung of the fallback ladder with its local budgets.
+struct StagePolicy {
+  SolveStage stage = SolveStage::kJacobi;
+  /// Wall-clock budget in seconds for this stage's build + solve attempts;
+  /// <= 0 bounds the stage by the request deadline only.
+  real_t time_budget = 0.0;
+  /// Build + solve attempts before falling through to the next rung.
+  index_t max_attempts = 1;
+  /// Sleep before retry k (doubled each retry, never past the deadline).
+  real_t backoff = 0.0;
+};
+
+/// The default ladder: tuned MCMC → ILU0 → Jacobi → unpreconditioned.
+std::vector<StagePolicy> default_ladder();
+
+/// Everything a solve request carries besides the matrix and the rhs.
+struct SolveRequest {
+  real_t tolerance = 1e-8;
+  index_t max_iterations = 5000;
+  index_t restart = 50;            ///< GMRES restart length (initial)
+  KrylovMethod method = KrylovMethod::kGMRES;
+  /// Wall-clock deadline for the whole request; infinity = unbounded.
+  real_t deadline_seconds = std::numeric_limits<real_t>::infinity();
+  index_t stagnation_window = 250; ///< see SolveOptions::stagnation_window
+  McmcParams mcmc_params{};        ///< tuned parameters for the MCMC stage
+  McmcOptions mcmc_options{};      ///< sampler knobs for the MCMC stage
+  std::vector<StagePolicy> ladder = default_ladder();
+  /// Double the GMRES restart length (capped at n) when a retry follows a
+  /// breakdown or stagnation — the classical restart-escalation recovery.
+  bool escalate_restart = true;
+};
+
+/// One build + solve attempt of one ladder stage, in execution order.
+struct StageAttempt {
+  SolveStage stage = SolveStage::kIdentity;
+  index_t attempt = 0;             ///< 0-based attempt index within the stage
+  BuildStatus build_status = BuildStatus::kBuilt;
+  bool solve_ran = false;          ///< false when the build already failed
+  SolveStatus solve_status = SolveStatus::kMaxIterations;
+  index_t iterations = 0;
+  real_t residual = 0.0;
+  index_t restart = 0;             ///< GMRES restart length used (0 otherwise)
+  real_t build_seconds = 0.0;
+  real_t solve_seconds = 0.0;
+};
+
+/// The request outcome plus the full status history of the ladder walk.
+struct SolveReport {
+  SolveStatus status = SolveStatus::kMaxIterations;
+  SolveStage served_by = SolveStage::kIdentity;  ///< stage of the answer
+  bool degraded = false;           ///< answered below the ladder's first rung
+  index_t iterations = 0;
+  real_t residual = 0.0;
+  real_t total_seconds = 0.0;
+  std::vector<StageAttempt> attempts;
+
+  [[nodiscard]] bool converged() const {
+    return status == SolveStatus::kConverged;
+  }
+  /// One-line human-readable history, e.g.
+  /// "converged via jacobi | mcmc#0 build=injected_fault; jacobi#0
+  ///  converged in 12 its".
+  [[nodiscard]] std::string summary() const;
+};
+
+class SolveOrchestrator {
+ public:
+  /// `faults` (optional, not owned) must outlive the orchestrator.
+  explicit SolveOrchestrator(const CsrMatrix& a,
+                             FaultInjector* faults = nullptr);
+
+  /// Run the request ladder.  `x` receives the answer (or the last
+  /// attempt's iterate when nothing converged — check report.status).
+  SolveReport solve(const std::vector<real_t>& b, std::vector<real_t>& x,
+                    const SolveRequest& request = {});
+
+  /// Cooperatively cancel the in-flight solve() from another thread; the
+  /// next request starts with a clean slate.
+  void cancel() { request_token_.request_cancel(); }
+
+ private:
+  std::unique_ptr<Preconditioner> build_stage(const SolveRequest& request,
+                                              const StagePolicy& policy,
+                                              const CancelToken& token,
+                                              StageAttempt& rec,
+                                              bool& transient_fault,
+                                              bool& injected_solve_fault);
+
+  const CsrMatrix& a_;
+  FaultInjector* faults_;
+  WalkKernelCache kernel_cache_;  ///< reuses (A, alpha) kernels across requests
+  CancelToken request_token_;
+};
+
+}  // namespace mcmi

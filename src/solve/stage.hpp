@@ -1,0 +1,30 @@
+#pragma once
+// The preconditioner ladder stages of the solve orchestrator.
+//
+// Shared by the orchestrator (which walks the ladder) and the
+// fault-injection harness (which scripts faults per stage), so it lives in
+// its own header below both.
+
+namespace mcmi {
+
+/// One rung of the staged fallback ladder, strongest first.
+enum class SolveStage {
+  kMcmc,      ///< tuned MCMC sparse approximate inverse (the paper's P)
+  kIlu0,      ///< ILU(0) classical baseline
+  kJacobi,    ///< diagonal scaling
+  kIdentity,  ///< unpreconditioned last resort
+};
+
+inline constexpr int kSolveStageCount = 4;
+
+inline const char* stage_name(SolveStage s) {
+  switch (s) {
+    case SolveStage::kMcmc: return "mcmc";
+    case SolveStage::kIlu0: return "ilu0";
+    case SolveStage::kJacobi: return "jacobi";
+    case SolveStage::kIdentity: return "identity";
+  }
+  return "unknown";
+}
+
+}  // namespace mcmi

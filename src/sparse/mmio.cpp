@@ -13,8 +13,20 @@ CsrMatrix read_matrix_market(const std::string& path) {
   std::ifstream in(path);
   MCMI_CHECK(in.good(), "cannot open " << path);
 
+  // Every extraction below is checked: malformed input (truncated file,
+  // non-numeric tokens, out-of-range indices) must surface as a structured
+  // mcmi::Error naming the offending line, never as silently-defaulted
+  // values or undefined behaviour.  `lineno` counts physical lines so the
+  // message points at the exact spot in the file.
+  long long lineno = 0;
   std::string line;
-  MCMI_CHECK(static_cast<bool>(std::getline(in, line)), "empty file " << path);
+  const auto next_line = [&]() {
+    const bool ok = static_cast<bool>(std::getline(in, line));
+    if (ok) ++lineno;
+    return ok;
+  };
+
+  MCMI_CHECK(next_line(), "empty file " << path);
   std::istringstream banner(line);
   std::string tag, object, format, field, storage;
   banner >> tag >> object >> format >> field >> storage;
@@ -30,25 +42,43 @@ CsrMatrix read_matrix_market(const std::string& path) {
              "unsupported storage '" << storage << "'");
 
   // Skip comments.
-  while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+  bool have_size_line = false;
+  while (next_line()) {
+    if (!line.empty() && line[0] != '%') {
+      have_size_line = true;
+      break;
+    }
   }
+  MCMI_CHECK(have_size_line, "missing size line in " << path);
   std::istringstream size_line(line);
   index_t rows = 0, cols = 0, entries = 0;
-  size_line >> rows >> cols >> entries;
-  MCMI_CHECK(rows > 0 && cols > 0, "bad size line in " << path);
+  MCMI_CHECK(static_cast<bool>(size_line >> rows >> cols >> entries),
+             "bad size line in " << path << ":" << lineno << ": '" << line
+                                 << "'");
+  MCMI_CHECK(rows > 0 && cols > 0 && entries >= 0,
+             "bad size line in " << path << ":" << lineno << ": '" << line
+                                 << "'");
 
   CooMatrix coo(rows, cols);
   for (index_t e = 0; e < entries; ++e) {
-    MCMI_CHECK(static_cast<bool>(std::getline(in, line)),
-               "truncated file " << path << " at entry " << e);
+    MCMI_CHECK(next_line(), "truncated file " << path << ": expected "
+                                              << entries << " entries, got "
+                                              << e);
     std::istringstream entry(line);
     index_t i = 0, j = 0;
     real_t v = 1.0;
-    entry >> i >> j;
-    if (field != "pattern") entry >> v;
+    MCMI_CHECK(static_cast<bool>(entry >> i >> j),
+               "bad entry in " << path << ":" << lineno << ": '" << line
+                               << "'");
+    if (field != "pattern") {
+      MCMI_CHECK(static_cast<bool>(entry >> v),
+                 "bad value in " << path << ":" << lineno << ": '" << line
+                                 << "'");
+    }
     MCMI_CHECK(i >= 1 && i <= rows && j >= 1 && j <= cols,
-               "entry out of range in " << path);
+               "entry out of range in " << path << ":" << lineno << ": ("
+                                        << i << ", " << j << ") not in ["
+                                        << rows << " x " << cols << "]");
     coo.add(i - 1, j - 1, v);
     if (storage == "symmetric" && i != j) coo.add(j - 1, i - 1, v);
   }

@@ -301,7 +301,7 @@ TEST(Inverter, PreconditionerReducesIterationsOnPlasma) {
   const auto p = McmcInverter::build_preconditioner(
       nm.matrix, {1.0, 0.0625, 0.0625});
   const SolveResult pre = solve_gmres(nm.matrix, b, *p, x, opt);
-  EXPECT_TRUE(pre.converged);
+  EXPECT_TRUE(pre.converged());
   EXPECT_LT(pre.iterations, base);  // eq. (4) ratio < 1
 }
 
@@ -477,7 +477,7 @@ TEST(Regenerative, AlsoPreconditions) {
   const auto p =
       RegenerativeInverter::build_preconditioner(nm.matrix, {1.0, 256});
   const SolveResult pre = solve_gmres(nm.matrix, b, *p, x, opt);
-  EXPECT_TRUE(pre.converged);
+  EXPECT_TRUE(pre.converged());
   EXPECT_LT(pre.iterations, base);
 }
 

@@ -147,7 +147,7 @@ TEST(Spai, ReducesGmresIterations) {
   opt.restart = 400;
   const index_t base = solve_gmres(a, b, id, x, opt).iterations;
   const SolveResult res = solve_gmres(a, b, spai, x, opt);
-  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.converged());
   EXPECT_LT(res.iterations, base);
 }
 
@@ -192,7 +192,7 @@ TEST(SparseApproximateInverse, PerfectPreconditionerConvergesInOneStep) {
   std::vector<real_t> b(12, 1.0);
   std::vector<real_t> x;
   const SolveResult res = solve_gmres(a, b, p, x, {});
-  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.converged());
   EXPECT_LE(res.iterations, 2);
 }
 

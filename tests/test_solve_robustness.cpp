@@ -1,0 +1,526 @@
+// Robustness tests for the solve orchestrator, the status taxonomy and the
+// fault-injection harness: degenerate inputs, scripted build/solve faults,
+// deadlines and cooperative cancellation must yield deterministic statuses —
+// never a crash, a hang or a silently wrong "converged".
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "gen/laplace.hpp"
+#include "krylov/solver.hpp"
+#include "mcmc/batched_build.hpp"
+#include "mcmc/inverter.hpp"
+#include "precond/ilu0.hpp"
+#include "precond/jacobi.hpp"
+#include "solve/orchestrator.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace mcmi {
+namespace {
+
+std::vector<real_t> random_rhs(index_t n, u64 seed) {
+  Xoshiro256 rng = make_stream(seed);
+  std::vector<real_t> b(static_cast<std::size_t>(n));
+  for (real_t& v : b) v = normal01(rng);
+  return b;
+}
+
+/// Diagonally dominant SPD test matrix small enough for fast ladders.
+CsrMatrix test_matrix() { return laplace_2d(8); }
+
+/// A matrix with an all-zero row (row 1): singular, breaks every solver.
+CsrMatrix zero_row_matrix() {
+  CooMatrix coo(4, 4);
+  coo.add(0, 0, 2.0);
+  coo.add(2, 2, 2.0);
+  coo.add(3, 3, 2.0);
+  coo.add(0, 2, -1.0);
+  coo.add(2, 0, -1.0);
+  return CsrMatrix::from_coo(coo);
+}
+
+/// Invertible but with a zero diagonal entry: Jacobi and ILU0 must refuse.
+CsrMatrix zero_diagonal_matrix() {
+  CooMatrix coo(3, 3);
+  coo.add(0, 1, 1.0);  // row 0 has no diagonal entry
+  coo.add(1, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  coo.add(2, 2, 1.0);
+  return CsrMatrix::from_coo(coo);
+}
+
+SolveRequest fast_request() {
+  SolveRequest req;
+  req.max_iterations = 500;
+  req.mcmc_params = {2.0, 0.5, 0.5};  // cheap but convergent MCMC build
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate inputs through the raw solvers: deterministic statuses.
+
+TEST(SolverRobustness, NanRhsReportsNonFiniteForEveryMethod) {
+  const CsrMatrix a = test_matrix();
+  std::vector<real_t> b = random_rhs(a.rows(), 1);
+  b[3] = std::numeric_limits<real_t>::quiet_NaN();
+  IdentityPreconditioner id;
+  for (KrylovMethod m :
+       {KrylovMethod::kCG, KrylovMethod::kGMRES, KrylovMethod::kBiCGStab}) {
+    std::vector<real_t> x;
+    const SolveResult res = solve(m, a, b, id, x, {});
+    EXPECT_EQ(res.status, SolveStatus::kNonFinite) << method_name(m);
+    EXPECT_FALSE(res.converged()) << method_name(m);
+  }
+}
+
+TEST(SolverRobustness, InfRhsReportsNonFiniteForEveryMethod) {
+  const CsrMatrix a = test_matrix();
+  std::vector<real_t> b = random_rhs(a.rows(), 2);
+  b[0] = std::numeric_limits<real_t>::infinity();
+  IdentityPreconditioner id;
+  for (KrylovMethod m :
+       {KrylovMethod::kCG, KrylovMethod::kGMRES, KrylovMethod::kBiCGStab}) {
+    std::vector<real_t> x;
+    const SolveResult res = solve(m, a, b, id, x, {});
+    EXPECT_EQ(res.status, SolveStatus::kNonFinite) << method_name(m);
+  }
+}
+
+TEST(SolverRobustness, ZeroRowMatrixNeverReportsConverged) {
+  const CsrMatrix a = zero_row_matrix();
+  std::vector<real_t> b = {1.0, 1.0, 1.0, 1.0};  // inconsistent for row 1
+  IdentityPreconditioner id;
+  SolveOptions opt;
+  opt.max_iterations = 200;
+  opt.stagnation_window = 25;
+  for (KrylovMethod m :
+       {KrylovMethod::kCG, KrylovMethod::kGMRES, KrylovMethod::kBiCGStab}) {
+    std::vector<real_t> x;
+    const SolveResult res = solve(m, a, b, id, x, opt);
+    EXPECT_FALSE(res.converged()) << method_name(m);
+    EXPECT_NE(res.status, SolveStatus::kConverged) << method_name(m);
+  }
+}
+
+TEST(SolverRobustness, CgReportsBreakdownOnIndefiniteDirection) {
+  // For a symmetric indefinite matrix CG's q^T A q can hit zero or negative:
+  // status must say breakdown/divergence, not pretend convergence.
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, -1.0);
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const std::vector<real_t> b = {1.0, 1.0};
+  IdentityPreconditioner id;
+  std::vector<real_t> x;
+  const SolveResult res = solve_cg(a, b, id, x, {});
+  EXPECT_TRUE(res.status == SolveStatus::kBreakdown ||
+              res.status == SolveStatus::kDiverged ||
+              res.status == SolveStatus::kNonFinite)
+      << to_string(res.status);
+}
+
+TEST(SolverRobustness, ZeroDiagonalPreconditionersThrowStructuredError) {
+  const CsrMatrix a = zero_diagonal_matrix();
+  EXPECT_THROW(JacobiPreconditioner{a}, Error);
+  EXPECT_THROW(Ilu0Preconditioner{a}, Error);
+}
+
+TEST(SolverRobustness, PreCancelledSolveReportsCancelled) {
+  const CsrMatrix a = test_matrix();
+  const std::vector<real_t> b = random_rhs(a.rows(), 3);
+  IdentityPreconditioner id;
+  CancelToken token;
+  token.request_cancel();
+  SolveOptions opt;
+  opt.cancel = &token;
+  for (KrylovMethod m :
+       {KrylovMethod::kCG, KrylovMethod::kGMRES, KrylovMethod::kBiCGStab}) {
+    std::vector<real_t> x;
+    const SolveResult res = solve(m, a, b, id, x, opt);
+    EXPECT_EQ(res.status, SolveStatus::kCancelled) << method_name(m);
+  }
+}
+
+TEST(SolverRobustness, ExpiredDeadlineReportsDeadlineExceeded) {
+  const CsrMatrix a = test_matrix();
+  const std::vector<real_t> b = random_rhs(a.rows(), 4);
+  IdentityPreconditioner id;
+  CancelToken token(0.0);  // already expired
+  SolveOptions opt;
+  opt.cancel = &token;
+  std::vector<real_t> x;
+  const SolveResult res = solve_gmres(a, b, id, x, opt);
+  EXPECT_EQ(res.status, SolveStatus::kDeadlineExceeded);
+}
+
+// ---------------------------------------------------------------------------
+// MCMC build cancellation: standalone and batched builders discard partial
+// artifacts and report the stop reason.
+
+TEST(BuildRobustness, StandaloneBuildHonoursPreCancelledToken) {
+  const CsrMatrix a = test_matrix();
+  CancelToken token;
+  token.request_cancel();
+  McmcOptions mo;
+  mo.cancel = &token;
+  McmcInverter inverter(a, {2.0, 0.25, 0.25}, mo);
+  const CsrMatrix p = inverter.compute();
+  EXPECT_EQ(inverter.info().status, BuildStatus::kCancelled);
+  EXPECT_EQ(p.rows(), 0);  // partial artifacts discarded
+  EXPECT_EQ(p.nnz(), 0);
+}
+
+TEST(BuildRobustness, StandaloneBuildHonoursExpiredDeadline) {
+  const CsrMatrix a = test_matrix();
+  CancelToken token(0.0);
+  McmcOptions mo;
+  mo.cancel = &token;
+  McmcInverter inverter(a, {2.0, 0.25, 0.25}, mo);
+  const CsrMatrix p = inverter.compute();
+  EXPECT_EQ(inverter.info().status, BuildStatus::kDeadlineExceeded);
+  EXPECT_EQ(p.rows(), 0);
+}
+
+TEST(BuildRobustness, BatchedBuildHonoursCancelPerTrial) {
+  const CsrMatrix a = test_matrix();
+  CancelToken token;
+  token.request_cancel();
+  McmcOptions mo;
+  mo.cancel = &token;
+  const std::vector<GridTrial> trials = {{0.25, 0.25}, {0.5, 0.5}};
+  const BatchedGridResult res = batched_grid_build(a, 2.0, trials, mo);
+  ASSERT_EQ(res.info.size(), trials.size());
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    EXPECT_EQ(res.info[t].status, BuildStatus::kCancelled) << t;
+    EXPECT_EQ(res.preconditioners[t].rows(), 0) << t;
+  }
+}
+
+/// Off-diagonally dominant ring: ||B||_inf = 3 at alpha = 0, so every walk's
+/// weight grows 3^k and hits the divergence guard well before the step cap.
+CsrMatrix divergent_kernel_matrix() {
+  const index_t n = 4;
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, 1.0);
+    coo.add(i, (i + 1) % n, 1.5);
+    coo.add(i, (i + 3) % n, 1.5);
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+TEST(BuildRobustness, DivergenceRetirementsSurfacedAndConsistent) {
+  // A non-convergent kernel retires walks at the divergence guard; the
+  // standalone and batched builders must report identical counts.
+  const CsrMatrix a = divergent_kernel_matrix();
+  const McmcParams params{0.0, 0.5, 0.9};
+  McmcOptions mo;
+  McmcInverter inverter(a, params, mo);
+  (void)inverter.compute();
+  EXPECT_FALSE(inverter.info().neumann_convergent);
+  EXPECT_GT(inverter.info().divergence_retirements, 0);
+
+  const BatchedGridResult batched =
+      batched_grid_build(a, params.alpha, {{params.eps, params.delta}}, mo);
+  EXPECT_EQ(batched.info[0].divergence_retirements,
+            inverter.info().divergence_retirements);
+}
+
+TEST(BuildRobustness, HealthyBuildReportsZeroRetirements) {
+  const CsrMatrix a = test_matrix();
+  McmcInverter inverter(a, {2.0, 0.5, 0.5}, {});
+  (void)inverter.compute();
+  EXPECT_EQ(inverter.info().status, BuildStatus::kBuilt);
+  EXPECT_EQ(inverter.info().divergence_retirements, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Orchestrator: ladder walk, fallback, deadlines, fault injection.
+
+TEST(Orchestrator, HealthySolveServesFromFirstRung) {
+  const CsrMatrix a = test_matrix();
+  const std::vector<real_t> b = random_rhs(a.rows(), 10);
+  SolveOrchestrator orch(a);
+  std::vector<real_t> x;
+  const SolveReport report = orch.solve(b, x, fast_request());
+  EXPECT_TRUE(report.converged());
+  EXPECT_EQ(report.served_by, SolveStage::kMcmc);
+  EXPECT_FALSE(report.degraded);
+  ASSERT_EQ(report.attempts.size(), 1u);
+  EXPECT_EQ(report.attempts[0].build_status, BuildStatus::kBuilt);
+  EXPECT_EQ(report.attempts[0].solve_status, SolveStatus::kConverged);
+}
+
+TEST(Orchestrator, InjectedMcmcFailureWithDeadlineFallsBackToJacobi) {
+  // The acceptance scenario: MCMC build fails (injected), 100 ms deadline,
+  // the request must still converge through the Jacobi rung and the history
+  // must record the failed stage.
+  const CsrMatrix a = test_matrix();
+  const std::vector<real_t> b = random_rhs(a.rows(), 11);
+  FaultInjector faults;
+  faults.fail_builds(SolveStage::kMcmc, 1);
+  SolveOrchestrator orch(a, &faults);
+
+  SolveRequest req = fast_request();
+  req.deadline_seconds = 0.1;
+  req.ladder = {{SolveStage::kMcmc, 0.0, 1, 0.0},
+                {SolveStage::kJacobi, 0.0, 1, 0.0}};
+  std::vector<real_t> x;
+  const SolveReport report = orch.solve(b, x, req);
+
+  EXPECT_TRUE(report.converged());
+  EXPECT_EQ(report.served_by, SolveStage::kJacobi);
+  EXPECT_TRUE(report.degraded);
+  ASSERT_EQ(report.attempts.size(), 2u);
+  EXPECT_EQ(report.attempts[0].stage, SolveStage::kMcmc);
+  EXPECT_EQ(report.attempts[0].build_status, BuildStatus::kInjectedFault);
+  EXPECT_FALSE(report.attempts[0].solve_ran);
+  EXPECT_EQ(report.attempts[1].stage, SolveStage::kJacobi);
+  EXPECT_EQ(report.attempts[1].solve_status, SolveStatus::kConverged);
+  EXPECT_LT(norm2(subtract(b, a.multiply(x))) / norm2(b), 1e-6);
+}
+
+TEST(Orchestrator, TransientBuildFaultRetriesWithinStage) {
+  const CsrMatrix a = test_matrix();
+  const std::vector<real_t> b = random_rhs(a.rows(), 12);
+  FaultInjector faults;
+  faults.fail_builds(SolveStage::kMcmc, 1, /*transient=*/true);
+  SolveOrchestrator orch(a, &faults);
+
+  SolveRequest req = fast_request();
+  req.ladder = {{SolveStage::kMcmc, 0.0, /*max_attempts=*/2, 0.0}};
+  std::vector<real_t> x;
+  const SolveReport report = orch.solve(b, x, req);
+
+  EXPECT_TRUE(report.converged());
+  EXPECT_EQ(report.served_by, SolveStage::kMcmc);
+  EXPECT_FALSE(report.degraded);  // retried within the first rung
+  ASSERT_EQ(report.attempts.size(), 2u);
+  EXPECT_EQ(report.attempts[0].build_status, BuildStatus::kInjectedFault);
+  EXPECT_EQ(report.attempts[1].build_status, BuildStatus::kBuilt);
+  EXPECT_EQ(faults.builds_seen(SolveStage::kMcmc), 2);
+}
+
+TEST(Orchestrator, PoisonedSolveRecoversOnRetry) {
+  const CsrMatrix a = test_matrix();
+  const std::vector<real_t> b = random_rhs(a.rows(), 13);
+  FaultInjector faults;
+  faults.poison_solves(SolveStage::kJacobi, 1);
+  SolveOrchestrator orch(a, &faults);
+
+  SolveRequest req = fast_request();
+  req.ladder = {{SolveStage::kJacobi, 0.0, /*max_attempts=*/2, 0.0}};
+  std::vector<real_t> x;
+  const SolveReport report = orch.solve(b, x, req);
+
+  EXPECT_TRUE(report.converged());
+  ASSERT_EQ(report.attempts.size(), 2u);
+  EXPECT_EQ(report.attempts[0].solve_status, SolveStatus::kNonFinite);
+  EXPECT_EQ(report.attempts[1].solve_status, SolveStatus::kConverged);
+}
+
+TEST(Orchestrator, ForcedBreakdownFallsThroughLadder) {
+  const CsrMatrix a = test_matrix();
+  const std::vector<real_t> b = random_rhs(a.rows(), 14);
+  FaultInjector faults;
+  faults.break_solves(SolveStage::kIlu0, 1);
+  SolveOrchestrator orch(a, &faults);
+
+  SolveRequest req = fast_request();
+  req.method = KrylovMethod::kBiCGStab;  // exact breakdown on zero P output
+  req.ladder = {{SolveStage::kIlu0, 0.0, 1, 0.0},
+                {SolveStage::kJacobi, 0.0, 1, 0.0}};
+  std::vector<real_t> x;
+  const SolveReport report = orch.solve(b, x, req);
+
+  EXPECT_TRUE(report.converged());
+  EXPECT_EQ(report.served_by, SolveStage::kJacobi);
+  EXPECT_TRUE(report.degraded);
+  ASSERT_EQ(report.attempts.size(), 2u);
+  EXPECT_EQ(report.attempts[0].solve_status, SolveStatus::kBreakdown);
+}
+
+TEST(Orchestrator, GmresEscalatesRestartOnStagnation) {
+  const CsrMatrix a = test_matrix();
+  const std::vector<real_t> b = random_rhs(a.rows(), 15);
+  FaultInjector faults;
+  faults.break_solves(SolveStage::kJacobi, 1);  // breakdown on attempt 0
+  SolveOrchestrator orch(a, &faults);
+
+  SolveRequest req = fast_request();
+  req.restart = 5;
+  req.ladder = {{SolveStage::kJacobi, 0.0, /*max_attempts=*/2, 0.0}};
+  std::vector<real_t> x;
+  const SolveReport report = orch.solve(b, x, req);
+
+  EXPECT_TRUE(report.converged());
+  ASSERT_EQ(report.attempts.size(), 2u);
+  EXPECT_EQ(report.attempts[0].restart, 5);
+  EXPECT_EQ(report.attempts[1].restart, 10);  // doubled on retry
+}
+
+TEST(Orchestrator, ZeroDiagonalLadderSkipsJacobiAndIlu0) {
+  // Zero-diagonal matrix: Jacobi and ILU0 must degrade cleanly to the
+  // unpreconditioned rung instead of crashing.
+  const CsrMatrix a = zero_diagonal_matrix();
+  const std::vector<real_t> b = {1.0, 2.0, 3.0};
+  SolveOrchestrator orch(a);
+
+  SolveRequest req;
+  req.max_iterations = 50;
+  req.ladder = {{SolveStage::kIlu0, 0.0, 1, 0.0},
+                {SolveStage::kJacobi, 0.0, 1, 0.0},
+                {SolveStage::kIdentity, 0.0, 1, 0.0}};
+  std::vector<real_t> x;
+  const SolveReport report = orch.solve(b, x, req);
+
+  EXPECT_TRUE(report.converged());
+  EXPECT_EQ(report.served_by, SolveStage::kIdentity);
+  ASSERT_EQ(report.attempts.size(), 3u);
+  EXPECT_EQ(report.attempts[0].build_status, BuildStatus::kZeroPivot);
+  EXPECT_FALSE(report.attempts[0].solve_ran);
+  EXPECT_EQ(report.attempts[1].build_status, BuildStatus::kZeroPivot);
+}
+
+TEST(Orchestrator, DivergentMcmcKernelRetiresStage) {
+  const CsrMatrix a = test_matrix();
+  const std::vector<real_t> b = random_rhs(a.rows(), 16);
+  SolveOrchestrator orch(a);
+
+  SolveRequest req = fast_request();
+  req.mcmc_params = {0.0, 0.5, 0.9};  // alpha = 0: non-convergent kernel
+  req.ladder = {{SolveStage::kMcmc, 0.0, 1, 0.0},
+                {SolveStage::kJacobi, 0.0, 1, 0.0}};
+  std::vector<real_t> x;
+  const SolveReport report = orch.solve(b, x, req);
+
+  EXPECT_TRUE(report.converged());
+  EXPECT_EQ(report.served_by, SolveStage::kJacobi);
+  EXPECT_EQ(report.attempts[0].build_status, BuildStatus::kDivergentKernel);
+}
+
+TEST(Orchestrator, ExpiredDeadlineShortCircuitsEntireLadder) {
+  const CsrMatrix a = test_matrix();
+  const std::vector<real_t> b = random_rhs(a.rows(), 17);
+  SolveOrchestrator orch(a);
+
+  SolveRequest req = fast_request();
+  req.deadline_seconds = 0.0;
+  std::vector<real_t> x;
+  const SolveReport report = orch.solve(b, x, req);
+
+  EXPECT_FALSE(report.converged());
+  EXPECT_EQ(report.status, SolveStatus::kDeadlineExceeded);
+}
+
+TEST(Orchestrator, BuildDelayBurnsDeadlineDeterministically) {
+  // The injected delay exceeds the deadline, so the MCMC stage dies on its
+  // budget and the remaining ladder is skipped with kDeadlineExceeded.
+  const CsrMatrix a = test_matrix();
+  const std::vector<real_t> b = random_rhs(a.rows(), 18);
+  FaultInjector faults;
+  faults.delay_builds(SolveStage::kMcmc, 0.2);
+  SolveOrchestrator orch(a, &faults);
+
+  SolveRequest req = fast_request();
+  req.deadline_seconds = 0.05;
+  req.ladder = {{SolveStage::kMcmc, 0.0, 1, 0.0},
+                {SolveStage::kJacobi, 0.0, 1, 0.0}};
+  std::vector<real_t> x;
+  const SolveReport report = orch.solve(b, x, req);
+
+  EXPECT_EQ(report.status, SolveStatus::kDeadlineExceeded);
+  ASSERT_GE(report.attempts.size(), 1u);
+  EXPECT_EQ(report.attempts[0].build_status, BuildStatus::kDeadlineExceeded);
+}
+
+TEST(Orchestrator, StageBudgetFallsThroughButRequestContinues) {
+  // A tiny stage budget kills the (delayed) MCMC build, but with no request
+  // deadline the Jacobi rung still serves the solve.
+  const CsrMatrix a = test_matrix();
+  const std::vector<real_t> b = random_rhs(a.rows(), 19);
+  FaultInjector faults;
+  faults.delay_builds(SolveStage::kMcmc, 0.05);
+  SolveOrchestrator orch(a, &faults);
+
+  SolveRequest req = fast_request();
+  req.ladder = {{SolveStage::kMcmc, /*time_budget=*/0.01, 1, 0.0},
+                {SolveStage::kJacobi, 0.0, 1, 0.0}};
+  std::vector<real_t> x;
+  const SolveReport report = orch.solve(b, x, req);
+
+  EXPECT_TRUE(report.converged());
+  EXPECT_EQ(report.served_by, SolveStage::kJacobi);
+  EXPECT_EQ(report.attempts[0].build_status, BuildStatus::kDeadlineExceeded);
+}
+
+TEST(Orchestrator, CancelFromAnotherThreadStopsTheRequest) {
+  const CsrMatrix a = laplace_2d(24);
+  const std::vector<real_t> b = random_rhs(a.rows(), 20);
+  SolveOrchestrator orch(a);
+
+  SolveRequest req;
+  req.tolerance = 1e-14;
+  req.max_iterations = 2000000;  // would run long without the cancel
+  req.mcmc_params = {2.0, 0.1, 0.1};
+  std::vector<real_t> x;
+
+  std::thread canceller([&orch] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    orch.cancel();
+  });
+  const SolveReport report = orch.solve(b, x, req);
+  canceller.join();
+
+  // Depending on timing the solve may legitimately finish first; when it
+  // does not, the status must be kCancelled and the report well-formed.
+  if (!report.converged()) {
+    EXPECT_EQ(report.status, SolveStatus::kCancelled);
+  }
+  EXPECT_GE(report.attempts.size(), 1u);
+}
+
+TEST(Orchestrator, ReportSummaryNamesStagesAndStatuses) {
+  const CsrMatrix a = test_matrix();
+  const std::vector<real_t> b = random_rhs(a.rows(), 21);
+  FaultInjector faults;
+  faults.fail_builds(SolveStage::kMcmc, 1);
+  SolveOrchestrator orch(a, &faults);
+
+  SolveRequest req = fast_request();
+  req.ladder = {{SolveStage::kMcmc, 0.0, 1, 0.0},
+                {SolveStage::kJacobi, 0.0, 1, 0.0}};
+  std::vector<real_t> x;
+  const SolveReport report = orch.solve(b, x, req);
+
+  const std::string s = report.summary();
+  EXPECT_NE(s.find("jacobi"), std::string::npos) << s;
+  EXPECT_NE(s.find("injected_fault"), std::string::npos) << s;
+  EXPECT_NE(s.find("converged"), std::string::npos) << s;
+}
+
+TEST(Orchestrator, OrchestratorIsReusableAcrossRequests) {
+  // A deadline-killed request must not leak its cancelled state into the
+  // next one (token reset), and the kernel cache keeps working.
+  const CsrMatrix a = test_matrix();
+  const std::vector<real_t> b = random_rhs(a.rows(), 22);
+  SolveOrchestrator orch(a);
+
+  SolveRequest dead = fast_request();
+  dead.deadline_seconds = 0.0;
+  std::vector<real_t> x;
+  EXPECT_EQ(orch.solve(b, x, dead).status, SolveStatus::kDeadlineExceeded);
+
+  const SolveReport ok = orch.solve(b, x, fast_request());
+  EXPECT_TRUE(ok.converged());
+  EXPECT_EQ(ok.served_by, SolveStage::kMcmc);
+}
+
+}  // namespace
+}  // namespace mcmi

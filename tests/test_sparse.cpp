@@ -225,6 +225,91 @@ TEST(Mmio, RejectsGarbage) {
   EXPECT_THROW(read_matrix_market("/nonexistent/file.mtx"), Error);
 }
 
+/// Write `body` to a temp .mtx file and return what read_matrix_market threw.
+std::string mmio_error_for(const std::string& body) {
+  const std::string path = "/tmp/mcmi_test_malformed.mtx";
+  {
+    std::ofstream out(path);
+    out << body;
+  }
+  try {
+    (void)read_matrix_market(path);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(Mmio, TruncatedFileNamesExpectedAndActualCounts) {
+  const std::string msg = mmio_error_for(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "2 2 2.0\n");
+  EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("2"), std::string::npos) << msg;
+}
+
+TEST(Mmio, OutOfRangeIndexNamesLineAndBounds) {
+  const std::string msg = mmio_error_for(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 2\n"
+      "1 1 2.0\n"
+      "4 1 1.0\n");
+  EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(":4"), std::string::npos) << msg;  // line number
+  EXPECT_NE(msg.find("(4, 1)"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("3 x 3"), std::string::npos) << msg;
+}
+
+TEST(Mmio, NonNumericEntryTokensNameTheLine) {
+  const std::string msg = mmio_error_for(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 2\n"
+      "1 1 2.0\n"
+      "x y 1.0\n");
+  EXPECT_NE(msg.find("bad entry"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("x y 1.0"), std::string::npos) << msg;
+}
+
+TEST(Mmio, NonNumericValueTokenNamesTheLine) {
+  const std::string msg = mmio_error_for(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 1\n"
+      "1 1 oops\n");
+  EXPECT_NE(msg.find("bad value"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("oops"), std::string::npos) << msg;
+}
+
+TEST(Mmio, BadOrMissingSizeLineRejected) {
+  EXPECT_NE(mmio_error_for("%%MatrixMarket matrix coordinate real general\n"
+                           "three by three\n")
+                .find("bad size line"),
+            std::string::npos);
+  EXPECT_NE(mmio_error_for("%%MatrixMarket matrix coordinate real general\n"
+                           "% only comments, no size\n")
+                .find("missing size line"),
+            std::string::npos);
+  EXPECT_NE(mmio_error_for("%%MatrixMarket matrix coordinate real general\n"
+                           "0 3 1\n"
+                           "1 1 1.0\n")
+                .find("bad size line"),
+            std::string::npos);
+}
+
+TEST(Mmio, PatternFieldDefaultsValuesToOne) {
+  const std::string path = "/tmp/mcmi_test_pattern.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate pattern general\n";
+    out << "2 2 2\n1 1\n2 2\n";
+  }
+  const CsrMatrix a = read_matrix_market(path);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 1.0);
+}
+
 TEST(VectorOps, DotAxpyNorms) {
   std::vector<real_t> a = {1.0, 2.0, 3.0};
   std::vector<real_t> b = {4.0, -5.0, 6.0};
