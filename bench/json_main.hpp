@@ -1,0 +1,44 @@
+#pragma once
+// Shared main() for the google-benchmark binaries: BENCHMARK_MAIN plus a
+// --json[=path] convenience flag that maps onto google-benchmark's native
+// --benchmark_out so results land in a BENCH_*.json for cross-PR perf
+// tracking.  The including .cpp defines MCMI_BENCH_DEFAULT_JSON to name
+// the bare --json default before including this header.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#ifndef MCMI_BENCH_DEFAULT_JSON
+#error "define MCMI_BENCH_DEFAULT_JSON before including json_main.hpp"
+#endif
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::string out_path;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--json") {
+      out_path = MCMI_BENCH_DEFAULT_JSON;
+      it = args.erase(it);
+    } else if (it->rfind("--json=", 0) == 0) {
+      out_path = it->substr(7);
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!out_path.empty()) {
+    args.push_back("--benchmark_out=" + out_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& s : args) argv2.push_back(s.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

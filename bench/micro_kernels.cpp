@@ -717,34 +717,5 @@ BENCHMARK(BM_LbfgsbRosenbrock);
 
 }  // namespace
 
-// BENCHMARK_MAIN plus a --json[=path] convenience flag that maps onto
-// google-benchmark's native --benchmark_out so results land in a
-// BENCH_*.json for cross-PR perf tracking.
-int main(int argc, char** argv) {
-  std::vector<std::string> args(argv, argv + argc);
-  std::string out_path;
-  for (auto it = args.begin(); it != args.end();) {
-    if (*it == "--json") {
-      out_path = "BENCH_micro_kernels.json";
-      it = args.erase(it);
-    } else if (it->rfind("--json=", 0) == 0) {
-      out_path = it->substr(7);
-      it = args.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  if (!out_path.empty()) {
-    args.push_back("--benchmark_out=" + out_path);
-    args.push_back("--benchmark_out_format=json");
-  }
-  std::vector<char*> argv2;
-  argv2.reserve(args.size());
-  for (std::string& s : args) argv2.push_back(s.data());
-  int argc2 = static_cast<int>(argv2.size());
-  benchmark::Initialize(&argc2, argv2.data());
-  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+#define MCMI_BENCH_DEFAULT_JSON "BENCH_micro_kernels.json"
+#include "json_main.hpp"

@@ -1,0 +1,179 @@
+// Serving-layer traffic benchmark: requests/sec, tail latency and store hit
+// rate for the SolveService under a synthetic traffic mix over the gen/
+// matrix families (ROADMAP item 1).
+//
+// Three rows:
+//  - BM_ServeWarmPath   : a pre-warmed service (tuned preconditioners
+//                         already swapped in) serving batches of requests —
+//                         the steady state of a long-lived deployment.
+//  - BM_ServeColdInline : the status quo this PR replaces — every request
+//                         pays the full MCMC build inline, at the same
+//                         tolerance and parameters (equal convergence).
+//                         The gated pair warm:cold asserts the warm path
+//                         is >= 3x faster per request.
+//  - BM_ServeTrafficMix : a cold-started service under a skewed 60/30/10
+//                         fingerprint mix; reports requests/sec, p50/p95/
+//                         p99 latency and the store hit rate (info row).
+//
+// All rows measure process CPU time (workers run on their own threads) and
+// report real time, so requests/sec means wall-clock throughput.
+//
+// Run with --json[=path] to mirror the report into a JSON file (default
+// BENCH_serve_traffic.json); scripts/bench_compare.py diffs it against the
+// committed BENCH_serve_pr7.json baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "gen/laplace.hpp"
+#include "serve/solve_service.hpp"
+#include "solve/orchestrator.hpp"
+
+namespace {
+
+using namespace mcmi;
+using namespace mcmi::serve;
+
+/// Neumann-convergent MCMC parameters for the Laplacian family.  The tight
+/// (eps, delta) corner drives a walk-heavy build — the realistic regime
+/// where amortising the build across requests is the whole point.
+McmcParams bench_params() { return {1.0, 0.07, 0.07}; }
+
+/// The three fingerprints of the traffic mix.
+std::vector<CsrMatrix> bench_matrices() {
+  return {laplace_2d(16), laplace_2d(12), laplace_2d(8)};
+}
+
+std::vector<real_t> random_rhs(index_t n, u64 seed) {
+  Xoshiro256 rng = make_stream(seed);
+  std::vector<real_t> b(static_cast<std::size_t>(n));
+  for (real_t& v : b) v = normal01(rng);
+  return b;
+}
+
+constexpr int kBatch = 12;  ///< requests per timed batch (warm/cold rows)
+
+ServiceOptions bench_service_options() {
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.queue_capacity = 128;
+  opts.mcmc_params = bench_params();
+  return opts;
+}
+
+// ---- warm path: the steady state ------------------------------------------
+
+void BM_ServeWarmPath(benchmark::State& state) {
+  const std::vector<CsrMatrix> mats = bench_matrices();
+  SolveService service(bench_service_options());
+  // Pre-warm: one cold request per fingerprint, then wait for the
+  // background builds to swap the tuned preconditioners in.
+  for (std::size_t m = 0; m < mats.size(); ++m) {
+    ServeHandle h = service.submit(
+        mats[m], random_rhs(mats[m].rows(), static_cast<u64>(m)));
+    (void)h.wait();
+  }
+  service.drain();
+
+  u64 seed = 100;
+  for (auto _ : state) {
+    std::vector<ServeHandle> handles;
+    handles.reserve(kBatch);
+    for (int i = 0; i < kBatch; ++i) {
+      const CsrMatrix& a = mats[static_cast<std::size_t>(i) % mats.size()];
+      handles.push_back(service.submit(a, random_rhs(a.rows(), seed++)));
+    }
+    for (const ServeHandle& h : handles) {
+      benchmark::DoNotOptimize(h.wait().report.converged());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  const ServiceStats stats = service.stats();
+  state.counters["hit_rate"] =
+      static_cast<double>(stats.warm_requests) /
+      static_cast<double>(std::max<u64>(stats.warm_requests +
+                                            stats.cold_requests, 1));
+}
+BENCHMARK(BM_ServeWarmPath)->MeasureProcessCPUTime()->UseRealTime();
+
+// ---- cold path: tuning-in-line status quo ---------------------------------
+
+void BM_ServeColdInline(benchmark::State& state) {
+  const std::vector<CsrMatrix> mats = bench_matrices();
+  u64 seed = 100;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      const CsrMatrix& a = mats[static_cast<std::size_t>(i) % mats.size()];
+      const std::vector<real_t> b = random_rhs(a.rows(), seed++);
+      // Status quo: a fresh orchestrator per request, the MCMC build paid
+      // inline on the request path, same params/tolerance as the warm row.
+      SolveOrchestrator orchestrator(a);
+      SolveRequest req;
+      req.mcmc_params = bench_params();
+      std::vector<real_t> x(b.size(), 0.0);
+      benchmark::DoNotOptimize(orchestrator.solve(b, x, req).converged());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_ServeColdInline)->MeasureProcessCPUTime()->UseRealTime();
+
+// ---- traffic mix: cold start, skewed popularity ---------------------------
+
+void BM_ServeTrafficMix(benchmark::State& state) {
+  const std::vector<CsrMatrix> mats = bench_matrices();
+  constexpr int kRequests = 24;
+  std::vector<real_t> latencies_ms;
+  double hit_rate = 0.0;
+
+  for (auto _ : state) {
+    SolveService service(bench_service_options());
+    Xoshiro256 rng = make_stream(42);
+    // Two waves: the first hits the service cold (fallback rungs while the
+    // builds run); the drain lets the swap-ins land; the second wave sees
+    // the warm store.  hit_rate over both waves is the cold-start curve.
+    for (int wave = 0; wave < 2; ++wave) {
+      std::vector<ServeHandle> handles;
+      handles.reserve(kRequests);
+      for (int i = 0; i < kRequests; ++i) {
+        // Skewed popularity: 60% / 30% / 10% over the three fingerprints.
+        const real_t u = uniform01(rng);
+        const std::size_t pick = u < 0.6 ? 0 : (u < 0.9 ? 1 : 2);
+        const CsrMatrix& a = mats[pick];
+        handles.push_back(
+            service.submit(a, random_rhs(a.rows(), static_cast<u64>(i))));
+      }
+      for (const ServeHandle& h : handles) {
+        latencies_ms.push_back(h.wait().total_seconds * 1e3);
+      }
+      service.drain();
+    }
+    const ServiceStats stats = service.stats();
+    hit_rate = static_cast<double>(stats.warm_requests) /
+               static_cast<double>(
+                   std::max<u64>(stats.warm_requests + stats.cold_requests,
+                                 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kRequests);
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  auto percentile = [&](double q) {
+    if (latencies_ms.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(latencies_ms.size() - 1));
+    return static_cast<double>(latencies_ms[idx]);
+  };
+  state.counters["p50_ms"] = percentile(0.50);
+  state.counters["p95_ms"] = percentile(0.95);
+  state.counters["p99_ms"] = percentile(0.99);
+  state.counters["hit_rate"] = hit_rate;
+}
+BENCHMARK(BM_ServeTrafficMix)->MeasureProcessCPUTime()->UseRealTime();
+
+}  // namespace
+
+#define MCMI_BENCH_DEFAULT_JSON "BENCH_serve_traffic.json"
+#include "json_main.hpp"

@@ -1,0 +1,90 @@
+// Scenario: the solver as a service — a long-lived SolveService taking
+// concurrent solve requests against a handful of recurring matrices
+// (ROADMAP item 1's "millions of users" shape, scaled to a demo).
+//
+//   1. start a SolveService (worker pool + builder pool + artifact store);
+//   2. submit a burst of requests round-robin over 3 matrix fingerprints —
+//      the first request per fingerprint is served cold by the fallback
+//      rungs while the MCMC build runs in the background;
+//   3. submit a second burst once the tuned preconditioners are swapped
+//      in — these take the warm path;
+//   4. print throughput, latency and store hit rate for both bursts.
+//
+// MCMI_REQUESTS rescales the burst size; MCMI_WORKERS the worker pool.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/env.hpp"
+#include "core/rng.hpp"
+#include "core/timer.hpp"
+#include "gen/laplace.hpp"
+#include "serve/solve_service.hpp"
+
+int main() {
+  using namespace mcmi;
+  using namespace mcmi::serve;
+  const index_t requests = env_int("MCMI_REQUESTS", 24);
+  const index_t workers = env_int("MCMI_WORKERS", 2);
+
+  // -- 1. Start the service. ----------------------------------------------
+  ServiceOptions options;
+  options.workers = static_cast<std::size_t>(workers);
+  options.queue_capacity = static_cast<std::size_t>(2 * requests);
+  options.mcmc_params = {1.0, 0.25, 0.125};
+  SolveService service(options);
+  const std::vector<CsrMatrix> mats = {laplace_2d(16), laplace_2d(12),
+                                       laplace_2d(8)};
+  std::printf("[1/3] service up: %lld workers, 3 matrix fingerprints\n",
+              static_cast<long long>(workers));
+
+  auto burst = [&](const char* name, u64 seed_base) {
+    WallTimer timer;
+    std::vector<ServeHandle> handles;
+    for (index_t i = 0; i < requests; ++i) {
+      const CsrMatrix& a = mats[static_cast<std::size_t>(i) % mats.size()];
+      Xoshiro256 rng = make_stream(seed_base + static_cast<u64>(i));
+      std::vector<real_t> b(static_cast<std::size_t>(a.rows()));
+      for (real_t& v : b) v = normal01(rng);
+      handles.push_back(service.submit(a, std::move(b)));
+    }
+    index_t converged = 0;
+    real_t worst_ms = 0;
+    for (const ServeHandle& h : handles) {
+      const ServeResult& r = h.wait();
+      if (r.report.converged()) ++converged;
+      worst_ms = std::max(worst_ms, r.total_seconds * 1e3);
+    }
+    const real_t elapsed = timer.seconds();
+    std::printf("      %s: %lld/%lld converged, %.0f req/s, worst %.2f ms\n",
+                name, static_cast<long long>(converged),
+                static_cast<long long>(requests),
+                static_cast<real_t>(requests) / elapsed, worst_ms);
+  };
+
+  // -- 2. Cold burst: fallback rungs serve while MCMC builds run. ---------
+  std::printf("[2/3] cold burst (builds scheduled in the background)...\n");
+  burst("cold", 1000);
+  service.drain();  // wait for the background builds + swap-ins
+
+  // -- 3. Warm burst: tuned preconditioners served from the store. --------
+  std::printf("[3/3] warm burst (tuned preconditioners from the store)...\n");
+  burst("warm", 2000);
+
+  const ServiceStats stats = service.stats();
+  const u64 served = stats.warm_requests + stats.cold_requests;
+  std::printf(
+      "service: %llu served (%llu warm / %llu cold), hit rate %.2f\n"
+      "store:   %llu builds, %llu swaps, %llu hits, %llu misses\n",
+      static_cast<unsigned long long>(served),
+      static_cast<unsigned long long>(stats.warm_requests),
+      static_cast<unsigned long long>(stats.cold_requests),
+      served == 0 ? 0.0
+                  : static_cast<double>(stats.warm_requests) /
+                        static_cast<double>(served),
+      static_cast<unsigned long long>(stats.builds_completed),
+      static_cast<unsigned long long>(stats.store.swaps),
+      static_cast<unsigned long long>(stats.store.hits),
+      static_cast<unsigned long long>(stats.store.misses));
+  return 0;
+}

@@ -1,0 +1,59 @@
+#pragma once
+// Streaming 64-bit content hashing.
+//
+// The serving layer addresses cached artifacts by the *content* of a matrix
+// (structure and value bits), so the hash must be a pure function of the
+// data — never of addresses, capacities, or insertion order.  Hash64 chains
+// SplitMix64 over the fed words; it is not cryptographic, but 64 bits of
+// well-mixed state make accidental collisions negligible for store-sized
+// populations, and the store verifies content on every hit anyway (see
+// serve/artifact_store.hpp), so a collision costs a cache miss, not a wrong
+// answer.
+
+#include <cstring>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace mcmi {
+
+/// Streaming SplitMix64-chained hasher over 64-bit words.
+class Hash64 {
+ public:
+  explicit Hash64(u64 seed = 0) : state_(mix64(seed ^ kDomain)) {}
+
+  /// Fold one word into the state.
+  void update(u64 word) { state_ = mix64(state_ ^ word); }
+
+  /// Fold a double by bit pattern (distinguishes -0.0 from 0.0 and every
+  /// NaN payload — required for the "same content" contract of the store).
+  void update_bits(real_t value) {
+    u64 bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    update(bits);
+  }
+
+  /// Fold a signed index array, length-prefixed so adjacent arrays cannot
+  /// alias each other's boundaries.
+  void update_array(const index_t* data, std::size_t count) {
+    update(static_cast<u64>(count));
+    for (std::size_t i = 0; i < count; ++i) {
+      update(static_cast<u64>(data[i]));
+    }
+  }
+
+  /// Fold a real array by bit pattern, length-prefixed.
+  void update_array(const real_t* data, std::size_t count) {
+    update(static_cast<u64>(count));
+    for (std::size_t i = 0; i < count; ++i) update_bits(data[i]);
+  }
+
+  /// The digest of everything fed so far (does not consume the state).
+  [[nodiscard]] u64 digest() const { return mix64(state_); }
+
+ private:
+  static constexpr u64 kDomain = 0xa0761d6478bd642fULL;
+  u64 state_;
+};
+
+}  // namespace mcmi

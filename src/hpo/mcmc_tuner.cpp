@@ -38,6 +38,10 @@ McmcTuneResult tune_mcmc_params(PerformanceMeasurer& measurer,
   McmcTuneResult result;
   result.best_median = std::numeric_limits<real_t>::infinity();
   for (index_t round = 0; round < options.rounds; ++round) {
+    // Cooperative cancellation at round granularity: a round is the unit of
+    // batched evaluation, so stopping between rounds keeps what was already
+    // measured consistent and returns the best-so-far incumbent.
+    if (options.cancel != nullptr && options.cancel->should_stop()) break;
     // Propose the round's batch, snapping alpha through the choice
     // parameter so candidates collapse into a few batched grid builds.
     std::vector<Assignment> assignments;
@@ -66,6 +70,14 @@ McmcTuneResult tune_mcmc_params(PerformanceMeasurer& measurer,
     }
   }
   return result;
+}
+
+std::future<McmcTuneResult> tune_mcmc_params_async(
+    PerformanceMeasurer& measurer, KrylovMethod method,
+    const McmcTuneOptions& options) {
+  return std::async(std::launch::async, [&measurer, method, options]() {
+    return tune_mcmc_params(measurer, method, options);
+  });
 }
 
 }  // namespace mcmi::hpo

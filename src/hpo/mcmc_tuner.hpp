@@ -15,8 +15,10 @@
 /// search space, where tuning converges and common random numbers pay the
 /// most.
 
+#include <future>
 #include <vector>
 
+#include "core/cancellation.hpp"
 #include "hpo/tpe.hpp"
 #include "krylov/solver.hpp"
 #include "mcmc/params.hpp"
@@ -37,6 +39,10 @@ struct McmcTuneOptions {
   index_t candidates_per_round = 8;  ///< batch size per round
   index_t replicates = 2;            ///< y replicates per candidate
   TpeOptions tpe;                    ///< sampler knobs (seed, gamma, ...)
+  /// Optional cancel/deadline token (not owned; must outlive the run).
+  /// Checked at round boundaries: a stopped token ends the loop early and
+  /// the run returns the best-so-far incumbent (history may be short).
+  const CancelToken* cancel = nullptr;
 };
 
 /// One evaluated candidate.
@@ -63,5 +69,15 @@ SearchSpace mcmc_search_space(const McmcTuneOptions& options);
 McmcTuneResult tune_mcmc_params(PerformanceMeasurer& measurer,
                                 KrylovMethod method,
                                 const McmcTuneOptions& options = {});
+
+/// Run tune_mcmc_params on a dedicated thread (std::async), returning the
+/// future.  The caller keeps ownership of `measurer` and of the token named
+/// by `options.cancel` — both must outlive the future's completion.  This
+/// is the serving layer's entry point: the builder thread kicks off tuning
+/// for a cold fingerprint and swaps the tuned parameters in when the future
+/// resolves, while requests keep being served by the fallback rungs.
+std::future<McmcTuneResult> tune_mcmc_params_async(
+    PerformanceMeasurer& measurer, KrylovMethod method,
+    const McmcTuneOptions& options = {});
 
 }  // namespace mcmi::hpo

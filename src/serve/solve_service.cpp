@@ -1,0 +1,354 @@
+#include "serve/solve_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace mcmi::serve {
+
+namespace detail {
+
+struct JobState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  CancelToken token;
+  ServeRequest request;
+  std::shared_ptr<ArtifactEntry> entry;
+  std::vector<real_t> rhs;
+  ServeResult result;
+  WallTimer timer;  ///< started at submit; clocks queue + total time
+};
+
+}  // namespace detail
+
+using detail::JobState;
+
+const ServeResult& ServeHandle::wait() const {
+  MCMI_CHECK(state_ != nullptr, "waiting on an empty handle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->result;
+}
+
+bool ServeHandle::wait_for(real_t seconds) const {
+  MCMI_CHECK(state_ != nullptr, "waiting on an empty handle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  return state_->cv.wait_for(lock,
+                             std::chrono::duration<real_t>(seconds),
+                             [&] { return state_->done; });
+}
+
+bool ServeHandle::done() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+void ServeHandle::cancel() const {
+  if (state_ != nullptr) state_->token.request_cancel();
+}
+
+SolveService::SolveService(ServiceOptions options)
+    : options_(std::move(options)), store_(options_.store) {
+  MCMI_CHECK(options_.workers >= 1, "service needs at least one worker");
+  MCMI_CHECK(options_.queue_capacity >= 1, "queue capacity must be >= 1");
+  paused_ = options_.start_paused;
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  const std::size_t builders =
+      options_.build_on_cold ? std::max<std::size_t>(options_.builders, 1)
+                             : options_.builders;
+  builders_.reserve(builders);
+  for (std::size_t i = 0; i < builders; ++i) {
+    builders_.emplace_back([this] { builder_loop(); });
+  }
+}
+
+SolveService::~SolveService() { shutdown(); }
+
+ServeHandle SolveService::submit(const CsrMatrix& a, std::vector<real_t> rhs,
+                                 const ServeRequest& request) {
+  MCMI_CHECK(static_cast<index_t>(rhs.size()) == a.rows(),
+             "rhs size must match the matrix");
+  {
+    // Optimistic admission check before touching the store, so a full
+    // queue rejects without interning the matrix.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || queue_.size() >= options_.queue_capacity) {
+      ++stats_.rejected;
+      return {};
+    }
+  }
+
+  auto job = std::make_shared<JobState>();
+  job->request = request;
+  job->rhs = std::move(rhs);
+  job->entry = store_.intern(a);
+  job->result.fingerprint = job->entry->fingerprint();
+  job->token.chain_to(&shutdown_token_);
+  if (std::isfinite(request.deadline_seconds)) {
+    // Deadline stamped at submit: queue wait counts against the request.
+    job->token.set_deadline(request.deadline_seconds);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Authoritative re-check: capacity may have filled meanwhile.
+    if (stopping_ || queue_.size() >= options_.queue_capacity) {
+      ++stats_.rejected;
+      return {};
+    }
+    queue_.emplace(std::make_pair(-request.priority, next_seq_++), job);
+    ++stats_.submitted;
+  }
+  work_cv_.notify_one();
+  return ServeHandle(job);
+}
+
+void SolveService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<JobState> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (stopping_) return;
+      job = queue_.begin()->second;
+      queue_.erase(queue_.begin());
+      ++running_;
+    }
+    run_job(job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void SolveService::run_job(const std::shared_ptr<JobState>& job) {
+  job->result.queue_seconds = job->timer.seconds();
+
+  if (job->token.should_stop()) {
+    // Cancelled (or past deadline) while queued: complete without solving.
+    job->result.report.status = stop_reason(job->token);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.completed;
+      if (job->token.cancel_requested()) ++stats_.cancelled;
+    }
+    finish_job(job);
+    return;
+  }
+
+  // Warm-vs-cold admission: the decision point is the worker pickup, so a
+  // request that waited through a swap_in gets the warm path.
+  auto tuned = job->entry->tuned();
+  const bool warm = tuned != nullptr;
+  if (!warm && options_.build_on_cold) schedule_build(job->entry);
+
+  SolveRequest sreq;
+  sreq.tolerance = job->request.tolerance;
+  sreq.max_iterations = job->request.max_iterations;
+  sreq.restart = job->request.restart;
+  sreq.method = job->request.method;
+  sreq.external_cancel = &job->token;  // deadline + cancel live on the token
+  if (warm) {
+    // The tuned preconditioner is *supplied*: the MCMC rung skips its
+    // build and applies the store's P (fallback rungs remain below it).
+    sreq.supply(SolveStage::kMcmc, std::move(tuned));
+    sreq.mcmc_params = job->entry->tuned_params();
+  } else {
+    // Cold path: serve now from the cheap rungs; the MCMC build (if any)
+    // is already on its way through the builder pool.
+    sreq.ladder = {
+        {SolveStage::kIlu0, 0.0, 1, 0.0},
+        {SolveStage::kJacobi, 0.0, 1, 0.0},
+        {SolveStage::kIdentity, 0.0, 1, 0.0},
+    };
+  }
+
+  SolveOrchestrator orchestrator(*job->entry->matrix());
+  orchestrator.set_kernel_cache(job->entry->kernels().get());
+  job->result.x.assign(job->rhs.size(), 0.0);
+  job->result.report = orchestrator.solve(job->rhs, job->result.x, sreq);
+  job->result.solve_ran = true;
+  job->result.warm = warm;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.completed;
+    if (job->result.report.status == SolveStatus::kCancelled) {
+      ++stats_.cancelled;
+    }
+    if (warm) {
+      ++stats_.warm_requests;
+    } else {
+      ++stats_.cold_requests;
+    }
+  }
+  finish_job(job);
+}
+
+void SolveService::schedule_build(
+    const std::shared_ptr<ArtifactEntry>& entry) {
+  if (entry->try_begin_build()) {
+    bool scheduled = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!stopping_) {
+        build_queue_.push_back({entry});
+        ++stats_.builds_started;
+        scheduled = true;
+      }
+    }
+    if (scheduled) {
+      build_cv_.notify_one();
+    } else {
+      entry->mark_build_failed();
+    }
+  } else if (entry->state() == BuildState::kBuilding) {
+    // Coalesced: this request's fingerprint already has a build in
+    // flight; it joins the same eventual swap_in instead of scheduling.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.coalesced_builds;
+  }
+}
+
+void SolveService::builder_loop() {
+  for (;;) {
+    BuildJob build;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      build_cv_.wait(lock, [&] { return stopping_ || !build_queue_.empty(); });
+      if (stopping_) return;
+      build = std::move(build_queue_.front());
+      build_queue_.pop_front();
+      ++building_;
+    }
+    run_build(build);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --building_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void SolveService::run_build(const BuildJob& build) {
+  const CsrMatrix& a = *build.entry->matrix();
+
+  McmcParams params = options_.mcmc_params;
+  if (options_.tune && !shutdown_token_.should_stop()) {
+    PerformanceMeasurer measurer(a, options_.tune_solve_options,
+                                 options_.mcmc_options);
+    hpo::McmcTuneOptions tune_options = options_.tune_options;
+    tune_options.cancel = &shutdown_token_;
+    const hpo::McmcTuneResult tuned =
+        hpo::tune_mcmc_params(measurer, options_.tune_method, tune_options);
+    // A cancelled first round leaves no history; keep the fallback params.
+    if (!tuned.history.empty()) params = tuned.best;
+  }
+
+  McmcOptions mcmc_options = options_.mcmc_options;
+  mcmc_options.cancel = &shutdown_token_;
+  McmcInverter inverter(a, params, mcmc_options);
+  inverter.set_kernel_cache(build.entry->kernels().get());
+  CsrMatrix pm = inverter.compute();
+  const McmcBuildInfo& info = inverter.info();
+
+  if (info.status == BuildStatus::kBuilt && info.neumann_convergent) {
+    store_.swap_in(build.entry, std::make_shared<SparseApproximateInverse>(
+                                    std::move(pm), "mcmc"),
+                   params);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.builds_completed;
+  } else {
+    // Retired permanently: the matrix is hostile to the MCMC stage (or the
+    // service is shutting down) — requests stay on the fallback rungs and
+    // no rebuild storm follows.
+    build.entry->mark_build_failed();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.builds_failed;
+  }
+}
+
+void SolveService::finish_job(const std::shared_ptr<JobState>& job) {
+  job->result.total_seconds = job->timer.seconds();
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    job->done = true;
+  }
+  job->cv.notify_all();
+}
+
+void SolveService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [&] {
+    return queue_.empty() && running_ == 0 && build_queue_.empty() &&
+           building_ == 0;
+  });
+}
+
+void SolveService::pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void SolveService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+  drain_cv_.notify_all();
+}
+
+void SolveService::shutdown() {
+  std::vector<std::shared_ptr<JobState>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    for (auto& [key, job] : queue_) orphans.push_back(job);
+    queue_.clear();
+    build_queue_.clear();
+  }
+  shutdown_token_.request_cancel();
+  work_cv_.notify_all();
+  build_cv_.notify_all();
+  drain_cv_.notify_all();
+
+  for (const auto& job : orphans) {
+    job->result.report.status = SolveStatus::kCancelled;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.cancelled;
+    }
+    finish_job(job);
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  for (std::thread& t : builders_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+ServiceStats SolveService::stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = stats_;
+  }
+  out.store = store_.stats();
+  return out;
+}
+
+}  // namespace mcmi::serve

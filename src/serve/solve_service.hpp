@@ -1,0 +1,213 @@
+#pragma once
+/// @file solve_service.hpp
+/// @brief SolveService — the long-lived, concurrent request engine
+/// (ROADMAP item 1: solver-as-a-service).
+///
+/// A SolveService owns a bounded priority queue of solve jobs, a worker
+/// pool that drives SolveOrchestrator::solve with a per-request
+/// CancelToken, a builder pool that runs MCMC build (+ optional HPO
+/// tuning) asynchronously, and a content-addressed ArtifactStore of
+/// per-matrix artifacts.
+///
+/// Admission is warm-vs-cold: the *first* request for a matrix fingerprint
+/// is served immediately by the cheap fallback rungs (ILU0 -> Jacobi ->
+/// identity) while the MCMC build and tuner run in the background; once
+/// the tuned preconditioner is swapped into the store, later requests for
+/// the same fingerprint take the warm path (the tuned P is *supplied* to
+/// the orchestrator, skipping the build entirely).  Concurrent requests
+/// against the same fingerprint coalesce onto one build — the entry's
+/// try_begin_build() hands the build to exactly one of them.
+///
+/// Determinism: the *answers* keep the repo's bit-exactness contract — a
+/// warm solve with the swapped-in P is bit-identical to a solve with the
+/// same P built inline, because the preconditioner itself is a
+/// deterministic function of (matrix, params, seed).  What varies with
+/// timing is only *which* path (warm or cold) a given request takes.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/cancellation.hpp"
+#include "hpo/mcmc_tuner.hpp"
+#include "serve/artifact_store.hpp"
+#include "solve/orchestrator.hpp"
+
+namespace mcmi::serve {
+
+/// Per-request knobs carried by submit().
+struct ServeRequest {
+  real_t tolerance = 1e-8;          ///< relative residual target
+  index_t max_iterations = 5000;    ///< Krylov iteration cap
+  index_t restart = 50;             ///< GMRES restart length
+  KrylovMethod method = KrylovMethod::kGMRES;
+  /// Wall-clock deadline measured from *submit* time, so queue wait counts
+  /// against it; infinity = unbounded.
+  real_t deadline_seconds = std::numeric_limits<real_t>::infinity();
+  /// Higher runs first; ties run in submission order.
+  index_t priority = 0;
+};
+
+/// Outcome of one served request.
+struct ServeResult {
+  SolveReport report;       ///< the orchestrator's full ladder history
+  std::vector<real_t> x;    ///< the answer (valid when report.converged())
+  u64 fingerprint = 0;      ///< content fingerprint of the matrix
+  bool warm = false;        ///< served with the store's tuned preconditioner
+  bool solve_ran = false;   ///< false when cancelled before a worker ran it
+  real_t queue_seconds = 0; ///< submit -> worker pickup
+  real_t total_seconds = 0; ///< submit -> completion
+};
+
+/// Aggregate service counters (snapshot; store counters nested).
+struct ServiceStats {
+  u64 submitted = 0;         ///< accepted submissions
+  u64 rejected = 0;          ///< refused at admission (queue full/stopping)
+  u64 completed = 0;         ///< jobs finished by a worker
+  u64 cancelled = 0;         ///< jobs ended by explicit cancellation
+  u64 warm_requests = 0;     ///< served with a tuned store preconditioner
+  u64 cold_requests = 0;     ///< served by the fallback rungs
+  u64 builds_started = 0;    ///< MCMC builds scheduled
+  u64 builds_completed = 0;  ///< builds that swapped a tuned P in
+  u64 builds_failed = 0;     ///< builds retired permanently
+  u64 coalesced_builds = 0;  ///< requests that joined an in-flight build
+  StoreStats store;          ///< the artifact store's own counters
+};
+
+namespace detail {
+/// Shared state of one in-flight job; ServeHandle is a view onto it.
+struct JobState;
+}  // namespace detail
+
+/// Caller-side handle of a submitted job: wait for, poll, or cancel it.
+/// Copyable (shared state); a default-constructed or rejected handle is
+/// falsy and must not be waited on.
+class ServeHandle {
+ public:
+  ServeHandle() = default;
+
+  /// True for a handle backed by an accepted submission.
+  explicit operator bool() const { return state_ != nullptr; }
+
+  /// Block until the job completes and return its result.  The reference
+  /// lives inside the job's shared state: it stays valid while *some*
+  /// handle to the job exists, so keep the handle alive (don't call
+  /// `service.submit(...).wait()` on a temporary).
+  const ServeResult& wait() const;
+  /// Block up to `seconds`; true when the job completed in time.
+  bool wait_for(real_t seconds) const;
+  /// Non-blocking completion check.
+  [[nodiscard]] bool done() const;
+  /// Cooperatively cancel: a queued job completes immediately as
+  /// kCancelled without running; an in-flight solve stops at its next
+  /// cancellation poll.  Safe from any thread.
+  void cancel() const;
+
+ private:
+  friend class SolveService;
+  explicit ServeHandle(std::shared_ptr<detail::JobState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::JobState> state_;
+};
+
+/// Construction-time knobs of the service.
+struct ServiceOptions {
+  std::size_t workers = 2;          ///< solve worker threads
+  std::size_t builders = 1;         ///< background build/tune threads
+  std::size_t queue_capacity = 64;  ///< pending-job bound (admission)
+  ArtifactStore::Limits store;      ///< artifact store budgets
+  /// Schedule an async MCMC build on the first request of a fingerprint.
+  bool build_on_cold = true;
+  /// Run the HPO tuner before the background build (cold requests are
+  /// unaffected — they are already being served by the fallback rungs).
+  /// Off: the build uses `mcmc_params` directly.
+  bool tune = false;
+  hpo::McmcTuneOptions tune_options;     ///< tuner knobs when tune is on
+  KrylovMethod tune_method = KrylovMethod::kGMRES;  ///< tuner's solve method
+  SolveOptions tune_solve_options;       ///< measurer knobs when tune is on
+  McmcParams mcmc_params{};              ///< build params (tuner fallback)
+  McmcOptions mcmc_options{};            ///< sampler knobs for the build
+  /// Start with the worker pool paused (tests: fill the queue, then
+  /// resume() for deterministic scheduling).
+  bool start_paused = false;
+};
+
+/// The concurrent solve engine.  Threads start in the constructor and are
+/// joined by shutdown() / the destructor; submit() is thread-safe.
+class SolveService {
+ public:
+  explicit SolveService(ServiceOptions options = {});
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Submit a solve of `a x = rhs`.  Interns `a` in the artifact store,
+  /// stamps the deadline, and enqueues.  Returns a falsy handle when the
+  /// queue is at capacity or the service is shutting down (counted as
+  /// rejected).
+  ServeHandle submit(const CsrMatrix& a, std::vector<real_t> rhs,
+                     const ServeRequest& request = {});
+
+  /// Block until every accepted job has completed and no build is pending
+  /// or in flight.  Call resume() first if the service is paused.
+  void drain();
+
+  /// Hold workers (not builders) before their next job; queued jobs wait.
+  void pause();
+  /// Release paused workers.
+  void resume();
+
+  /// Stop accepting work, cancel everything queued, join all threads.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  /// Counter snapshot (store counters included).
+  [[nodiscard]] ServiceStats stats() const;
+  /// The artifact store (for inspection; shared with the workers).
+  [[nodiscard]] ArtifactStore& store() { return store_; }
+
+ private:
+  struct BuildJob {
+    std::shared_ptr<ArtifactEntry> entry;
+  };
+
+  void worker_loop();
+  void builder_loop();
+  void run_job(const std::shared_ptr<detail::JobState>& job);
+  void run_build(const BuildJob& build);
+  void schedule_build(const std::shared_ptr<ArtifactEntry>& entry);
+  void finish_job(const std::shared_ptr<detail::JobState>& job);
+
+  const ServiceOptions options_;
+  ArtifactStore store_;
+  CancelToken shutdown_token_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;    ///< workers wait here
+  std::condition_variable build_cv_;   ///< builders wait here
+  std::condition_variable drain_cv_;   ///< drain()/shutdown() wait here
+  /// Priority queue: key (-priority, seq) so higher priority pops first
+  /// and ties keep submission order.
+  std::map<std::pair<index_t, u64>, std::shared_ptr<detail::JobState>>
+      queue_;
+  std::deque<BuildJob> build_queue_;
+  u64 next_seq_ = 0;
+  std::size_t running_ = 0;   ///< jobs currently held by workers
+  std::size_t building_ = 0;  ///< builds currently held by builders
+  bool paused_ = false;
+  bool stopping_ = false;
+  ServiceStats stats_;
+
+  std::vector<std::thread> workers_;
+  std::vector<std::thread> builders_;
+};
+
+}  // namespace mcmi::serve

@@ -61,13 +61,22 @@ std::string SolveReport::summary() const {
 SolveOrchestrator::SolveOrchestrator(const CsrMatrix& a, FaultInjector* faults)
     : a_(a), faults_(faults) {}
 
-std::unique_ptr<Preconditioner> SolveOrchestrator::build_stage(
+std::shared_ptr<const Preconditioner> SolveOrchestrator::build_stage(
     const SolveRequest& request, const StagePolicy& policy,
     const CancelToken& token, StageAttempt& rec, bool& transient_fault,
     bool& injected_solve_fault) {
   transient_fault = false;
   injected_solve_fault = false;
   WallTimer timer;
+
+  // A supplied artifact (the serving layer's warm path) bypasses the build
+  // entirely, including fault injection: the injector scripts *builds*, and
+  // this artifact was built elsewhere.
+  if (const auto& supplied = request.supplied_for(policy.stage)) {
+    rec.build_status = BuildStatus::kBuilt;
+    rec.build_seconds = timer.seconds();
+    return supplied;
+  }
 
   if (faults_ != nullptr) {
     const FaultInjector::BuildFault fault = faults_->next_build(policy.stage);
@@ -92,7 +101,9 @@ std::unique_ptr<Preconditioner> SolveOrchestrator::build_stage(
       McmcOptions mo = request.mcmc_options;
       mo.cancel = &token;
       McmcInverter inverter(a_, request.mcmc_params, mo);
-      inverter.set_kernel_cache(&kernel_cache_);
+      inverter.set_kernel_cache(external_kernel_cache_ != nullptr
+                                    ? external_kernel_cache_
+                                    : &kernel_cache_);
       CsrMatrix pm = inverter.compute();
       const McmcBuildInfo& info = inverter.info();
       if (info.status != BuildStatus::kBuilt) {
@@ -129,7 +140,7 @@ std::unique_ptr<Preconditioner> SolveOrchestrator::build_stage(
     p = faults_->wrap(policy.stage, std::move(p), &injected_solve_fault);
   }
   rec.build_seconds = timer.seconds();
-  return p;
+  return std::shared_ptr<const Preconditioner>(std::move(p));
 }
 
 SolveReport SolveOrchestrator::solve(const std::vector<real_t>& b,
@@ -138,6 +149,7 @@ SolveReport SolveOrchestrator::solve(const std::vector<real_t>& b,
   WallTimer timer;
   SolveReport report;
   request_token_.reset();
+  request_token_.chain_to(request.external_cancel);
   if (std::isfinite(request.deadline_seconds)) {
     request_token_.set_deadline(request.deadline_seconds);
   } else {
@@ -165,7 +177,7 @@ SolveReport SolveOrchestrator::solve(const std::vector<real_t>& b,
 
       bool transient_fault = false;
       bool injected_solve_fault = false;
-      std::unique_ptr<Preconditioner> p = build_stage(
+      std::shared_ptr<const Preconditioner> p = build_stage(
           request, policy, stage_token, rec, transient_fault,
           injected_solve_fault);
 

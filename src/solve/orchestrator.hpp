@@ -22,6 +22,7 @@
 // only switch, so tests and the degraded-path benchmark exercise the same
 // code path production requests run.
 
+#include <array>
 #include <limits>
 #include <memory>
 #include <string>
@@ -69,6 +70,26 @@ struct SolveRequest {
   /// Double the GMRES restart length (capped at n) when a retry follows a
   /// breakdown or stagnation — the classical restart-escalation recovery.
   bool escalate_restart = true;
+  /// Externally supplied stage artifacts (the serving layer's warm path):
+  /// when supplied[stage] is set, that stage skips its build entirely — the
+  /// artifact is used as-is, the attempt records build_status = kBuilt with
+  /// zero build time, and fault injection does not apply to it (the
+  /// injector scripts *builds*; a supplied artifact was built elsewhere).
+  std::array<std::shared_ptr<const Preconditioner>, kSolveStageCount>
+      supplied{};
+  /// Set the supplied artifact for `stage` (see `supplied`).
+  void supply(SolveStage stage, std::shared_ptr<const Preconditioner> p) {
+    supplied[static_cast<std::size_t>(stage)] = std::move(p);
+  }
+  [[nodiscard]] const std::shared_ptr<const Preconditioner>& supplied_for(
+      SolveStage stage) const {
+    return supplied[static_cast<std::size_t>(stage)];
+  }
+  /// Optional parent cancel token (not owned; must outlive solve()).  The
+  /// request-level token chains to it, so a serving layer can cancel a
+  /// queued or in-flight request from another thread — and a deadline set
+  /// on it at *submit* time makes queue wait count against the request.
+  const CancelToken* external_cancel = nullptr;
 };
 
 /// One build + solve attempt of one ladder stage, in execution order.
@@ -119,17 +140,24 @@ class SolveOrchestrator {
   /// next request starts with a clean slate.
   void cancel() { request_token_.request_cancel(); }
 
+  /// Use an external (A, alpha) walk-kernel cache instead of the built-in
+  /// per-orchestrator one.  Not owned; must outlive the orchestrator.  The
+  /// serving layer passes the per-fingerprint cache of the ArtifactStore
+  /// entry here so short-lived orchestrators still reuse kernels.
+  void set_kernel_cache(WalkKernelCache* cache) {
+    external_kernel_cache_ = cache;
+  }
+
  private:
-  std::unique_ptr<Preconditioner> build_stage(const SolveRequest& request,
-                                              const StagePolicy& policy,
-                                              const CancelToken& token,
-                                              StageAttempt& rec,
-                                              bool& transient_fault,
-                                              bool& injected_solve_fault);
+  std::shared_ptr<const Preconditioner> build_stage(
+      const SolveRequest& request, const StagePolicy& policy,
+      const CancelToken& token, StageAttempt& rec, bool& transient_fault,
+      bool& injected_solve_fault);
 
   const CsrMatrix& a_;
   FaultInjector* faults_;
   WalkKernelCache kernel_cache_;  ///< reuses (A, alpha) kernels across requests
+  WalkKernelCache* external_kernel_cache_ = nullptr;  ///< overrides the above
   CancelToken request_token_;
 };
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "core/error.hpp"
+#include "core/hash.hpp"
 
 namespace mcmi {
 
@@ -373,6 +375,34 @@ CsrMatrix CsrMatrix::dropped(real_t threshold) const {
     }
   }
   return from_coo(std::move(out));
+}
+
+u64 CsrMatrix::content_fingerprint() const {
+  Hash64 h(0x63737266ULL);  // "csrf"
+  h.update(static_cast<u64>(rows_));
+  h.update(static_cast<u64>(cols_));
+  h.update_array(row_ptr_.data(), row_ptr_.size());
+  h.update_array(col_idx_.data(), col_idx_.size());
+  h.update_array(values_.data(), values_.size());
+  return h.digest();
+}
+
+bool CsrMatrix::same_content(const CsrMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_ ||
+      row_ptr_.size() != other.row_ptr_.size() ||
+      col_idx_.size() != other.col_idx_.size() ||
+      values_.size() != other.values_.size()) {
+    return false;
+  }
+  const auto bytes_equal = [](const void* a, const void* b, std::size_t n) {
+    return n == 0 || std::memcmp(a, b, n) == 0;
+  };
+  return bytes_equal(row_ptr_.data(), other.row_ptr_.data(),
+                     row_ptr_.size() * sizeof(index_t)) &&
+         bytes_equal(col_idx_.data(), other.col_idx_.data(),
+                     col_idx_.size() * sizeof(index_t)) &&
+         bytes_equal(values_.data(), other.values_.data(),
+                     values_.size() * sizeof(real_t));
 }
 
 std::string CsrMatrix::summary() const {

@@ -133,6 +133,20 @@ class CsrMatrix {
   /// Drop stored entries with |a_ij| <= threshold (diagonal never dropped).
   [[nodiscard]] CsrMatrix dropped(real_t threshold) const;
 
+  /// Full-content 64-bit fingerprint over shape, structure, and value bits
+  /// (core/hash.hpp): two matrices share a fingerprint exactly when every
+  /// dimension, row pointer, column index, and value bit pattern agrees.
+  /// O(nnz); the content-addressed ArtifactStore keys on it.  Unlike the
+  /// sampled fingerprint of WalkKernelCache this hashes *every* entry, so a
+  /// single flipped value bit changes the key.
+  [[nodiscard]] u64 content_fingerprint() const;
+
+  /// True when `other` stores exactly the same content (dimensions,
+  /// structure, and value *bit patterns* — NaNs and signed zeros compare by
+  /// bits, not by IEEE equality).  The collision check behind
+  /// content_fingerprint()-keyed caches.
+  [[nodiscard]] bool same_content(const CsrMatrix& other) const;
+
   /// Human-readable summary, e.g. "csr 225x225 nnz=1065 fill=0.021".
   [[nodiscard]] std::string summary() const;
 
