@@ -2,25 +2,36 @@
 // rate for the SolveService under a synthetic traffic mix over the gen/
 // matrix families (ROADMAP item 1).
 //
-// Three rows:
+// Four rows:
 //  - BM_ServeWarmPath   : a pre-warmed service (tuned preconditioners
 //                         already swapped in) serving batches of requests —
 //                         the steady state of a long-lived deployment.
-//  - BM_ServeColdInline : the status quo this PR replaces — every request
-//                         pays the full MCMC build inline, at the same
-//                         tolerance and parameters (equal convergence).
+//  - BM_ServeColdInline : the status quo the serving layer replaces — every
+//                         request pays the full MCMC build inline, at the
+//                         same tolerance and parameters (equal convergence).
 //                         The gated pair warm:cold asserts the warm path
 //                         is >= 3x faster per request.
 //  - BM_ServeTrafficMix : a cold-started service under a skewed 60/30/10
 //                         fingerprint mix; reports requests/sec, p50/p95/
 //                         p99 latency and the store hit rate (info row).
+//  - BM_ServeOverload   : a pre-warmed service under sustained ~2x-capacity
+//                         bursts of mixed priorities and deadlines against
+//                         a deliberately small queue; reports goodput
+//                         (completed requests/sec — shed, expired and
+//                         refused work doesn't count) plus the shed/
+//                         expired/refused split.  The gated pair
+//                         overload:mix asserts that admission control keeps
+//                         the overloaded iteration cheaper than the healthy
+//                         cold-start mix at a calibrated ratio — i.e. the
+//                         service degrades by doing *less work*, not by
+//                         getting slower at it.
 //
 // All rows measure process CPU time (workers run on their own threads) and
 // report real time, so requests/sec means wall-clock throughput.
 //
 // Run with --json[=path] to mirror the report into a JSON file (default
 // BENCH_serve_traffic.json); scripts/bench_compare.py diffs it against the
-// committed BENCH_serve_pr7.json baseline.
+// committed BENCH_serve_pr8.json baseline.
 
 #include <benchmark/benchmark.h>
 
@@ -172,6 +183,65 @@ void BM_ServeTrafficMix(benchmark::State& state) {
   state.counters["hit_rate"] = hit_rate;
 }
 BENCHMARK(BM_ServeTrafficMix)->MeasureProcessCPUTime()->UseRealTime();
+
+// ---- overload: sustained 2x capacity, mixed priorities/deadlines ----------
+
+void BM_ServeOverload(benchmark::State& state) {
+  const std::vector<CsrMatrix> mats = bench_matrices();
+  ServiceOptions opts = bench_service_options();
+  // A queue much smaller than the burst: admission control (shed + refuse)
+  // and the expiry sweep are what is being measured, not queueing slack.
+  opts.queue_capacity = 8;
+  opts.watchdog_period_seconds = 0.002;
+  SolveService service(opts);
+  // Pre-warm so per-request cost is the steady-state warm cost.
+  for (std::size_t m = 0; m < mats.size(); ++m) {
+    (void)service
+        .submit(mats[m], random_rhs(mats[m].rows(), static_cast<u64>(m)))
+        .wait();
+  }
+  service.drain();
+
+  // ~2x capacity: each burst offers twice what queue + workers can hold,
+  // and the next burst lands as soon as the previous one resolved — the
+  // service never sees an idle queue.
+  constexpr int kBurst = 48;
+  u64 offered = 0;
+  u64 seed = 500;
+  for (auto _ : state) {
+    std::vector<ServeHandle> handles;
+    handles.reserve(kBurst);
+    for (int i = 0; i < kBurst; ++i) {
+      const CsrMatrix& a = mats[static_cast<std::size_t>(i) % mats.size()];
+      ServeRequest req;
+      req.priority = i % 3;  // three priority tiers, decorrelated bursts
+      // A latency-sensitive tier: tight deadlines that queue wait can
+      // plausibly burn through under overload (a full queue is ~1 ms of
+      // work ahead of you at warm per-request cost).
+      if (i % 4 == 1) req.deadline_seconds = 1e-3;
+      ++offered;
+      ServeHandle h = service.submit(a, random_rhs(a.rows(), seed++), req);
+      if (h) handles.push_back(std::move(h));
+    }
+    for (const ServeHandle& h : handles) {
+      benchmark::DoNotOptimize(h.wait().solve_ran);
+    }
+  }
+  service.drain();
+
+  const ServiceStats stats = service.stats();
+  // Pre-warm requests don't belong to the offered load.
+  const u64 goodput = stats.completed - 3;
+  state.SetItemsProcessed(static_cast<int64_t>(goodput));
+  const auto rate = [offered](u64 n) {
+    return static_cast<double>(n) / static_cast<double>(std::max<u64>(offered, 1));
+  };
+  state.counters["goodput"] = rate(goodput);
+  state.counters["shed_rate"] = rate(stats.shed);
+  state.counters["expired_rate"] = rate(stats.expired);
+  state.counters["refused_rate"] = rate(stats.rejected);
+}
+BENCHMARK(BM_ServeOverload)->MeasureProcessCPUTime()->UseRealTime();
 
 }  // namespace
 

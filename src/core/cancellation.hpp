@@ -72,6 +72,15 @@ class CancelToken {
     return cancel_requested() || deadline_passed();
   }
 
+  /// Seconds *past* the nearest deadline in the chain: positive once the
+  /// deadline has passed, negative (time still remaining) before it, and
+  /// -infinity when no deadline is set anywhere in the chain.  The service
+  /// watchdog keys its grace window on this — a worker whose token is
+  /// overdue by more than the grace is presumed hung and gets cancelled.
+  [[nodiscard]] real_t overdue_seconds() const {
+    return -remaining_seconds();
+  }
+
   /// Seconds until the nearest deadline in the chain (infinity if none).
   [[nodiscard]] real_t remaining_seconds() const {
     real_t remaining = std::numeric_limits<real_t>::infinity();

@@ -19,6 +19,7 @@ enum class SolveStatus {
   kNonFinite,         ///< NaN or Inf entered the iteration
   kDeadlineExceeded,  ///< cooperative deadline passed mid-solve
   kCancelled,         ///< cooperative cancellation requested
+  kRejected,          ///< shed at the service boundary; the solve never ran
 };
 
 /// Terminal state of a preconditioner build.
@@ -41,6 +42,7 @@ inline const char* to_string(SolveStatus s) {
     case SolveStatus::kNonFinite: return "non_finite";
     case SolveStatus::kDeadlineExceeded: return "deadline_exceeded";
     case SolveStatus::kCancelled: return "cancelled";
+    case SolveStatus::kRejected: return "rejected";
   }
   return "unknown";
 }
@@ -66,6 +68,15 @@ inline bool is_budget_stop(SolveStatus s) {
 
 inline bool is_budget_stop(BuildStatus s) {
   return s == BuildStatus::kDeadlineExceeded || s == BuildStatus::kCancelled;
+}
+
+/// Cause-aware build-failure taxonomy for the serving layer's circuit
+/// breaker: a *transient* failure (budget/cancel/injected fault) may clear
+/// on retry after a cooldown, while a *permanent* one (divergent walk
+/// kernel, zero pivot) is a property of the matrix and never will.
+inline bool is_transient_build_failure(BuildStatus s) {
+  return s == BuildStatus::kDeadlineExceeded || s == BuildStatus::kCancelled ||
+         s == BuildStatus::kInjectedFault;
 }
 
 }  // namespace mcmi

@@ -1,8 +1,10 @@
 #include "serve/artifact_store.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/error.hpp"
+#include "solve/fault_injection.hpp"
 
 namespace mcmi::serve {
 
@@ -11,6 +13,7 @@ const char* to_string(BuildState state) {
     case BuildState::kCold: return "cold";
     case BuildState::kBuilding: return "building";
     case BuildState::kTuned: return "tuned";
+    case BuildState::kRetryWait: return "retry_wait";
     case BuildState::kFailed: return "failed";
   }
   return "unknown";
@@ -41,14 +44,62 @@ BuildState ArtifactEntry::state() const {
 
 bool ArtifactEntry::try_begin_build() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (state_ != BuildState::kCold) return false;
-  state_ = BuildState::kBuilding;
-  return true;
+  if (state_ == BuildState::kCold) {
+    state_ = BuildState::kBuilding;
+    return true;
+  }
+  // Half-open probe: once the cooldown expires, the first claimant flips
+  // the breaker to kBuilding; everyone else keeps coalescing onto it.
+  if (state_ == BuildState::kRetryWait && clock::now() >= cooldown_until_) {
+    state_ = BuildState::kBuilding;
+    return true;
+  }
+  return false;
 }
 
-void ArtifactEntry::mark_build_failed() {
+void ArtifactEntry::mark_build_failed(BuildStatus cause, index_t max_attempts,
+                                      real_t cooldown_seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (state_ == BuildState::kBuilding) state_ = BuildState::kFailed;
+  if (state_ != BuildState::kBuilding) return;
+  failure_cause_ = cause;
+  ++build_failures_;
+  if (!is_transient_build_failure(cause) || build_failures_ >= max_attempts) {
+    state_ = BuildState::kFailed;
+    return;
+  }
+  // Exponential cooldown: the k-th transient failure waits 2^(k-1) times
+  // the base before the breaker half-opens for one probe build.
+  const real_t cooldown =
+      cooldown_seconds * static_cast<real_t>(1ll << std::min<index_t>(
+                                                 build_failures_ - 1, 30));
+  cooldown_until_ =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<real_t>(
+                             std::max<real_t>(cooldown, 0)));
+  state_ = BuildState::kRetryWait;
+}
+
+BuildStatus ArtifactEntry::failure_cause() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failure_cause_;
+}
+
+index_t ArtifactEntry::build_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return build_failures_;
+}
+
+bool ArtifactEntry::retry_ready() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_ == BuildState::kRetryWait && clock::now() >= cooldown_until_;
+}
+
+real_t ArtifactEntry::cooldown_remaining_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != BuildState::kRetryWait) return 0.0;
+  const real_t remaining =
+      std::chrono::duration<real_t>(cooldown_until_ - clock::now()).count();
+  return std::max<real_t>(remaining, 0);
 }
 
 std::size_t ArtifactEntry::matrix_bytes(const CsrMatrix& m) {
@@ -74,14 +125,20 @@ void ArtifactStore::touch(Slot& slot) {
 }
 
 void ArtifactStore::evict_if_over_budget() {
+  // Injected byte pressure (chaos harness) inflates the accounted bytes,
+  // so a pressure spike evicts exactly like real resident growth would.
+  const std::size_t pressure =
+      faults_ != nullptr ? faults_->store_pressure_bytes() : 0;
   while (lru_.size() > 1 &&
-         (lru_.size() > limits_.max_entries || bytes_ > limits_.max_bytes)) {
+         (lru_.size() > limits_.max_entries ||
+          bytes_ + pressure > limits_.max_bytes)) {
     const u64 victim = lru_.back();
     auto it = slots_.find(victim);
     bytes_ -= it->second.bytes;
     slots_.erase(it);
     lru_.pop_back();
     ++stats_.evictions;
+    if (pressure > 0) ++stats_.pressure_evictions;
   }
 }
 

@@ -22,6 +22,7 @@
 /// has its own mutex for its mutable artifact slots.  Lock order is
 /// store -> entry (swap_in) and entries never call back into the store.
 
+#include <chrono>
 #include <cstddef>
 #include <list>
 #include <memory>
@@ -29,11 +30,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/status.hpp"
 #include "core/types.hpp"
 #include "mcmc/params.hpp"
 #include "mcmc/walk_kernel.hpp"
 #include "precond/sparse_precond.hpp"
 #include "sparse/csr.hpp"
+
+namespace mcmi {
+class FaultInjector;  // solve/fault_injection.hpp; scripts byte pressure
+}  // namespace mcmi
 
 namespace mcmi::serve {
 
@@ -45,14 +51,25 @@ struct StoreStats {
   u64 collisions = 0;  ///< fingerprint matched but content differed
   u64 evictions = 0;   ///< entries unlinked by LRU/byte pressure
   u64 swaps = 0;       ///< tuned preconditioners atomically swapped in
+  u64 pressure_evictions = 0;  ///< evictions forced by injected byte pressure
 };
 
 /// Lifecycle of the strong (MCMC) artifact of one entry.
+///
+/// The kRetryWait / kFailed split is the build circuit breaker: a
+/// *transient* failure (deadline, cancellation, injected fault — see
+/// is_transient_build_failure) opens the breaker into kRetryWait with an
+/// exponentially growing cooldown, and once the cooldown expires exactly
+/// one caller's try_begin_build() claims the half-open probe build
+/// (kRetryWait -> kBuilding).  A *permanent* failure (divergent walk
+/// kernel, zero pivot) — or exhausting the bounded attempt budget — lands
+/// in kFailed, which nothing ever leaves.
 enum class BuildState {
-  kCold,      ///< no build attempted yet
-  kBuilding,  ///< exactly one builder owns the in-flight build
-  kTuned,     ///< tuned preconditioner swapped in; warm path available
-  kFailed,    ///< build retired permanently (e.g. divergent kernel)
+  kCold,       ///< no build attempted yet
+  kBuilding,   ///< exactly one builder owns the in-flight build
+  kTuned,      ///< tuned preconditioner swapped in; warm path available
+  kRetryWait,  ///< transient failure; cooldown gates the next probe build
+  kFailed,     ///< build retired permanently (e.g. divergent kernel)
 };
 
 /// Human-readable build state name ("cold", "building", ...).
@@ -87,14 +104,34 @@ class ArtifactEntry {
   /// Current build lifecycle state.
   [[nodiscard]] BuildState state() const;
 
-  /// Claim the build slot: flips kCold -> kBuilding and returns true for
-  /// exactly one caller; every other caller (and every later state) gets
-  /// false.  This is the coalescing primitive — K concurrent requests race
-  /// here and exactly one schedules the MCMC build.
+  /// Claim the build slot: flips kCold -> kBuilding (or, once the cooldown
+  /// has expired, kRetryWait -> kBuilding for the half-open probe) and
+  /// returns true for exactly one caller; every other caller (and every
+  /// other state) gets false.  This is both the coalescing primitive — K
+  /// concurrent requests race here and exactly one schedules the MCMC
+  /// build — and the circuit breaker's probe gate.
   [[nodiscard]] bool try_begin_build();
-  /// Retire the build permanently (kBuilding -> kFailed); later requests
-  /// keep being served by the fallback rungs and nobody retries.
-  void mark_build_failed();
+
+  /// Record a failed build (kBuilding -> kRetryWait | kFailed) with its
+  /// cause.  A transient `cause` with attempts left opens the breaker:
+  /// kRetryWait with cooldown `cooldown_seconds * 2^(failures-1)`.  A
+  /// permanent cause — or the `max_attempts`-th failure — retires the
+  /// entry for good (kFailed): requests keep being served by the fallback
+  /// rungs and nobody retries.  The defaults reproduce the pre-breaker
+  /// behaviour (any failure retires).
+  void mark_build_failed(BuildStatus cause = BuildStatus::kDivergentKernel,
+                         index_t max_attempts = 1,
+                         real_t cooldown_seconds = 0.0);
+
+  /// Cause of the most recent build failure (kBuilt while none happened).
+  [[nodiscard]] BuildStatus failure_cause() const;
+  /// Build attempts that have *failed* so far (probes included).
+  [[nodiscard]] index_t build_failures() const;
+  /// True when the entry is in kRetryWait and the cooldown has expired,
+  /// i.e. the next try_begin_build() will claim the probe.
+  [[nodiscard]] bool retry_ready() const;
+  /// Seconds until the current cooldown expires (0 when not cooling down).
+  [[nodiscard]] real_t cooldown_remaining_seconds() const;
 
   /// Approximate resident bytes (matrix arrays + tuned preconditioner
   /// arrays); the store's byte budget sums this over live entries.
@@ -109,10 +146,16 @@ class ArtifactEntry {
   const std::shared_ptr<const CsrMatrix> matrix_;
   const std::shared_ptr<WalkKernelCache> kernels_;
 
+  using clock = std::chrono::steady_clock;
+
   mutable std::mutex mutex_;
   BuildState state_ = BuildState::kCold;
   std::shared_ptr<const SparseApproximateInverse> tuned_;
   McmcParams tuned_params_{};
+  // Circuit-breaker bookkeeping (all guarded by mutex_).
+  BuildStatus failure_cause_ = BuildStatus::kBuilt;
+  index_t build_failures_ = 0;
+  clock::time_point cooldown_until_{};
 };
 
 /// Capacity budgets of the store; eviction triggers when either is
@@ -156,6 +199,12 @@ class ArtifactStore {
                std::shared_ptr<const SparseApproximateInverse> tuned,
                McmcParams params);
 
+  /// Attach a fault injector (not owned; may be null): its scripted
+  /// store byte pressure is added to the accounted bytes whenever the
+  /// budget is checked, so tests can force eviction storms without
+  /// allocating.  Production stores never set this.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
   /// Counter snapshot (consistent under the store mutex).
   [[nodiscard]] StoreStats stats() const;
   /// Live (inserted, non-evicted) entry count.
@@ -181,6 +230,7 @@ class ArtifactStore {
                                                  const CsrMatrix& a);
 
   const Limits limits_;
+  FaultInjector* faults_ = nullptr;  ///< optional scripted byte pressure
   mutable std::mutex mutex_;
   std::unordered_map<u64, Slot> slots_;
   std::list<u64> lru_;  ///< front = most recently used

@@ -1,0 +1,93 @@
+#include "serve/telemetry.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace mcmi::serve {
+
+constexpr std::array<real_t, 11> LatencyHistogram::kUpperBounds;
+constexpr std::size_t LatencyHistogram::kBuckets;
+
+void LatencyHistogram::record(real_t seconds) {
+  const real_t s = std::max<real_t>(seconds, 0);
+  std::size_t bucket = kUpperBounds.size();  // overflow by default
+  for (std::size_t i = 0; i < kUpperBounds.size(); ++i) {
+    if (s <= kUpperBounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts[bucket];
+  ++total_count;
+  total_seconds += s;
+}
+
+real_t LatencyHistogram::quantile_upper_bound(real_t q) const {
+  if (total_count == 0) return 0.0;
+  const real_t clamped = std::min<real_t>(std::max<real_t>(q, 0), 1);
+  // Rank of the q-th sample, 1-based; ceil so q=0 still needs one sample.
+  const u64 rank = std::max<u64>(
+      static_cast<u64>(clamped * static_cast<real_t>(total_count) + 0.5), 1);
+  u64 seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      return i < kUpperBounds.size()
+                 ? kUpperBounds[i]
+                 : std::numeric_limits<real_t>::infinity();
+    }
+  }
+  return std::numeric_limits<real_t>::infinity();
+}
+
+const char* to_string(ServiceEventType type) {
+  switch (type) {
+    case ServiceEventType::kShed: return "shed";
+    case ServiceEventType::kExpired: return "expired";
+    case ServiceEventType::kCancelled: return "cancelled";
+    case ServiceEventType::kCompleted: return "completed";
+    case ServiceEventType::kRejected: return "rejected";
+    case ServiceEventType::kBuildScheduled: return "build_scheduled";
+    case ServiceEventType::kBuildCompleted: return "build_completed";
+    case ServiceEventType::kBuildTransient: return "build_transient";
+    case ServiceEventType::kBuildRetired: return "build_retired";
+    case ServiceEventType::kWatchdogBuildKill: return "watchdog_build_kill";
+    case ServiceEventType::kWatchdogSolveKill: return "watchdog_solve_kill";
+    case ServiceEventType::kStorePressure: return "store_pressure";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(std::size_t capacity) : capacity_(capacity) {
+  MCMI_CHECK(capacity_ >= 1, "event log needs room for one event");
+  ring_.reserve(capacity_);
+}
+
+void EventLog::push(const ServiceEvent& event) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++pushed_;
+}
+
+std::vector<ServiceEvent> EventLog::snapshot() const {
+  std::vector<ServiceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out.assign(ring_.begin(), ring_.end());
+    return out;
+  }
+  // Full ring: next_ is the oldest slot.
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  return out;
+}
+
+}  // namespace mcmi::serve

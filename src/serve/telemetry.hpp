@@ -1,0 +1,99 @@
+#pragma once
+/// @file telemetry.hpp
+/// @brief Serving-layer observability primitives: fixed-bucket latency
+/// histograms and a bounded ring-buffer event log.
+///
+/// Both types are deliberately dumb containers — no locking, no clocks.
+/// The SolveService owns them behind its own mutex and stamps event times
+/// itself, so a stats() snapshot is one memcpy-ish copy and the hot path
+/// pays a handful of integer increments per request.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mcmi::serve {
+
+/// Fixed-bucket wall-clock latency histogram (seconds).  The bucket edges
+/// are compile-time constants — roughly logarithmic from 0.1 ms to 10 s
+/// plus an overflow bucket — so snapshots from different services (or
+/// different runs) are always directly comparable, bucket by bucket.
+struct LatencyHistogram {
+  /// Upper bounds (inclusive) of each bucket except the last, in seconds;
+  /// the final bucket catches everything slower.
+  static constexpr std::array<real_t, 11> kUpperBounds = {
+      1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0};
+  static constexpr std::size_t kBuckets = kUpperBounds.size() + 1;
+
+  std::array<u64, kBuckets> counts{};  ///< per-bucket sample counts
+  u64 total_count = 0;                 ///< samples recorded
+  real_t total_seconds = 0;            ///< sum of all samples
+
+  /// Record one sample (negative values clamp into the first bucket).
+  void record(real_t seconds);
+
+  /// Mean of all recorded samples (0 when empty).
+  [[nodiscard]] real_t mean_seconds() const {
+    return total_count == 0 ? 0.0
+                            : total_seconds / static_cast<real_t>(total_count);
+  }
+
+  /// Upper-bound estimate of the q-quantile (q in [0, 1]): the upper edge
+  /// of the bucket containing the q-th sample.  Coarse by design — the
+  /// histogram trades resolution for fixed memory and mergeability.
+  [[nodiscard]] real_t quantile_upper_bound(real_t q) const;
+};
+
+/// What happened, for the ops event log.  One enumerator per decision the
+/// overload/fault machinery can take — the log answers "why did my request
+/// not run?" without a debugger.
+enum class ServiceEventType {
+  kShed,               ///< queued job evicted by a higher-priority arrival
+  kExpired,            ///< queued job completed past-deadline by the sweep
+  kCancelled,          ///< job ended by explicit cancellation
+  kCompleted,          ///< job finished a solve (any numerical status)
+  kRejected,           ///< submission refused at admission
+  kBuildScheduled,     ///< background build enqueued (includes probes)
+  kBuildCompleted,     ///< build swapped a tuned preconditioner in
+  kBuildTransient,     ///< build failed transiently; entry cooling down
+  kBuildRetired,       ///< build failed permanently; entry retired
+  kWatchdogBuildKill,  ///< watchdog cancelled a build stuck past its budget
+  kWatchdogSolveKill,  ///< watchdog cancelled a solve stuck past deadline
+  kStorePressure,      ///< injected byte-pressure spike forced eviction
+};
+
+/// Event-type name ("shed", "expired", ...).
+const char* to_string(ServiceEventType type);
+
+/// One entry of the service event log.
+struct ServiceEvent {
+  real_t seconds = 0;      ///< service-relative timestamp (start = 0)
+  ServiceEventType type = ServiceEventType::kCompleted;
+  u64 fingerprint = 0;     ///< matrix fingerprint involved (0 when n/a)
+  const char* detail = ""; ///< static detail string (e.g. a status name)
+};
+
+/// Bounded ring buffer of ServiceEvents: push() overwrites the oldest
+/// entry once `capacity` is reached, snapshot() returns oldest-first.
+/// Not thread-safe — the owner serializes access (the SolveService holds
+/// its stats mutex around both).
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity);
+
+  void push(const ServiceEvent& event);
+  /// Events in arrival order, oldest first (at most `capacity` of them).
+  [[nodiscard]] std::vector<ServiceEvent> snapshot() const;
+  /// Events pushed over the log's lifetime (>= snapshot().size()).
+  [[nodiscard]] u64 pushed() const { return pushed_; }
+
+ private:
+  std::vector<ServiceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;  ///< ring slot the next push lands in
+  u64 pushed_ = 0;
+};
+
+}  // namespace mcmi::serve

@@ -46,6 +46,7 @@ class DegradingPreconditioner final : public Preconditioner {
 
 void FaultInjector::fail_builds(SolveStage stage, index_t count,
                                 bool transient, BuildStatus status) {
+  std::lock_guard<std::mutex> lock(mutex_);
   StageScript& s = script(stage);
   s.fail_remaining = count;
   s.fail_transient = transient;
@@ -54,20 +55,69 @@ void FaultInjector::fail_builds(SolveStage stage, index_t count,
 
 void FaultInjector::delay_builds(SolveStage stage, real_t seconds,
                                  index_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
   StageScript& s = script(stage);
   s.delay_remaining = count;
   s.delay_seconds = seconds;
 }
 
 void FaultInjector::poison_solves(SolveStage stage, index_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
   script(stage).poison_remaining = count;
 }
 
 void FaultInjector::break_solves(SolveStage stage, index_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
   script(stage).break_remaining = count;
 }
 
+void FaultInjector::hang_service_builds(index_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  service_.hang_remaining = count;
+}
+
+void FaultInjector::fail_service_builds(index_t count, BuildStatus status) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  service_.fail_remaining = count;
+  service_.fail_status = status;
+}
+
+void FaultInjector::set_store_pressure_bytes(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  service_.pressure_bytes = bytes;
+}
+
+std::size_t FaultInjector::store_pressure_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return service_.pressure_bytes;
+}
+
+FaultInjector::ServiceBuildFault FaultInjector::next_service_build() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++service_.builds;
+  ServiceBuildFault fault;
+  // A scripted hang wins over a scripted failure: the hang models the
+  // build never reaching its own failure path.
+  if (service_.hang_remaining > 0) {
+    --service_.hang_remaining;
+    fault.hang = true;
+    return fault;
+  }
+  if (service_.fail_remaining > 0) {
+    --service_.fail_remaining;
+    fault.fail = true;
+    fault.status = service_.fail_status;
+  }
+  return fault;
+}
+
+index_t FaultInjector::service_builds_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return service_.builds;
+}
+
 FaultInjector::BuildFault FaultInjector::next_build(SolveStage stage) {
+  std::lock_guard<std::mutex> lock(mutex_);
   StageScript& s = script(stage);
   ++s.builds;
   BuildFault fault;
@@ -86,6 +136,7 @@ FaultInjector::BuildFault FaultInjector::next_build(SolveStage stage) {
 
 std::unique_ptr<Preconditioner> FaultInjector::wrap(
     SolveStage stage, std::unique_ptr<Preconditioner> p, bool* injected) {
+  std::lock_guard<std::mutex> lock(mutex_);
   StageScript& s = script(stage);
   *injected = false;
   if (s.poison_remaining > 0) {
@@ -108,6 +159,7 @@ std::unique_ptr<Preconditioner> FaultInjector::wrap(
 }
 
 index_t FaultInjector::builds_seen(SolveStage stage) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return scripts_[static_cast<int>(stage)].builds;
 }
 

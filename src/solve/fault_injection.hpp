@@ -20,8 +20,18 @@
 //   * forced breakdowns — the preconditioner emits exact zeros after its
 //                        first apply, driving an exact Krylov breakdown
 //                        (rho / rhv = 0).
+//
+// Beyond the orchestrator, the injector also scripts *service-level*
+// faults for the serving layer (src/serve/): background builds that hang
+// until cancelled (exercising the watchdog), builder-slot failures with a
+// chosen cause (exercising the build circuit breaker), and a standing
+// store byte-pressure that forces ArtifactStore evictions.  The service
+// shares one injector across its worker/builder/watchdog threads, so all
+// script state is guarded by an internal mutex.
 
+#include <cstddef>
 #include <memory>
+#include <mutex>
 
 #include "core/status.hpp"
 #include "core/types.hpp"
@@ -50,6 +60,37 @@ class FaultInjector {
   /// The next `count` solves of `stage` run with a preconditioner that
   /// emits exact zeros after its first apply.
   void break_solves(SolveStage stage, index_t count = 1);
+
+  // --- service-level scripting (src/serve/solve_service) ---
+
+  /// The next `count` background service builds hang: the builder sleeps
+  /// until its CancelToken is *cancelled* — the deadline alone does not
+  /// wake it, modelling a non-polling runaway build that only the
+  /// watchdog (or shutdown) can reap.
+  void hang_service_builds(index_t count = 1);
+
+  /// The next `count` background service builds fail with `status` without
+  /// doing any work (a builder-slot fault).  Whether the failure is
+  /// transient or permanent follows from the status's cause taxonomy
+  /// (is_transient_build_failure), exactly as a real failure would.
+  void fail_service_builds(index_t count,
+                           BuildStatus status = BuildStatus::kInjectedFault);
+
+  /// Standing byte pressure on the ArtifactStore: the store adds this to
+  /// its accounted bytes whenever it checks its budget, so a spike forces
+  /// LRU evictions without allocating anything.  0 clears the spike.
+  void set_store_pressure_bytes(std::size_t bytes);
+  [[nodiscard]] std::size_t store_pressure_bytes() const;
+
+  struct ServiceBuildFault {
+    bool hang = false;
+    bool fail = false;
+    BuildStatus status = BuildStatus::kBuilt;
+  };
+  /// Consume the scripted fault (if any) for the next service build.
+  ServiceBuildFault next_service_build();
+  /// Service builds observed so far (diagnostic, includes faulted ones).
+  [[nodiscard]] index_t service_builds_seen() const;
 
   // --- orchestrator-facing ---
 
@@ -83,7 +124,17 @@ class FaultInjector {
     index_t break_remaining = 0;
     index_t builds = 0;
   };
+  struct ServiceScript {
+    index_t hang_remaining = 0;
+    index_t fail_remaining = 0;
+    BuildStatus fail_status = BuildStatus::kInjectedFault;
+    std::size_t pressure_bytes = 0;
+    index_t builds = 0;
+  };
+
+  mutable std::mutex mutex_;  ///< guards every script (shared across threads)
   StageScript scripts_[kSolveStageCount];
+  ServiceScript service_;
 
   StageScript& script(SolveStage stage) {
     return scripts_[static_cast<int>(stage)];

@@ -10,6 +10,27 @@
 
 namespace mcmi {
 
+CsrMatrix::CsrMatrix(const CsrMatrix& other)
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      row_ptr_(other.row_ptr_),
+      col_idx_(other.col_idx_),
+      values_(other.values_),
+      plan_(std::atomic_load(&other.plan_)),
+      tgather_(std::atomic_load(&other.tgather_)) {}
+
+CsrMatrix& CsrMatrix::operator=(const CsrMatrix& other) {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  row_ptr_ = other.row_ptr_;
+  col_idx_ = other.col_idx_;
+  values_ = other.values_;
+  std::atomic_store(&plan_, std::atomic_load(&other.plan_));
+  std::atomic_store(&tgather_, std::atomic_load(&other.tgather_));
+  return *this;
+}
+
 CsrMatrix CsrMatrix::from_coo(CooMatrix coo) {
   coo.compress();
   const index_t rows = coo.rows();

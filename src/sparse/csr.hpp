@@ -24,6 +24,21 @@ class CsrMatrix {
  public:
   CsrMatrix() = default;
 
+  /// Copies go through std::atomic_load/store on the lazy caches: copying
+  /// a matrix is legal while another thread concurrently publishes a cache
+  /// into it (the serving layer copies a shared pinned matrix into ILU(0)
+  /// while sibling workers multiply with it).  The arrays themselves are
+  /// plain copies — mutating values_ concurrently with a copy remains the
+  /// caller's race, as ever.
+  CsrMatrix(const CsrMatrix& other);
+  CsrMatrix& operator=(const CsrMatrix& other);
+  /// Moves stay defaulted (non-atomic): moving *from* a matrix another
+  /// thread still uses would race on the arrays anyway, so the caches add
+  /// no new hazard.
+  CsrMatrix(CsrMatrix&&) = default;
+  CsrMatrix& operator=(CsrMatrix&&) = default;
+  ~CsrMatrix() = default;
+
   /// Build from a triplet matrix; compresses it first.
   static CsrMatrix from_coo(CooMatrix coo);
 

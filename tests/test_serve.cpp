@@ -16,6 +16,7 @@
 #include "mcmc/inverter.hpp"
 #include "serve/artifact_store.hpp"
 #include "serve/solve_service.hpp"
+#include "solve/fault_injection.hpp"
 #include "solve/orchestrator.hpp"
 #include "sparse/csr.hpp"
 
@@ -171,6 +172,85 @@ TEST(ArtifactStore, FailedBuildRetiresPermanently) {
   entry->mark_build_failed();
   EXPECT_EQ(entry->state(), BuildState::kFailed);
   EXPECT_FALSE(entry->try_begin_build());  // nobody retries
+}
+
+TEST(ArtifactStore, TransientFailureOpensBreakerIntoRetryWait) {
+  ArtifactStore store;
+  auto entry = store.intern(laplace_2d(6));
+  ASSERT_TRUE(entry->try_begin_build());
+  entry->mark_build_failed(BuildStatus::kDeadlineExceeded,
+                           /*max_attempts=*/3, /*cooldown_seconds=*/0.0);
+  EXPECT_EQ(entry->state(), BuildState::kRetryWait);
+  EXPECT_EQ(entry->failure_cause(), BuildStatus::kDeadlineExceeded);
+  EXPECT_EQ(entry->build_failures(), 1);
+  EXPECT_TRUE(entry->retry_ready());  // zero cooldown: probe available now
+}
+
+TEST(ArtifactStore, CancelledProbeReturnsToRetryWaitNotWedged) {
+  ArtifactStore store;
+  auto entry = store.intern(laplace_2d(6));
+  ASSERT_TRUE(entry->try_begin_build());
+  entry->mark_build_failed(BuildStatus::kInjectedFault, 3, 0.0);
+  ASSERT_EQ(entry->state(), BuildState::kRetryWait);
+
+  // The half-open probe claims the slot...
+  ASSERT_TRUE(entry->try_begin_build());
+  EXPECT_EQ(entry->state(), BuildState::kBuilding);
+  // ...and is cancelled mid-flight: the breaker re-opens (kRetryWait),
+  // it does not wedge in kBuilding or retire early.
+  entry->mark_build_failed(BuildStatus::kCancelled, 3, 0.0);
+  EXPECT_EQ(entry->state(), BuildState::kRetryWait);
+  EXPECT_EQ(entry->build_failures(), 2);
+
+  // The attempt budget is bounded: the third transient failure retires.
+  ASSERT_TRUE(entry->try_begin_build());
+  entry->mark_build_failed(BuildStatus::kCancelled, 3, 0.0);
+  EXPECT_EQ(entry->state(), BuildState::kFailed);
+  EXPECT_FALSE(entry->try_begin_build());
+}
+
+TEST(ArtifactStore, PermanentCauseRetiresEvenWithAttemptsLeft) {
+  ArtifactStore store;
+  auto entry = store.intern(laplace_2d(6));
+  ASSERT_TRUE(entry->try_begin_build());
+  entry->mark_build_failed(BuildStatus::kDivergentKernel, 5, 0.0);
+  EXPECT_EQ(entry->state(), BuildState::kFailed);
+}
+
+TEST(ArtifactStore, CooldownGatesTheProbe) {
+  ArtifactStore store;
+  auto entry = store.intern(laplace_2d(6));
+  ASSERT_TRUE(entry->try_begin_build());
+  entry->mark_build_failed(BuildStatus::kDeadlineExceeded, 3,
+                           /*cooldown_seconds=*/30.0);
+  ASSERT_EQ(entry->state(), BuildState::kRetryWait);
+  EXPECT_FALSE(entry->retry_ready());
+  EXPECT_GT(entry->cooldown_remaining_seconds(), 0.0);
+  EXPECT_FALSE(entry->try_begin_build());  // breaker still open
+}
+
+TEST(ArtifactStore, InjectedBytePressureForcesEviction) {
+  StoreLimits limits;
+  limits.max_bytes = 1u << 20;
+  ArtifactStore store{limits};
+  FaultInjector faults;
+  store.set_fault_injector(&faults);
+  (void)store.intern(laplace_2d(6));
+  (void)store.intern(laplace_2d(7));
+  ASSERT_EQ(store.size(), 2u);
+
+  // A pressure spike larger than the budget squeezes the store down to
+  // its newest entry on the next budget check.
+  faults.set_store_pressure_bytes(limits.max_bytes);
+  (void)store.intern(laplace_2d(8));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.contains(laplace_2d(8).content_fingerprint()));
+  EXPECT_GE(store.stats().pressure_evictions, 1u);
+
+  // Pressure released: the store refills normally.
+  faults.set_store_pressure_bytes(0);
+  (void)store.intern(laplace_2d(6));
+  EXPECT_EQ(store.size(), 2u);
 }
 
 // ---------------------------------------------------------------------------
@@ -371,6 +451,229 @@ TEST(SolveService, DeadlineStampedAtSubmitCoversQueueWait) {
   const ServeResult& r = h.wait();
   EXPECT_EQ(r.report.status, SolveStatus::kDeadlineExceeded);
   EXPECT_FALSE(r.solve_ran);
+}
+
+TEST(SolveService, JobPastDeadlineAtSubmitCompletesImmediately) {
+  ServiceOptions opts = fast_service_options();
+  opts.start_paused = true;  // no worker could possibly have served it
+  SolveService service(opts);
+  const CsrMatrix a = laplace_2d(6);
+
+  ServeRequest dead;
+  dead.deadline_seconds = 0.0;  // expired before it was even submitted
+  ServeHandle h = service.submit(a, random_rhs(a.rows(), 1), dead);
+  ASSERT_TRUE(h);  // accepted (and accounted), not refused
+  const ServeResult r = h.wait();
+  EXPECT_EQ(r.report.status, SolveStatus::kDeadlineExceeded);
+  EXPECT_FALSE(r.solve_ran);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(SolveService, WatchdogHarvestsExpiredJobWithoutAWorker) {
+  ServiceOptions opts = fast_service_options();
+  opts.workers = 1;
+  opts.start_paused = true;  // workers never pick anything up
+  opts.watchdog_period_seconds = 0.002;
+  SolveService service(opts);
+  const CsrMatrix a = laplace_2d(6);
+
+  ServeRequest doomed;
+  doomed.deadline_seconds = 1e-3;
+  ServeHandle h = service.submit(a, random_rhs(a.rows(), 1), doomed);
+  ASSERT_TRUE(h);
+  // The service stays paused: only the watchdog sweep can complete the
+  // job, proving expiry consumes no worker and no queue slot.
+  ASSERT_TRUE(h.wait_for(10.0));
+  const ServeResult r = h.wait();
+  EXPECT_EQ(r.report.status, SolveStatus::kDeadlineExceeded);
+  EXPECT_FALSE(r.solve_ran);
+  EXPECT_EQ(service.stats().expired, 1u);
+}
+
+TEST(SolveService, HigherPriorityShedsLowestPriorityOldestJob) {
+  ServiceOptions opts = fast_service_options();
+  opts.workers = 1;
+  opts.queue_capacity = 2;
+  opts.start_paused = true;
+  SolveService service(opts);
+  const CsrMatrix a = laplace_2d(6);
+
+  ServeRequest low;
+  low.priority = 0;
+  ServeHandle oldest = service.submit(a, random_rhs(a.rows(), 1), low);
+  ServeHandle newer = service.submit(a, random_rhs(a.rows(), 2), low);
+  ASSERT_TRUE(oldest);
+  ASSERT_TRUE(newer);
+
+  // Queue full; a strictly higher priority evicts the *oldest* of the
+  // lowest-priority jobs instead of being refused.
+  ServeRequest high;
+  high.priority = 5;
+  ServeHandle urgent = service.submit(a, random_rhs(a.rows(), 3), high);
+  ASSERT_TRUE(urgent);
+
+  const ServeResult shed = oldest.wait();
+  EXPECT_EQ(shed.report.status, SolveStatus::kRejected);
+  EXPECT_FALSE(shed.solve_ran);
+  EXPECT_FALSE(newer.done());  // the newer equal-priority job survived
+
+  service.resume();
+  EXPECT_TRUE(urgent.wait().report.converged());
+  EXPECT_TRUE(newer.wait().report.converged());
+  service.drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.rejected, 0u);  // nothing was refused
+}
+
+TEST(SolveService, ShedVictimIsLowestPriorityNotOldest) {
+  ServiceOptions opts = fast_service_options();
+  opts.workers = 1;
+  opts.queue_capacity = 2;
+  opts.start_paused = true;
+  SolveService service(opts);
+  const CsrMatrix a = laplace_2d(6);
+
+  ServeRequest mid;
+  mid.priority = 5;
+  ServeRequest low;
+  low.priority = 0;
+  // The *older* job has the *higher* priority: it must be sheltered.
+  ServeHandle older_mid = service.submit(a, random_rhs(a.rows(), 1), mid);
+  ServeHandle newer_low = service.submit(a, random_rhs(a.rows(), 2), low);
+
+  ServeRequest high;
+  high.priority = 3;  // beats only the low job
+  ServeHandle arrival = service.submit(a, random_rhs(a.rows(), 3), high);
+  ASSERT_TRUE(arrival);
+  EXPECT_EQ(newer_low.wait().report.status, SolveStatus::kRejected);
+  EXPECT_FALSE(older_mid.done());
+
+  // An arrival that beats nobody is refused, not admitted.
+  ServeRequest equal;
+  equal.priority = 3;
+  EXPECT_FALSE(service.submit(a, random_rhs(a.rows(), 4), equal));
+  EXPECT_EQ(service.stats().rejected_capacity, 1u);
+
+  service.resume();
+  EXPECT_TRUE(older_mid.wait().report.converged());
+  EXPECT_TRUE(arrival.wait().report.converged());
+}
+
+TEST(SolveService, RejectionCountersSplitByCause) {
+  ServiceOptions opts = fast_service_options();
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  opts.start_paused = true;
+  auto service = std::make_unique<SolveService>(opts);
+  const CsrMatrix a = laplace_2d(6);
+
+  ServeHandle h = service->submit(a, random_rhs(a.rows(), 1));
+  ASSERT_TRUE(h);
+  EXPECT_FALSE(service->submit(a, random_rhs(a.rows(), 2)));  // capacity
+  service->shutdown();
+  EXPECT_FALSE(service->submit(a, random_rhs(a.rows(), 3)));  // shutdown
+
+  const ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.rejected_capacity, 1u);
+  EXPECT_EQ(stats.rejected_shutdown, 1u);
+  EXPECT_EQ(stats.rejected, 2u);  // always the sum
+}
+
+TEST(SolveService, TransientBuildFailureRecoversViaCooldownProbe) {
+  FaultInjector faults;
+  faults.fail_service_builds(1, BuildStatus::kInjectedFault);
+
+  ServiceOptions opts = fast_service_options();
+  opts.faults = &faults;
+  opts.max_build_attempts = 3;
+  opts.build_cooldown_seconds = 0.005;
+  SolveService service(opts);
+  const CsrMatrix a = laplace_2d(8);
+
+  // First request schedules the build; the injected fault trips the
+  // breaker into kRetryWait instead of retiring the fingerprint.
+  EXPECT_TRUE(service.submit(a, random_rhs(a.rows(), 1)).wait().report
+                  .converged());  // served by the fallback rungs meanwhile
+  service.drain();
+  auto entry = service.store().find(a);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->state(), BuildState::kRetryWait);
+  EXPECT_EQ(service.stats().builds_transient, 1u);
+  EXPECT_EQ(service.stats().builds_failed, 0u);
+
+  // Requests keep arriving; once the cooldown expires one of them claims
+  // the half-open probe, which succeeds and swaps the tuned P in.
+  for (int i = 0; i < 200 && entry->state() != BuildState::kTuned; ++i) {
+    (void)service.submit(a, random_rhs(a.rows(), 2)).wait();
+    service.drain();
+  }
+  ASSERT_EQ(entry->state(), BuildState::kTuned);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.builds_started, 2u);  // the failed build + one probe
+  EXPECT_EQ(stats.builds_retried, 1u);
+  EXPECT_EQ(stats.builds_completed, 1u);
+  EXPECT_EQ(stats.builds_failed, 0u);
+
+  // And the recovered warm path actually serves.
+  const ServeResult warm = service.submit(a, random_rhs(a.rows(), 3)).wait();
+  EXPECT_TRUE(warm.warm);
+  EXPECT_TRUE(warm.report.converged());
+}
+
+TEST(SolveService, WatchdogReapsHungBuildWithinBudget) {
+  FaultInjector faults;
+  faults.hang_service_builds(1);  // the build never polls its token
+
+  ServiceOptions opts = fast_service_options();
+  opts.faults = &faults;
+  // Big enough that a sanitizer-slowed *clean* build never trips it; the
+  // hang ignores its deadline either way, so only it meets the watchdog.
+  opts.build_budget_seconds = 0.5;
+  opts.watchdog_period_seconds = 0.005;
+  opts.watchdog_grace_seconds = 0.05;
+  opts.build_cooldown_seconds = 10.0;  // no probe during this test
+  SolveService service(opts);
+  const CsrMatrix a = laplace_2d(6);
+
+  EXPECT_TRUE(
+      service.submit(a, random_rhs(a.rows(), 1)).wait().report.converged());
+  service.drain();  // returns only because the watchdog killed the hang
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.watchdog_build_kills, 1u);
+  EXPECT_EQ(stats.builds_transient, 1u);  // cancellation is transient
+  auto entry = service.store().find(a);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->state(), BuildState::kRetryWait);
+
+  // The builder slot survived the hang: a different matrix still builds.
+  const CsrMatrix b = laplace_2d(8);
+  (void)service.submit(b, random_rhs(b.rows(), 2)).wait();
+  service.drain();
+  EXPECT_EQ(service.stats().builds_completed, 1u);
+}
+
+TEST(SolveService, EventLogRecordsTerminalOutcomes) {
+  ServiceOptions opts = fast_service_options();
+  opts.event_log_capacity = 4;  // force the ring to wrap
+  SolveService service(opts);
+  const CsrMatrix a = laplace_2d(6);
+  for (int i = 0; i < 8; ++i) {
+    (void)service.submit(a, random_rhs(a.rows(), static_cast<u64>(i))).wait();
+  }
+  service.drain();
+  const std::vector<ServiceEvent> events = service.recent_events();
+  ASSERT_EQ(events.size(), 4u);  // bounded by capacity
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].seconds, events[i].seconds);  // oldest first
+  }
 }
 
 }  // namespace

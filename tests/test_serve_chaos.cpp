@@ -1,0 +1,203 @@
+// Service-level chaos harness: one deterministic storm of mixed
+// warm/cold/cancelled/expired/shed traffic against a SolveService whose
+// builds hang, fail, and whose store is squeezed by injected byte
+// pressure — all scripted through FaultInjector, no randomness.  The
+// assertions are timing-independent liveness and accounting invariants:
+// every accepted job reaches a terminal state, nothing hangs, and the
+// conservation law `submitted == completed + cancelled + shed + expired`
+// holds exactly.  Runs under ASan/UBSan/TSan in CI (labels: serve,
+// faultinject), so it doubles as the race detector for the service.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "gen/laplace.hpp"
+#include "serve/solve_service.hpp"
+#include "solve/fault_injection.hpp"
+#include "sparse/csr.hpp"
+
+namespace mcmi::serve {
+namespace {
+
+std::vector<real_t> random_rhs(index_t n, u64 seed) {
+  Xoshiro256 rng = make_stream(seed);
+  std::vector<real_t> b(static_cast<std::size_t>(n));
+  for (real_t& v : b) v = normal01(rng);
+  return b;
+}
+
+TEST(ServeChaos, StormReachesTerminalStatesAndConservesCounters) {
+  FaultInjector faults;
+  // Scripted chaos, in builder-arrival order: the first build hangs (the
+  // watchdog must reap it), the next two fail transiently (the breaker
+  // must cool them down, not retire them), everything after builds clean.
+  faults.hang_service_builds(1);
+  faults.fail_service_builds(2, BuildStatus::kInjectedFault);
+
+  ServiceOptions opts;
+  opts.workers = 3;
+  opts.builders = 2;
+  opts.queue_capacity = 6;  // small on purpose: the storm must overflow it
+  opts.mcmc_params = {1.0, 0.25, 0.125};
+  // Generous budget: a *clean* build must never trip it, even slowed 10x
+  // by a sanitizer — only the scripted hang (which ignores its deadline)
+  // runs into the watchdog.
+  opts.build_budget_seconds = 1.0;
+  opts.watchdog_period_seconds = 0.005;
+  opts.watchdog_grace_seconds = 0.05;
+  opts.max_build_attempts = 3;
+  opts.build_cooldown_seconds = 0.005;
+  opts.faults = &faults;
+  SolveService service(opts);
+
+  const std::vector<CsrMatrix> mats = {laplace_2d(6), laplace_2d(8),
+                                       laplace_2d(10)};
+
+  // Phase 1 — consume the scripted faults deterministically: one request
+  // per matrix, drained between, so builder arrival order is fixed.
+  // Matrix 0's build hangs (watchdog reap), matrices 1 and 2 fail with
+  // the injected fault; all three land in kRetryWait, none retires, and
+  // every request was still served by the fallback rungs.
+  for (std::size_t m = 0; m < mats.size(); ++m) {
+    const ServeResult r =
+        service.submit(mats[m], random_rhs(mats[m].rows(), m)).wait();
+    EXPECT_TRUE(r.report.converged()) << r.report.summary();
+    service.drain();
+  }
+  {
+    const ServiceStats s = service.stats();
+    EXPECT_EQ(s.watchdog_build_kills, 1u);  // the hung build was reaped
+    EXPECT_EQ(s.builds_transient, 3u);      // hang kill + the 2 injected
+    EXPECT_EQ(s.builds_failed, 0u);         // the breaker retired nothing
+    EXPECT_EQ(faults.service_builds_seen(), 3);
+    for (const CsrMatrix& m : mats) {
+      auto entry = service.store().find(m);
+      ASSERT_NE(entry, nullptr);
+      EXPECT_EQ(entry->state(), BuildState::kRetryWait);
+    }
+  }
+
+  // Phase 2 — the storm: 72 mixed-priority submissions in a tight burst
+  // against the small queue, with scripted deadlines and cancellations.
+  // The faults are exhausted, so cooldown probes fired by these pickups
+  // rebuild cleanly while the storm is still running.
+  std::vector<ServeHandle> handles;
+  u64 refused = 0;
+  for (int wave = 0; wave < 3; ++wave) {
+    if (wave == 1) {
+      // Mid-storm store pressure spike: eviction storms must not corrupt
+      // accounting or strand in-flight entries (holders keep them alive).
+      faults.set_store_pressure_bytes(1u << 30);
+    }
+    if (wave == 2) faults.set_store_pressure_bytes(0);
+
+    for (int i = 0; i < 24; ++i) {
+      const int k = wave * 24 + i;
+      const CsrMatrix& a = mats[static_cast<std::size_t>(k) % mats.size()];
+      ServeRequest req;
+      req.priority = (k / 3) % 3;  // decorrelated from the matrix index
+      if (k % 7 == 0) req.deadline_seconds = 1e-3;  // doomed to expire
+      if (k % 11 == 3) req.deadline_seconds = 0.0;  // dead on arrival
+      ServeHandle h =
+          service.submit(a, random_rhs(a.rows(), static_cast<u64>(k)), req);
+      if (!h) {
+        ++refused;
+        continue;
+      }
+      handles.push_back(h);
+      if (k % 5 == 1) h.cancel();  // scripted cross-thread cancellation
+    }
+  }
+
+  // Liveness: every accepted job reaches a terminal state in bounded
+  // time — no handle hangs, whatever mix of shed/expiry/cancel/build
+  // chaos it rode through.
+  for (const ServeHandle& h : handles) {
+    ASSERT_TRUE(h.wait_for(60.0)) << "a job never reached a terminal state";
+    EXPECT_TRUE(h.done());
+  }
+  service.drain();
+
+  const ServiceStats stats = service.stats();
+  // Conservation: every accepted job landed in exactly one terminal
+  // bucket, and every refused submit in exactly one rejection bucket.
+  // (+3 for the phase-1 requests.)
+  EXPECT_EQ(stats.submitted, static_cast<u64>(handles.size()) + 3);
+  EXPECT_EQ(stats.submitted,
+            stats.completed + stats.cancelled + stats.shed + stats.expired);
+  EXPECT_EQ(stats.rejected, refused);
+  EXPECT_EQ(stats.rejected, stats.rejected_capacity + stats.rejected_shutdown);
+  EXPECT_EQ(stats.rejected_shutdown, 0u);  // never stopped mid-storm
+  // The watchdog never had to intervene again and no fingerprint retired:
+  // the storm ran on clean builds and probe rebuilds only.
+  EXPECT_EQ(stats.watchdog_build_kills, 1u);
+  EXPECT_EQ(stats.builds_failed, 0u);
+
+  // Deterministic pressure probe: with a spike bigger than the byte
+  // budget, the next insert squeezes the store to its newest entry.
+  faults.set_store_pressure_bytes(1u << 30);
+  (void)service.store().intern(laplace_2d(14));
+  EXPECT_GE(service.stats().store.pressure_evictions, 1u);
+  EXPECT_EQ(service.store().size(), 1u);
+  faults.set_store_pressure_bytes(0);
+
+  // Aftermath: the service still works — a clean request on a fresh
+  // matrix is served and its build completes.
+  const CsrMatrix fresh = laplace_2d(12);
+  const ServeResult r =
+      service.submit(fresh, random_rhs(fresh.rows(), 999)).wait();
+  EXPECT_TRUE(r.report.converged()) << r.report.summary();
+  service.drain();
+  EXPECT_GE(service.stats().builds_completed, 1u);
+
+  // The histograms saw every accepted job (refusals never enter them),
+  // and the event log is non-empty and time-ordered.
+  const ServiceStats after = service.stats();
+  EXPECT_EQ(after.total.total_count, after.submitted);
+  EXPECT_EQ(after.queue_wait.total_count, after.submitted);
+  const std::vector<ServiceEvent> events = service.recent_events();
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].seconds, events[i].seconds);
+  }
+}
+
+TEST(ServeChaos, RepeatedStormsStayConserved) {
+  // Three short storms against one service: counters are monotonic and
+  // the conservation law holds at every quiescent point, not just once.
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.queue_capacity = 4;
+  opts.mcmc_params = {1.0, 0.25, 0.125};
+  opts.watchdog_period_seconds = 0.005;
+  SolveService service(opts);
+  const CsrMatrix a = laplace_2d(6);
+
+  u64 last_submitted = 0;
+  for (int storm = 0; storm < 3; ++storm) {
+    std::vector<ServeHandle> handles;
+    for (int i = 0; i < 12; ++i) {
+      ServeRequest req;
+      req.priority = i % 2;
+      if (i % 4 == 2) req.deadline_seconds = 1e-3;
+      ServeHandle h = service.submit(
+          a, random_rhs(a.rows(), static_cast<u64>(storm * 100 + i)), req);
+      if (h && i % 3 == 0) h.cancel();
+      if (h) handles.push_back(h);
+    }
+    for (const ServeHandle& h : handles) ASSERT_TRUE(h.wait_for(60.0));
+    service.drain();
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.submitted,
+              stats.completed + stats.cancelled + stats.shed + stats.expired);
+    EXPECT_GE(stats.submitted, last_submitted);
+    last_submitted = stats.submitted;
+  }
+}
+
+}  // namespace
+}  // namespace mcmi::serve
