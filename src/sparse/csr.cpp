@@ -17,7 +17,8 @@ CsrMatrix::CsrMatrix(const CsrMatrix& other)
       col_idx_(other.col_idx_),
       values_(other.values_),
       plan_(std::atomic_load(&other.plan_)),
-      tgather_(std::atomic_load(&other.tgather_)) {}
+      tgather_(std::atomic_load(&other.tgather_)),
+      exec_(std::atomic_load(&other.exec_)) {}
 
 CsrMatrix& CsrMatrix::operator=(const CsrMatrix& other) {
   if (this == &other) return *this;
@@ -28,6 +29,7 @@ CsrMatrix& CsrMatrix::operator=(const CsrMatrix& other) {
   values_ = other.values_;
   std::atomic_store(&plan_, std::atomic_load(&other.plan_));
   std::atomic_store(&tgather_, std::atomic_load(&other.tgather_));
+  std::atomic_store(&exec_, std::atomic_load(&other.exec_));
   return *this;
 }
 
@@ -137,11 +139,35 @@ const SpmvPlan& CsrMatrix::spmv_plan() const {
   return *p;
 }
 
+void CsrMatrix::set_plan_backend(PlanBackend backend,
+                                 ShardLayout layout) const {
+  if (backend == PlanBackend::kSingle && layout.empty()) {
+    // Back to the default path: the lazily cached single plan serves every
+    // product again (no execution object in the way).
+    std::atomic_store(&exec_, std::shared_ptr<const PlanExecution>());
+    return;
+  }
+  std::shared_ptr<const PlanExecution> built =
+      PlanBackendRegistry::instance().create(backend, rows_, cols_, row_ptr_,
+                                             col_idx_, layout);
+  std::atomic_store(&exec_, std::move(built));
+}
+
+PlanBackend CsrMatrix::plan_backend() const {
+  const std::shared_ptr<const PlanExecution> exec = std::atomic_load(&exec_);
+  return exec ? exec->backend() : PlanBackend::kSingle;
+}
+
 void CsrMatrix::multiply(const std::vector<real_t>& x,
                          std::vector<real_t>& y) const {
   MCMI_CHECK(static_cast<index_t>(x.size()) == cols_,
              "x size " << x.size() << " != cols " << cols_);
   y.resize(static_cast<std::size_t>(rows_));  // every y[i] is written
+  if (const auto exec = std::atomic_load(&exec_)) {
+    exec->multiply(row_ptr_.data(), col_idx_.data(), values_.data(), x.data(),
+                   y.data());
+    return;
+  }
   spmv_plan().multiply(row_ptr_.data(), col_idx_.data(), values_.data(),
                        x.data(), y.data());
 }
@@ -165,6 +191,10 @@ real_t CsrMatrix::multiply_dot(const std::vector<real_t>& x,
   MCMI_CHECK(static_cast<index_t>(w.size()) == rows_,
              "w size " << w.size() << " != rows " << rows_);
   y.resize(static_cast<std::size_t>(rows_));
+  if (const auto exec = std::atomic_load(&exec_)) {
+    return exec->multiply_dot(row_ptr_.data(), col_idx_.data(),
+                              values_.data(), x.data(), w.data(), y.data());
+  }
   return spmv_plan().multiply_dot(row_ptr_.data(), col_idx_.data(),
                                   values_.data(), x.data(), w.data(),
                                   y.data());
@@ -179,6 +209,12 @@ void CsrMatrix::multiply_dot_norm2(const std::vector<real_t>& x,
   MCMI_CHECK(static_cast<index_t>(w.size()) == rows_,
              "w size " << w.size() << " != rows " << rows_);
   y.resize(static_cast<std::size_t>(rows_));
+  if (const auto exec = std::atomic_load(&exec_)) {
+    exec->multiply_dot_norm2(row_ptr_.data(), col_idx_.data(),
+                             values_.data(), x.data(), w.data(), y.data(),
+                             dot_wy, norm_sq_y);
+    return;
+  }
   spmv_plan().multiply_dot_norm2(row_ptr_.data(), col_idx_.data(),
                                  values_.data(), x.data(), w.data(), y.data(),
                                  dot_wy, norm_sq_y);

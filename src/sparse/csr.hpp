@@ -15,6 +15,7 @@
 
 #include "core/types.hpp"
 #include "sparse/coo.hpp"
+#include "sparse/sharded_plan.hpp"
 #include "sparse/spmv_plan.hpp"
 
 namespace mcmi {
@@ -104,6 +105,26 @@ class CsrMatrix {
   /// shared by every product for the life of the matrix).
   [[nodiscard]] const SpmvPlan& spmv_plan() const;
 
+  /// Select the execution backend for every subsequent product.  The
+  /// execution is built *eagerly* through the PlanBackendRegistry and
+  /// published atomically, so no consumer can observe a stale
+  /// single-backend plan after the switch (the lazily cached spmv_plan()
+  /// is keyed only by content and knows nothing about backends).
+  /// kSingle reverts to the default cached-plan path; other backends
+  /// require the registry slot to be claimed (kAccelerator aborts until a
+  /// device backend registers).  Const: this is execution *policy*, not
+  /// matrix content — same contract as the lazy plan caches, and copies
+  /// taken after the call inherit the backend.
+  void set_plan_backend(PlanBackend backend, ShardLayout layout = {}) const;
+
+  /// The backend products currently dispatch to (kSingle when none set).
+  [[nodiscard]] PlanBackend plan_backend() const;
+
+  /// The bound execution, or null on the default single-plan path.
+  [[nodiscard]] std::shared_ptr<const PlanExecution> plan_execution() const {
+    return std::atomic_load(&exec_);
+  }
+
   /// y = A^T * x via a lazily cached column-major gather plan
   /// (OpenMP-parallel over columns, bit-deterministic at any thread count).
   void multiply_transpose(const std::vector<real_t>& x,
@@ -192,6 +213,11 @@ class CsrMatrix {
   /// once published a cache is never replaced.
   mutable std::shared_ptr<const SpmvPlan> plan_;
   mutable std::shared_ptr<const TransposeGather> tgather_;
+  /// Selected execution backend (null = default single-plan path).  Unlike
+  /// the caches above this *is* replaced — set_plan_backend publishes a
+  /// freshly built execution atomically — so products always pair a
+  /// backend with the layout it was built for, never a stale mix.
+  mutable std::shared_ptr<const PlanExecution> exec_;
 };
 
 }  // namespace mcmi

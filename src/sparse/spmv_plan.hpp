@@ -62,6 +62,21 @@ class SpmvPlan {
     return chunk_rows_[static_cast<std::size_t>(c)];
   }
 
+  /// The nnz-balanced chunk boundaries build() would compute for this
+  /// shape: boundary c is the first row whose prefix nonzero count reaches
+  /// c/chunks of the total.  A pure function of the shape — the sharded
+  /// execution layer uses the same grid for its fixed-order reductions, so
+  /// the two paths share one combination tree.
+  static std::vector<index_t> chunk_boundaries(
+      index_t rows, const std::vector<index_t>& row_ptr);
+
+  /// Run one chunk of the plan serially (no OpenMP): y over the chunk's
+  /// rows only.  The sharded backend flattens (shard, chunk) pairs into
+  /// its own parallel schedule and drives each chunk through this entry.
+  void multiply_chunk(index_t c, const index_t* row_ptr,
+                      const index_t* col_idx, const real_t* values,
+                      const real_t* x, real_t* y) const;
+
   /// y = A x.  Writes every y[i]; no zero-fill pass.
   void multiply(const index_t* row_ptr, const index_t* col_idx,
                 const real_t* values, const real_t* x, real_t* y) const;

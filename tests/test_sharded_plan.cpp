@@ -1,0 +1,569 @@
+// Shard-determinism conformance suite for the sharded execution layer
+// (sparse/sharded_plan.hpp): bit-equality of SpMV, the fused dot/norm
+// reductions, full Krylov solves, and batched MCMC grid builds across shard
+// counts {1, 2, 3, 4, 8} (plus the CI matrix leg's MCMI_TEST_SHARDS), shard
+// counts coprime to the thread count, degenerate layouts (empty shard,
+// single-row shards, everything-in-one-shard), a seeded 200-layout
+// reduction-order fuzz test against ShardReducer::reference, the
+// PlanBackend registry's stubbed-accelerator contract, and the regression
+// guard that no stale content-keyed single plan is observed after a
+// backend switch.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "core/env.hpp"
+#include "core/error.hpp"
+#include "gen/laplace.hpp"
+#include "gen/plasma.hpp"
+#include "gen/random_sparse.hpp"
+#include "krylov/solver.hpp"
+#include "mcmc/batched_build.hpp"
+#include "precond/jacobi.hpp"
+#include "precond/preconditioner.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/sharded_plan.hpp"
+#include "sparse/spmv_plan.hpp"
+
+namespace mcmi {
+namespace {
+
+/// The conformance shard counts from the issue, plus the CI matrix leg's
+/// MCMI_TEST_SHARDS when it names a count not already covered.
+std::vector<index_t> conformance_shard_counts() {
+  std::vector<index_t> counts = {1, 2, 3, 4, 8};
+  const index_t extra = env_int("MCMI_TEST_SHARDS", 0);
+  if (extra > 0 &&
+      std::find(counts.begin(), counts.end(), extra) == counts.end()) {
+    counts.push_back(extra);
+  }
+  return counts;
+}
+
+/// The three matrix families the suite sweeps: structured SPD (Laplace),
+/// the paper's plasma operator, and a random nonsymmetric sparse matrix.
+std::vector<std::pair<std::string, CsrMatrix>> conformance_matrices() {
+  std::vector<std::pair<std::string, CsrMatrix>> out;
+  out.emplace_back("laplace_2d(64)", laplace_2d(64));  // 3969 rows, >1 chunk
+  out.emplace_back("plasma_a00512", plasma_a00512());
+  out.emplace_back("pdd_real_sparse(300)", pdd_real_sparse(300, 0.1, 77));
+  return out;
+}
+
+std::vector<real_t> test_vector(index_t n, u64 salt) {
+  std::vector<real_t> x(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    x[i] = std::sin(static_cast<real_t>(i + 1) * 0.7 +
+                    static_cast<real_t>(salt));
+  }
+  return x;
+}
+
+/// A copy of `a` bound to the sharded backend under `layout`.
+CsrMatrix sharded_copy(const CsrMatrix& a, ShardLayout layout) {
+  CsrMatrix s = a;
+  s.set_plan_backend(PlanBackend::kShardedThreads, std::move(layout));
+  return s;
+}
+
+std::string layout_string(const ShardLayout& layout) {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < layout.boundaries.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << layout.boundaries[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// ShardLayout construction
+// ---------------------------------------------------------------------------
+
+TEST(ShardLayout, NnzBalancedPartitionsAllRows) {
+  const CsrMatrix a = laplace_2d(64);
+  for (const index_t s : {1, 2, 3, 4, 8, 17}) {
+    const ShardLayout layout = ShardLayout::nnz_balanced(s, a.row_ptr());
+    ASSERT_EQ(layout.shards(), s);
+    EXPECT_EQ(layout.boundaries.front(), 0);
+    EXPECT_EQ(layout.boundaries.back(), a.rows());
+    for (std::size_t i = 1; i < layout.boundaries.size(); ++i) {
+      EXPECT_LE(layout.boundaries[i - 1], layout.boundaries[i]);
+    }
+    layout.validate(a.rows());
+  }
+}
+
+TEST(ShardLayout, NnzBalancedBalancesWorkNotRows) {
+  // Arrow-like skew: one row holding a large share of the nonzeros should
+  // get a shard close to itself, not 1/s of the rows.
+  const index_t n = 400;
+  CooMatrix coo(n, n);
+  for (index_t j = 0; j < n; ++j) coo.add(0, j, 1.0);
+  for (index_t i = 1; i < n; ++i) coo.add(i, i, 4.0);
+  const CsrMatrix a = CsrMatrix::from_coo(std::move(coo));
+  const ShardLayout layout = ShardLayout::nnz_balanced(2, a.row_ptr());
+  // Half the work is row 0 (n nonzeros) vs n-1 diagonal rows: the first
+  // shard must end long before the halfway row.
+  EXPECT_LT(layout.boundaries[1], n / 4);
+}
+
+TEST(ShardLayout, FingerprintDistinguishesLayouts) {
+  const CsrMatrix a = laplace_2d(32);
+  const ShardLayout two = ShardLayout::nnz_balanced(2, a.row_ptr());
+  const ShardLayout four = ShardLayout::nnz_balanced(4, a.row_ptr());
+  const ShardLayout none{};
+  EXPECT_NE(two.fingerprint(), four.fingerprint());
+  EXPECT_NE(two.fingerprint(), none.fingerprint());
+  EXPECT_EQ(two.fingerprint(),
+            ShardLayout::nnz_balanced(2, a.row_ptr()).fingerprint());
+}
+
+TEST(ShardLayout, ValidateRejectsBadPartitions) {
+  EXPECT_THROW((ShardLayout{{1, 4}}).validate(4), Error);    // first != 0
+  EXPECT_THROW((ShardLayout{{0, 3}}).validate(4), Error);    // last != rows
+  EXPECT_THROW((ShardLayout{{0, 3, 2, 4}}).validate(4),
+               Error);                      // not monotone
+  (ShardLayout{{0, 2, 2, 4}}).validate(4);  // empty shard is legal
+}
+
+// ---------------------------------------------------------------------------
+// SpMV and fused-reduction conformance across shard counts
+// ---------------------------------------------------------------------------
+
+TEST(ShardedPlanConformance, SpmvBitIdenticalAcrossShardCounts) {
+  for (const auto& [name, a] : conformance_matrices()) {
+    SCOPED_TRACE(name);
+    const std::vector<real_t> x = test_vector(a.cols(), 3);
+    const std::vector<real_t> golden = a.multiply(x);  // single-plan path
+    for (const index_t s : conformance_shard_counts()) {
+      SCOPED_TRACE("shards=" + std::to_string(s));
+      const CsrMatrix sharded =
+          sharded_copy(a, ShardLayout::nnz_balanced(s, a.row_ptr()));
+      ASSERT_EQ(sharded.plan_backend(), PlanBackend::kShardedThreads);
+      EXPECT_EQ(sharded.multiply(x), golden);  // element-exact
+    }
+  }
+}
+
+TEST(ShardedPlanConformance, FusedDotNormBitIdenticalAcrossShardCounts) {
+  for (const auto& [name, a] : conformance_matrices()) {
+    if (a.rows() != a.cols()) continue;  // fused paths are square-only
+    SCOPED_TRACE(name);
+    const std::vector<real_t> x = test_vector(a.cols(), 5);
+    const std::vector<real_t> w = test_vector(a.rows(), 9);
+    std::vector<real_t> y_golden(static_cast<std::size_t>(a.rows()));
+    const real_t dot_xy_golden = a.multiply_dot(x, y_golden);
+    const real_t dot_wy_golden = a.multiply_dot(x, y_golden, w);
+    real_t fused_dot_golden = 0.0, fused_norm_golden = 0.0;
+    a.multiply_dot_norm2(x, y_golden, w, fused_dot_golden, fused_norm_golden);
+    for (const index_t s : conformance_shard_counts()) {
+      SCOPED_TRACE("shards=" + std::to_string(s));
+      const CsrMatrix sharded =
+          sharded_copy(a, ShardLayout::nnz_balanced(s, a.row_ptr()));
+      std::vector<real_t> y(static_cast<std::size_t>(a.rows()));
+      EXPECT_EQ(sharded.multiply_dot(x, y), dot_xy_golden);
+      EXPECT_EQ(y, y_golden);
+      EXPECT_EQ(sharded.multiply_dot(x, y, w), dot_wy_golden);
+      real_t dot = 0.0, norm = 0.0;
+      sharded.multiply_dot_norm2(x, y, w, dot, norm);
+      EXPECT_EQ(dot, fused_dot_golden);
+      EXPECT_EQ(norm, fused_norm_golden);
+    }
+  }
+}
+
+TEST(ShardedPlanConformance, DegenerateLayoutsBitIdentical) {
+  const CsrMatrix a = laplace_2d(20);  // 361 rows
+  const index_t n = a.rows();
+  const std::vector<real_t> x = test_vector(n, 1);
+  const std::vector<real_t> w = test_vector(n, 2);
+  std::vector<real_t> y_golden(static_cast<std::size_t>(n));
+  real_t dot_golden = 0.0, norm_golden = 0.0;
+  a.multiply_dot_norm2(x, y_golden, w, dot_golden, norm_golden);
+
+  std::vector<std::pair<std::string, ShardLayout>> layouts;
+  layouts.emplace_back("all-in-one", ShardLayout{{0, n}});
+  layouts.emplace_back("empty-middle-shard", ShardLayout{{0, n / 3, n / 3, n}});
+  layouts.emplace_back("empty-edge-shards", ShardLayout{{0, 0, n, n}});
+  layouts.emplace_back("single-row-shards", ShardLayout::uniform(n, n));
+  for (auto& [name, layout] : layouts) {
+    SCOPED_TRACE(name);
+    const CsrMatrix sharded = sharded_copy(a, layout);
+    std::vector<real_t> y(static_cast<std::size_t>(n));
+    real_t dot = 0.0, norm = 0.0;
+    sharded.multiply_dot_norm2(x, y, w, dot, norm);
+    EXPECT_EQ(y, y_golden);
+    EXPECT_EQ(dot, dot_golden);
+    EXPECT_EQ(norm, norm_golden);
+  }
+}
+
+#ifdef _OPENMP
+TEST(ShardedPlanConformance, CoprimeShardAndThreadCounts) {
+  // Shard counts coprime to every thread count exercised: no accidental
+  // shard-per-thread alignment can mask an order dependence.
+  const CsrMatrix a = plasma_a00512();
+  const std::vector<real_t> x = test_vector(a.cols(), 11);
+  const std::vector<real_t> w = test_vector(a.rows(), 13);
+  std::vector<real_t> y_golden(static_cast<std::size_t>(a.rows()));
+  real_t dot_golden = 0.0, norm_golden = 0.0;
+  a.multiply_dot_norm2(x, y_golden, w, dot_golden, norm_golden);
+
+  const int saved_threads = omp_get_max_threads();
+  for (const int threads : {1, 2, 4}) {
+    omp_set_num_threads(threads);
+    for (const index_t s : {3, 5, 7}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " shards=" + std::to_string(s));
+      const CsrMatrix sharded =
+          sharded_copy(a, ShardLayout::nnz_balanced(s, a.row_ptr()));
+      std::vector<real_t> y(static_cast<std::size_t>(a.rows()));
+      real_t dot = 0.0, norm = 0.0;
+      sharded.multiply_dot_norm2(x, y, w, dot, norm);
+      EXPECT_EQ(y, y_golden);
+      EXPECT_EQ(dot, dot_golden);
+      EXPECT_EQ(norm, norm_golden);
+    }
+  }
+  omp_set_num_threads(saved_threads);
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Full Krylov solves across shard counts
+// ---------------------------------------------------------------------------
+
+TEST(ShardedPlanConformance, KrylovSolvesBitIdenticalAcrossShardCounts) {
+  // tolerance = 0 can never be met, so every solve runs the same fixed
+  // iteration count and the x comparison covers every fused reduction the
+  // method performs.
+  SolveOptions options;
+  options.tolerance = 0.0;
+  options.max_iterations = 25;
+  options.restart = 10;
+
+  const CsrMatrix spd = laplace_2d(24);
+  const CsrMatrix nonsym = pdd_real_sparse(200, 0.1, 31);
+  const JacobiPreconditioner jacobi(spd);
+  const IdentityPreconditioner identity;
+
+  struct Case {
+    std::string name;
+    KrylovMethod method;
+    const CsrMatrix* a;
+    const Preconditioner* p;
+  };
+  const std::vector<Case> cases = {
+      {"cg/laplace", KrylovMethod::kCG, &spd, &jacobi},
+      {"gmres/pdd", KrylovMethod::kGMRES, &nonsym, &identity},
+      {"bicgstab/pdd", KrylovMethod::kBiCGStab, &nonsym, &identity},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const std::vector<real_t> b = test_vector(c.a->rows(), 17);
+    std::vector<real_t> x_golden;
+    const SolveResult golden =
+        solve(c.method, *c.a, b, *c.p, x_golden, options);
+    for (const index_t s : conformance_shard_counts()) {
+      SCOPED_TRACE("shards=" + std::to_string(s));
+      const CsrMatrix sharded =
+          sharded_copy(*c.a, ShardLayout::nnz_balanced(s, c.a->row_ptr()));
+      std::vector<real_t> x;
+      const SolveResult result = solve(c.method, sharded, b, *c.p, x, options);
+      EXPECT_EQ(result.iterations, golden.iterations);
+      EXPECT_EQ(x, x_golden);  // bit-identical trajectory end to end
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reduction-order fuzz: ShardReducer::reduce vs the serial reference
+// ---------------------------------------------------------------------------
+
+TEST(ShardReducerFuzz, RandomLayoutsMatchReferenceByteForByte) {
+  // 200 seeded random layouts per matrix, including empty shards and wildly
+  // unbalanced boundaries.  reduce() must reproduce the serial reference
+  // exactly; a failure prints the offending boundary list for replay.
+  std::mt19937 rng(0x5eed5eedu);
+  for (const auto& [name, a] : conformance_matrices()) {
+    SCOPED_TRACE(name);
+    const index_t n = a.rows();
+    const ShardReducer reducer(SpmvPlan::chunk_boundaries(n, a.row_ptr()));
+    const std::vector<real_t> w = test_vector(n, 23);
+    const std::vector<real_t> y = test_vector(n, 29);
+    real_t ref_dot = 0.0, ref_norm = 0.0;
+    reducer.reference(w.data(), y.data(), true, ref_dot, ref_norm);
+
+    std::uniform_int_distribution<index_t> shard_count(1, 16);
+    std::uniform_int_distribution<index_t> boundary(0, n);
+    for (int trial = 0; trial < 200; ++trial) {
+      ShardLayout layout;
+      const index_t s = shard_count(rng);
+      layout.boundaries.resize(static_cast<std::size_t>(s) + 1);
+      layout.boundaries.front() = 0;
+      layout.boundaries.back() = n;
+      for (index_t i = 1; i < s; ++i) {
+        layout.boundaries[static_cast<std::size_t>(i)] = boundary(rng);
+      }
+      std::sort(layout.boundaries.begin(), layout.boundaries.end());
+      layout.validate(n);
+
+      real_t dot = 0.0, norm = 0.0;
+      reducer.reduce(layout, w.data(), y.data(), true, dot, norm);
+      if (dot != ref_dot || norm != ref_norm) {
+        ADD_FAILURE() << "reduction order leak on " << name << " trial "
+                      << trial << " layout " << layout_string(layout)
+                      << ": dot " << dot << " vs " << ref_dot << ", norm "
+                      << norm << " vs " << ref_norm;
+        break;  // one replayable failure per matrix is enough
+      }
+    }
+  }
+}
+
+TEST(ShardReducer, GridMatchesSinglePlanChunks) {
+  // The reducer's block grid must BE the single plan's chunk grid — that
+  // identity is what makes the sharded fused path bit-equal to the
+  // unsharded one.
+  const CsrMatrix a = laplace_2d(64);
+  const ShardedPlan plan = ShardedPlan::build(
+      a.rows(), a.cols(), a.row_ptr(), a.col_idx(),
+      ShardLayout::nnz_balanced(3, a.row_ptr()));
+  EXPECT_EQ(plan.reducer().block_rows(),
+            SpmvPlan::chunk_boundaries(a.rows(), a.row_ptr()));
+  ASSERT_GT(plan.reducer().num_blocks(), 1);  // the sweep must multi-block
+}
+
+// ---------------------------------------------------------------------------
+// Batched MCMC grid builds under shard layouts
+// ---------------------------------------------------------------------------
+
+TEST(ShardedMcmcBuild, GridBuildBitIdenticalAcrossLayouts) {
+  const CsrMatrix a = laplace_2d(10);
+  const std::vector<GridTrial> trials = {{0.5, 0.25}, {0.25, 0.125}};
+  const BatchedGridResult golden = batched_grid_build(a, 1.0, trials, {});
+
+  std::vector<std::pair<std::string, ShardLayout>> layouts;
+  for (const index_t s : conformance_shard_counts()) {
+    layouts.emplace_back("nnz_balanced(" + std::to_string(s) + ")",
+                         ShardLayout::nnz_balanced(s, a.row_ptr()));
+  }
+  layouts.emplace_back("uniform(7)", ShardLayout::uniform(7, a.rows()));
+  layouts.emplace_back("empty-shard",
+                       ShardLayout{{0, a.rows() / 2, a.rows() / 2, a.rows()}});
+  for (auto& [name, layout] : layouts) {
+    SCOPED_TRACE(name);
+    McmcOptions options;
+    options.shards = layout;
+    const BatchedGridResult sharded =
+        batched_grid_build(a, 1.0, trials, options);
+    ASSERT_EQ(sharded.preconditioners.size(), golden.preconditioners.size());
+    for (std::size_t t = 0; t < trials.size(); ++t) {
+      SCOPED_TRACE("trial=" + std::to_string(t));
+      // Full-content CSR hash: structure and value bit patterns.
+      EXPECT_EQ(sharded.preconditioners[t].content_fingerprint(),
+                golden.preconditioners[t].content_fingerprint());
+      EXPECT_EQ(sharded.info[t].total_transitions,
+                golden.info[t].total_transitions);
+      EXPECT_EQ(sharded.info[t].chains_per_row, golden.info[t].chains_per_row);
+    }
+  }
+}
+
+TEST(ShardedMcmcBuild, StandaloneInverterHonorsShardLayout) {
+  const CsrMatrix a = pdd_real_sparse(80, 0.12, 19);
+  McmcOptions plain;
+  const CsrMatrix golden = McmcInverter(a, {1.0, 0.5, 0.25}, plain).compute();
+  McmcOptions sharded_options;
+  sharded_options.shards = ShardLayout::nnz_balanced(3, a.row_ptr());
+  const CsrMatrix sharded =
+      McmcInverter(a, {1.0, 0.5, 0.25}, sharded_options).compute();
+  EXPECT_EQ(sharded.content_fingerprint(), golden.content_fingerprint());
+}
+
+TEST(ShardRowSpans, CoverEveryRowWithoutCrossingShards) {
+  const ShardLayout layout{{0, 5, 5, 17, 40}};
+  const auto spans = shard_row_spans(layout, 2, 33, 8);
+  index_t covered = 2;
+  for (const auto& [begin, end] : spans) {
+    EXPECT_EQ(begin, covered);  // contiguous, in order
+    EXPECT_LT(begin, end);
+    EXPECT_LE(end - begin, 8);
+    // A span never crosses a shard boundary.
+    for (std::size_t b = 1; b + 1 < layout.boundaries.size(); ++b) {
+      const index_t edge = layout.boundaries[b];
+      EXPECT_FALSE(begin < edge && edge < end)
+          << "span [" << begin << ", " << end << ") crosses shard edge "
+          << edge;
+    }
+    covered = end;
+  }
+  EXPECT_EQ(covered, 33);
+}
+
+// ---------------------------------------------------------------------------
+// Backend registry: the stubbed accelerator slot and mock dispatch
+// ---------------------------------------------------------------------------
+
+/// Mock device execution: writes a sentinel so any product that still went
+/// through a cached host plan is unmistakable.
+class SentinelExecution final : public PlanExecution {
+ public:
+  static constexpr real_t kSentinel = -12345.5;
+  static int live_calls;
+
+  [[nodiscard]] PlanBackend backend() const override {
+    return PlanBackend::kAccelerator;
+  }
+  [[nodiscard]] const ShardLayout& layout() const override { return layout_; }
+  void multiply(const index_t*, const index_t*, const real_t*, const real_t*,
+                real_t* y) const override {
+    ++live_calls;
+    for (index_t i = 0; i < rows_; ++i) y[i] = kSentinel;
+  }
+  [[nodiscard]] real_t multiply_dot(const index_t* row_ptr,
+                                    const index_t* col_idx,
+                                    const real_t* values, const real_t* x,
+                                    const real_t*, real_t* y) const override {
+    multiply(row_ptr, col_idx, values, x, y);
+    return kSentinel;
+  }
+  void multiply_dot_norm2(const index_t* row_ptr, const index_t* col_idx,
+                          const real_t* values, const real_t* x,
+                          const real_t*, real_t* y, real_t& dot_wy,
+                          real_t& norm_sq_y) const override {
+    multiply(row_ptr, col_idx, values, x, y);
+    dot_wy = kSentinel;
+    norm_sq_y = kSentinel;
+  }
+
+  index_t rows_ = 0;
+
+ private:
+  ShardLayout layout_;
+};
+
+int SentinelExecution::live_calls = 0;
+
+TEST(PlanBackendRegistry, AcceleratorSlotIsStubbed) {
+  auto& registry = PlanBackendRegistry::instance();
+  EXPECT_TRUE(registry.available(PlanBackend::kSingle));
+  EXPECT_TRUE(registry.available(PlanBackend::kShardedThreads));
+  EXPECT_FALSE(registry.available(PlanBackend::kAccelerator));
+
+  const CsrMatrix a = laplace_2d(6);
+  EXPECT_THROW(registry.create(PlanBackend::kAccelerator, a.rows(), a.cols(),
+                               a.row_ptr(), a.col_idx(), ShardLayout{}),
+               Error);
+  CsrMatrix m = a;
+  EXPECT_THROW(m.set_plan_backend(PlanBackend::kAccelerator), Error);
+  // Built-in backends may not be unregistered (the stub slot is the only
+  // mutable one).
+  EXPECT_THROW(registry.unregister_backend(PlanBackend::kSingle), Error);
+  EXPECT_THROW(registry.unregister_backend(PlanBackend::kShardedThreads),
+               Error);
+}
+
+TEST(PlanBackendRegistry, MockAcceleratorDispatchesThroughRegistry) {
+  auto& registry = PlanBackendRegistry::instance();
+  registry.register_backend(
+      PlanBackend::kAccelerator,
+      [](index_t rows, index_t, const std::vector<index_t>&,
+         const std::vector<index_t>&, const ShardLayout&) {
+        auto exec = std::make_unique<SentinelExecution>();
+        exec->rows_ = rows;
+        return exec;
+      });
+  EXPECT_TRUE(registry.available(PlanBackend::kAccelerator));
+
+  const CsrMatrix a = laplace_2d(6);
+  CsrMatrix m = a;
+  m.set_plan_backend(PlanBackend::kAccelerator);
+  EXPECT_EQ(m.plan_backend(), PlanBackend::kAccelerator);
+
+  const int calls_before = SentinelExecution::live_calls;
+  const std::vector<real_t> x = test_vector(a.cols(), 41);
+  const std::vector<real_t> y = m.multiply(x);
+  EXPECT_GT(SentinelExecution::live_calls, calls_before);
+  for (const real_t v : y) EXPECT_EQ(v, SentinelExecution::kSentinel);
+
+  // Restore the stub and confirm the slot reports unavailable again.
+  registry.unregister_backend(PlanBackend::kAccelerator);
+  EXPECT_FALSE(registry.available(PlanBackend::kAccelerator));
+}
+
+// ---------------------------------------------------------------------------
+// Stale-plan regression: backend switches must never serve the old plan
+// ---------------------------------------------------------------------------
+
+TEST(PlanBackendSwitch, NoStalePlanAfterBackendSwitch) {
+  // The content-keyed lazy SpmvPlan cache knows nothing about backends; a
+  // switch must be observed by the very next product.  The sentinel mock
+  // makes a stale host plan unmistakable.
+  const CsrMatrix golden_matrix = laplace_2d(16);
+  const std::vector<real_t> x = test_vector(golden_matrix.cols(), 43);
+  const std::vector<real_t> golden = golden_matrix.multiply(x);
+
+  CsrMatrix m = golden_matrix;
+  EXPECT_EQ(m.plan_backend(), PlanBackend::kSingle);
+  EXPECT_EQ(m.multiply(x), golden);  // populates the lazy single plan
+
+  // kSingle -> kShardedThreads: backend flips, bits do not.
+  m.set_plan_backend(PlanBackend::kShardedThreads,
+                     ShardLayout::nnz_balanced(3, m.row_ptr()));
+  EXPECT_EQ(m.plan_backend(), PlanBackend::kShardedThreads);
+  EXPECT_EQ(m.multiply(x), golden);
+
+  // kShardedThreads -> mock kAccelerator: the sentinel proves the product
+  // went through the new execution, not any cached plan.
+  auto& registry = PlanBackendRegistry::instance();
+  registry.register_backend(
+      PlanBackend::kAccelerator,
+      [](index_t rows, index_t, const std::vector<index_t>&,
+         const std::vector<index_t>&, const ShardLayout&) {
+        auto exec = std::make_unique<SentinelExecution>();
+        exec->rows_ = rows;
+        return exec;
+      });
+  m.set_plan_backend(PlanBackend::kAccelerator);
+  const std::vector<real_t> sentinel = m.multiply(x);
+  for (const real_t v : sentinel) EXPECT_EQ(v, SentinelExecution::kSentinel);
+  registry.unregister_backend(PlanBackend::kAccelerator);
+
+  // Back to kSingle: the original bits return.
+  m.set_plan_backend(PlanBackend::kSingle);
+  EXPECT_EQ(m.plan_backend(), PlanBackend::kSingle);
+  EXPECT_EQ(m.multiply(x), golden);
+}
+
+TEST(PlanBackendSwitch, CopiesInheritTheBoundBackend) {
+  const CsrMatrix a = laplace_2d(12);
+  CsrMatrix m = a;
+  m.set_plan_backend(PlanBackend::kShardedThreads,
+                     ShardLayout::nnz_balanced(2, m.row_ptr()));
+  const CsrMatrix copy = m;
+  EXPECT_EQ(copy.plan_backend(), PlanBackend::kShardedThreads);
+  CsrMatrix assigned;
+  assigned = m;
+  EXPECT_EQ(assigned.plan_backend(), PlanBackend::kShardedThreads);
+
+  const std::vector<real_t> x = test_vector(a.cols(), 47);
+  EXPECT_EQ(copy.multiply(x), a.multiply(x));
+}
+
+}  // namespace
+}  // namespace mcmi
