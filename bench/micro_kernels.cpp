@@ -222,6 +222,41 @@ void BM_CgIterationPlan(benchmark::State& state) {
 }
 BENCHMARK(BM_CgIterationPlan)->Unit(benchmark::kMillisecond);
 
+// The fused-recurrence CG iteration: the descent step (A q, <q,Aq>, x/r
+// update) and the preconditioner tail (P r, <r,z>, ||z||^2, q recurrence)
+// each collapse into one parallel region via multiply_dot_axpy2 /
+// multiply_dot_norm2_xpby — two operator visits per iteration, zero
+// standalone vector sweeps.  Same system, same 50 iterations, identical
+// items as BM_CgIterationPlan.  The gated pair pins fusion at parity-or-
+// better: single-core the iteration is bandwidth-bound and the phases are
+// additive, so the measured win is ~1%; the fork/join and partial-sum
+// locality savings only open up with real thread counts.  The gate exists
+// so the fused path can never silently become *slower* than the composed
+// PR 2 loop it replaced in cg.cpp.
+void BM_CgIterationFusedRecurrence(benchmark::State& state) {
+  const CsrMatrix& a = cg_bench_matrix();
+  const CsrMatrix& pm = cg_bench_precond();
+  const std::vector<real_t> b(static_cast<std::size_t>(a.rows()), 1.0);
+  std::vector<real_t> x, r, z, q, aq;
+  for (auto _ : state) {
+    x.assign(b.size(), 0.0);
+    r = b;
+    real_t rho, norm_sq;
+    pm.multiply_dot_norm2(r, z, r, rho, norm_sq);
+    q = z;
+    for (index_t it = 0; it < kCgBenchIters; ++it) {
+      benchmark::DoNotOptimize(a.multiply_dot_axpy2(q, rho, aq, x, r));
+      real_t rho_next;
+      pm.multiply_dot_norm2_xpby(r, z, r, rho, q, rho_next, norm_sq);
+      benchmark::DoNotOptimize(norm_sq);
+      rho = rho_next;
+    }
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kCgBenchIters);
+}
+BENCHMARK(BM_CgIterationFusedRecurrence)->Unit(benchmark::kMillisecond);
+
 // Args: {grid side, 1/eps, sampling method}.  The {128, 16} rows are the
 // acceptance benchmark of the alias rewrite: a 128x128 2-D Laplace build at
 // eps = 1/16 with the alias path (method 0) versus the pre-PR binary-search
@@ -407,6 +442,75 @@ void BM_ReplicateBatchedGridBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_ReplicateBatchedGridBuild)->Unit(benchmark::kMillisecond);
 
+// ---- SIMD lane tier: compile-time lane specialisation A/B -------------------
+// Eight replicate seeds put the interleaved ensemble exactly on the W = 8
+// specialised lockstep engine; force_dynamic_lanes opts the B side back
+// onto the dynamic-lane-count path.  The workload is the over-budget
+// lattice regime the lane tier targets: a 2-D Laplace walk reaches O(L^2)
+// states against a fixed visit budget, and the tight eps (1/16) drives
+// chains_for_eps to ~117 chains per row, so nearly all time is the
+// per-transition tail — RNG draw, alias lookup, weight update, stop rule —
+// not emission.  With a single (delta, eps) trial per ensemble the live
+// template is one unit wide, which dispatches the register-resident
+// single-unit engine: the stop rule's delta/cutoff and the accumulator
+// pointers hoist out of the transition loop, the walk state (RNG words,
+// position, weight, step count) lives in registers instead of
+// memory-resident `Lane` structs, and draws/alias lookups batch across the
+// W lanes.  The two builds are bit-identical by the conformance suite, so
+// items/s (serial-equivalent transitions/s) match by construction and the
+// gated ratio isolates the lane tier itself.
+
+const CsrMatrix& lane_bench_matrix() {
+  static const CsrMatrix a = laplace_2d(64);
+  return a;
+}
+
+const std::vector<u64>& lane_bench_seeds() {
+  static const std::vector<u64> seeds = [] {
+    std::vector<u64> s;
+    for (u64 i = 1; i <= 8; ++i) {
+      s.push_back(mix64(20250922 + 0x9e3779b9 * i));
+    }
+    return s;
+  }();
+  return seeds;
+}
+
+const std::vector<GridTrial>& lane_bench_trials() {
+  static const std::vector<GridTrial> trials = {{0.0625, 0.0625}};
+  return trials;
+}
+
+void lane_bench_run(benchmark::State& state, bool force_dynamic) {
+  const CsrMatrix& a = lane_bench_matrix();
+  WalkKernelCache cache;
+  McmcOptions opt;
+  opt.force_dynamic_lanes = force_dynamic;
+  long long transitions = 0;
+  for (auto _ : state) {
+    const ReplicatedGridResult r = replicate_batched_grid_build(
+        a, kGridBenchAlpha, lane_bench_trials(), lane_bench_seeds(), opt,
+        &cache);
+    benchmark::DoNotOptimize(r.replicates.data());
+    for (const BatchedGridResult& rep : r.replicates) {
+      for (const McmcBuildInfo& info : rep.info) {
+        transitions += info.total_transitions;
+      }
+    }
+  }
+  state.SetItemsProcessed(transitions);
+}
+
+void BM_LaneSpecGridBuild(benchmark::State& state) {
+  lane_bench_run(state, /*force_dynamic=*/false);
+}
+BENCHMARK(BM_LaneSpecGridBuild)->Unit(benchmark::kMillisecond);
+
+void BM_DynamicLaneGridBuild(benchmark::State& state) {
+  lane_bench_run(state, /*force_dynamic=*/true);
+}
+BENCHMARK(BM_DynamicLaneGridBuild)->Unit(benchmark::kMillisecond);
+
 // ---- multi-alpha grid builds: shared successor draws across alphas ----------
 // The hpo::tune_mcmc_params shape: one 4-trial (eps, delta) batch evaluated
 // at two alphas whose perturbed diagonals differ by a power of two, so both
@@ -546,7 +650,7 @@ void BM_EmitRowUnderBudget(benchmark::State& state) {
 BENCHMARK(BM_EmitRowUnderBudget)->Arg(0)->Arg(1);
 
 void BM_RegenerativeBuild(benchmark::State& state) {
-  const CsrMatrix a = laplace_2d(32);
+  const CsrMatrix a = laplace_2d(64);
   for (auto _ : state) {
     RegenerativeInverter inverter(a,
                                   {1.0, static_cast<index_t>(state.range(0))});

@@ -101,6 +101,11 @@ def main():
              "from one machine and one run, so these gate machine-"
              "independently where baseline ratios cannot.")
     parser.add_argument(
+        "--top", type=int, default=0, metavar="N",
+        help="also print the N largest regressions and the N largest "
+             "improvements over all shared rows (gated or not) — the "
+             "at-a-glance movement report for humans reading the job log")
+    parser.add_argument(
         "--summary", default=os.environ.get("GITHUB_STEP_SUMMARY"),
         help="markdown file to append the comparison table to")
     args = parser.parse_args()
@@ -170,9 +175,13 @@ def main():
                 print(f"bench_compare: bad --pairs spec {spec!r} "
                       "(want FAST:SLOW:MAXRATIO)", file=sys.stderr)
                 sys.exit(2)
-            if fast not in cur or slow not in cur:
-                print(f"bench_compare: pair rows missing from current "
-                      f"report: {spec}", file=sys.stderr)
+            absent = [n for n in (fast, slow) if n not in cur]
+            if absent:
+                print(f"bench_compare: --pairs {spec!r} names benchmark "
+                      f"row(s) absent from the current report: "
+                      + ", ".join(repr(n) for n in absent)
+                      + " — check the benchmark_filter regex covers them "
+                      "and the rows were not renamed", file=sys.stderr)
                 sys.exit(2)
             ratio = cur[fast] / cur[slow]
             ok = ratio <= max_ratio
@@ -182,11 +191,39 @@ def main():
                               f"| {max_ratio:.2f}x | "
                               f"{'ok' if ok else 'FAIL'} |")
 
+    top_lines = []
+    if args.top > 0:
+        # Movement report over every shared row, sorted by calibrated ratio:
+        # purely informational — the gates above are the contract.
+        ranked = sorted(shared, key=lambda n: cur[n] / base[n] / calibration)
+        slowest = [n for n in reversed(ranked)
+                   if cur[n] / base[n] / calibration > 1.0][:args.top]
+        fastest = [n for n in ranked
+                   if cur[n] / base[n] / calibration < 1.0][:args.top]
+
+        def movement(names):
+            return [f"| {n} | {fmt_time(base[n])} | {fmt_time(cur[n])} "
+                    f"| {cur[n] / base[n] / calibration:.2f}x |"
+                    for n in names]
+
+        top_lines = ["", f"Top {args.top} movements"
+                     + (" (calibrated)" if args.calibrate else "") + ":"]
+        if slowest:
+            top_lines += ["", "| largest regressions | baseline | current "
+                          "| ratio |", "|---|---|---|---|"]
+            top_lines += movement(slowest)
+        if fastest:
+            top_lines += ["", "| largest improvements | baseline | current "
+                          "| ratio |", "|---|---|---|---|"]
+            top_lines += movement(fastest)
+        if not slowest and not fastest:
+            top_lines += ["", "no row moved off a 1.00x ratio"]
+
     header = (f"### bench_compare: {len(gated)} gated rows, "
               f"threshold +{args.threshold:.0%}"
               + (f", calibration {calibration:.2f}x" if args.calibrate
                  else ""))
-    table = header + "\n\n" + "\n".join(lines + pair_lines) + "\n"
+    table = header + "\n\n" + "\n".join(lines + top_lines + pair_lines) + "\n"
     print(table)
     if args.summary:
         try:

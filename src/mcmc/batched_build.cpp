@@ -401,6 +401,247 @@ void run_lockstep_chains(const WalkKernel* const* kernels, index_t n_alphas,
   }
 }
 
+/// The compile-time lane-width tier of the lockstep engine: the same chain
+/// semantics as `run_lockstep_chains<method, false>` with the per-lane walk
+/// state (RNG words, position, weight, step count) hoisted out of the `Lane`
+/// structs into W-wide struct-of-arrays locals the compiler can keep in
+/// registers, a batched RNG that advances all W streams per round
+/// (`Xoshiro256Batch`), and batched alias-table lookups
+/// (`AliasTable::sample_batch`) that issue the W dependent loads together.
+/// Lane retirement is a bitmask instead of pointer swap-removal, so the
+/// round loops have a compile-time trip count.
+///
+/// Bit-identity with the dynamic tier: each lane's chain stream is recreated
+/// per chain via make_stream, so advancing a retired lane's (dead) stream in
+/// the batched draw is unobservable; an active lane at round s has consumed
+/// exactly s draws in both tiers (absorbing lanes retire *before* the round's
+/// draw, exactly as the dynamic engine checks `begin == end` before
+/// sampling), and every weight/accumulator/mark update below is the
+/// dynamic engine's, expression for expression.  Single-alpha only — the
+/// multi-alpha ensemble always runs the dynamic tier.
+/// The single-unit engine of the specialised tier: when every lane's live
+/// list holds exactly one group — one (alpha, trial) unit per replicate,
+/// the shape of the tuning loop's per-candidate replicate evaluation — the
+/// whole stop rule is lane-invariant (the unit's delta, cutoff, and
+/// accounting entry are shared; only the accumulator differs per lane), so
+/// it lifts out of the `LiveGroup` scratch into scalars and per-lane
+/// pointer arrays.  The per-transition inner loop then touches no `Lane`
+/// or `LiveGroup` storage at all: stop-rule compares run against
+/// register-resident scalars and the three remaining memory accesses are
+/// the kernel loads, the accumulator add, and the epoch mark — the
+/// irreducible set.  Same per-lane expression order as the dynamic tier,
+/// so bit-identity is preserved (see run_lockstep_chains_spec below).
+template <SamplingMethod method, int W>
+void run_lockstep_chains_spec_single(const WalkKernel& k0, Lane* lanes,
+                                     u32 epoch) {
+  const real_t delta = lanes[0].live[0].delta;
+  const index_t cutoff = lanes[0].live[0].cutoff;
+  const SegEntry* entry = lanes[0].live[0].entry;
+  Xoshiro256Batch<W> rng;
+  index_t state[W];
+  index_t steps[W];
+  real_t weight[W];
+  real_t* acc[W];
+  u32* mark[W];
+  std::vector<index_t>* vis[W];
+  u32 active = 0;
+  for (int l = 0; l < W; ++l) {
+    rng.set_lane(l, lanes[l].rng);
+    state[l] = lanes[l].state;
+    steps[l] = lanes[l].steps;
+    weight[l] = lanes[l].weights[0];
+    acc[l] = lanes[l].live[0].acc;
+    mark[l] = lanes[l].mark;
+    vis[l] = lanes[l].visited;
+    active |= u32{1} << l;
+  }
+  u64 bits[W];
+  index_t begin[W];
+  index_t end[W];
+  index_t p[W];
+  while (active != 0) {
+    for (int l = 0; l < W; ++l) {
+      begin[l] = k0.row_ptr[state[l]];
+      end[l] = k0.row_ptr[state[l] + 1];
+    }
+    for (int l = 0; l < W; ++l) {
+      if (((active >> l) & 1u) != 0 && begin[l] == end[l]) {
+        // Absorbing state: the group consumed the whole walk, no draw spent.
+        for (index_t t : entry->trials) lanes[l].trans[t] += steps[l];
+        active &= ~(u32{1} << l);
+      }
+    }
+    if (active == 0) break;
+    rng.next(bits);
+    if constexpr (method == SamplingMethod::kAlias) {
+      k0.alias.template sample_batch<W>(begin, end, bits, p);
+    } else {
+      for (int l = 0; l < W; ++l) {
+        if (((active >> l) & 1u) == 0) {
+          p[l] = 0;
+          continue;
+        }
+        const real_t target = static_cast<real_t>(bits[l] >> 11) * 0x1.0p-53 *
+                              k0.row_sum[state[l]];
+        const auto first = k0.cum_abs.begin() + begin[l];
+        const auto last = k0.cum_abs.begin() + end[l];
+        auto it = std::upper_bound(first, last, target);
+        if (it == last) --it;
+        p[l] = static_cast<index_t>(it - k0.cum_abs.begin());
+      }
+    }
+    for (int l = 0; l < W; ++l) {
+      if (((active >> l) & 1u) == 0) continue;
+      weight[l] *= k0.signed_sum[p[l]];
+      state[l] = k0.succ[p[l]];
+      ++steps[l];
+      const real_t aw = std::abs(weight[l]);
+      if (aw > kDivergenceGuard) {
+        // Blow-up: break at this counted step, nothing accumulated, no mark.
+        for (index_t t : entry->trials) {
+          lanes[l].trans[t] += steps[l];
+          lanes[l].retired[t] += 1;
+        }
+        active &= ~(u32{1} << l);
+        continue;
+      }
+      bool done;
+      if (aw < delta) {
+        // Sticky truncation: crossing step counted, not accumulated.
+        for (index_t t : entry->trials) lanes[l].trans[t] += steps[l];
+        done = true;
+      } else {
+        acc[l][state[l]] += weight[l];
+        done = steps[l] == cutoff;
+        if (done) {
+          for (index_t t : entry->trials) lanes[l].trans[t] += steps[l];
+        }
+      }
+      // Mark before retiring the lane: a cutoff removal above accumulated
+      // into this state, so this lane's emission must see it (and the
+      // dynamic tier marks on delta truncation too — a zero-accumulator
+      // candidate the emission threshold then drops).
+      if (mark[l][static_cast<std::size_t>(state[l])] != epoch) {
+        mark[l][static_cast<std::size_t>(state[l])] = epoch;
+        vis[l]->push_back(state[l]);
+      }
+      if (done) active &= ~(u32{1} << l);
+    }
+  }
+}
+
+template <SamplingMethod method, int W>
+void run_lockstep_chains_spec(const WalkKernel& k0, Lane* lanes, u32 epoch) {
+  if (lanes[0].live_count == 1) {
+    // One live group per lane (the live template is lane-uniform): take the
+    // register-resident single-unit engine.
+    run_lockstep_chains_spec_single<method, W>(k0, lanes, epoch);
+    return;
+  }
+  Xoshiro256Batch<W> rng;
+  index_t state[W];
+  index_t steps[W];
+  real_t weight[W];
+  u32 active = 0;
+  for (int l = 0; l < W; ++l) {
+    rng.set_lane(l, lanes[l].rng);
+    state[l] = lanes[l].state;
+    steps[l] = lanes[l].steps;
+    weight[l] = lanes[l].weights[0];
+    active |= u32{1} << l;
+  }
+  u64 bits[W];
+  index_t begin[W];
+  index_t end[W];
+  index_t p[W];
+  while (active != 0) {
+    // Gather the row ranges of all W lanes together (a retired lane reads
+    // its stale — still valid — position; its range is never acted on).
+    for (int l = 0; l < W; ++l) {
+      begin[l] = k0.row_ptr[state[l]];
+      end[l] = k0.row_ptr[state[l] + 1];
+    }
+    // Absorbing states retire before the draw: the surviving groups
+    // consumed the whole walk, and no RNG word is spent (the dynamic tier
+    // breaks before sampling too).
+    for (int l = 0; l < W; ++l) {
+      if (((active >> l) & 1u) != 0 && begin[l] == end[l]) {
+        Lane& lane = lanes[l];
+        for (index_t m = 0; m < lane.live_count; ++m) {
+          for (index_t t : lane.live[m].entry->trials) {
+            lane.trans[t] += steps[l];
+          }
+        }
+        active &= ~(u32{1} << l);
+      }
+    }
+    if (active == 0) break;
+    // One batched draw advances every lane's stream; retired lanes' words
+    // are dead (their streams are re-keyed at the next chain).
+    rng.next(bits);
+    if constexpr (method == SamplingMethod::kAlias) {
+      k0.alias.template sample_batch<W>(begin, end, bits, p);
+    } else {
+      for (int l = 0; l < W; ++l) {
+        if (((active >> l) & 1u) == 0) {
+          p[l] = 0;
+          continue;
+        }
+        const real_t target = static_cast<real_t>(bits[l] >> 11) * 0x1.0p-53 *
+                              k0.row_sum[state[l]];
+        const auto first = k0.cum_abs.begin() + begin[l];
+        const auto last = k0.cum_abs.begin() + end[l];
+        auto it = std::upper_bound(first, last, target);
+        if (it == last) --it;
+        p[l] = static_cast<index_t>(it - k0.cum_abs.begin());
+      }
+    }
+    for (int l = 0; l < W; ++l) {
+      if (((active >> l) & 1u) == 0) continue;
+      Lane& lane = lanes[l];
+      weight[l] *= k0.signed_sum[p[l]];
+      state[l] = k0.succ[p[l]];
+      ++steps[l];
+      const real_t aw = std::abs(weight[l]);
+      if (aw > kDivergenceGuard) {
+        // Blow-up: every still-running group breaks at this counted step,
+        // nothing accumulated and no mark (run_walk breaks before both).
+        for (index_t m = 0; m < lane.live_count; ++m) {
+          for (index_t t : lane.live[m].entry->trials) {
+            lane.trans[t] += steps[l];
+            lane.retired[t] += 1;
+          }
+        }
+        active &= ~(u32{1} << l);
+        continue;
+      }
+      for (index_t m = 0; m < lane.live_count;) {
+        LiveGroup& e = lane.live[m];
+        if (aw < e.delta) {
+          // Sticky truncation: crossing step counted, not accumulated.
+          for (index_t t : e.entry->trials) lane.trans[t] += steps[l];
+          e = lane.live[--lane.live_count];
+          continue;
+        }
+        e.acc[state[l]] += weight[l];
+        if (steps[l] == e.cutoff) {
+          for (index_t t : e.entry->trials) lane.trans[t] += steps[l];
+          e = lane.live[--lane.live_count];
+          continue;
+        }
+        ++m;
+      }
+      // Mark before retiring the lane: a cutoff removal above accumulated
+      // into this state, so this lane's emission must see it.
+      if (lane.mark[static_cast<std::size_t>(state[l])] != epoch) {
+        lane.mark[static_cast<std::size_t>(state[l])] = epoch;
+        lane.visited->push_back(state[l]);
+      }
+      if (lane.live_count == 0) active &= ~(u32{1} << l);
+    }
+  }
+}
+
 /// Flattened build request for the interleaved engine: one "unit" per
 /// (alpha, trial) pair, one lane per replicate seed.
 struct EngineUnits {
@@ -510,6 +751,7 @@ EngineOutput run_interleaved_engine(const CsrMatrix& a,
       // One emission engine per thread: its scratch is recycled across every
       // (trial, replicate, alpha) lane instead of re-allocated per emission.
       RowEmitter emitter;
+      std::vector<EmissionUnit> group(static_cast<std::size_t>(n_units));
       std::vector<long long> local_transitions(n_builds, 0);
       std::vector<long long> local_retired(n_builds, 0);
       std::vector<real_t> inv_chains(units.trials.size());
@@ -606,11 +848,28 @@ EngineOutput run_interleaved_engine(const CsrMatrix& a,
               // k = 0 term of the Neumann series, once per chain per group.
               for (index_t m = 0; m < entries; ++m) lane.live[m].acc[i] += 1.0;
             }
+            // Lane-tier dispatch on the active lane count: single-alpha
+            // ensembles whose lane count matches a compiled width run the
+            // SIMD tier (register-resident SoA state, batched RNG + alias
+            // lookups); everything else — multi-alpha, odd lane counts, or
+            // an explicit opt-out — runs the dynamic tier.  Both tiers are
+            // bit-identical, so the choice is invisible in the output.
+            const bool spec = !multi && !options.force_dynamic_lanes &&
+                              (n_lanes == 4 || n_lanes == 8 || n_lanes == 16);
             if (options.sampling == SamplingMethod::kAlias) {
               if (multi) {
                 run_lockstep_chains<SamplingMethod::kAlias, true>(
                     kernels.data(), n_alphas, lanes.data(), active_ptrs.data(),
                     n_lanes, epoch);
+              } else if (spec && n_lanes == 4) {
+                run_lockstep_chains_spec<SamplingMethod::kAlias, 4>(
+                    *kernels[0], lanes.data(), epoch);
+              } else if (spec && n_lanes == 8) {
+                run_lockstep_chains_spec<SamplingMethod::kAlias, 8>(
+                    *kernels[0], lanes.data(), epoch);
+              } else if (spec && n_lanes == 16) {
+                run_lockstep_chains_spec<SamplingMethod::kAlias, 16>(
+                    *kernels[0], lanes.data(), epoch);
               } else {
                 run_lockstep_chains<SamplingMethod::kAlias, false>(
                     kernels.data(), n_alphas, lanes.data(), active_ptrs.data(),
@@ -621,6 +880,15 @@ EngineOutput run_interleaved_engine(const CsrMatrix& a,
                 run_lockstep_chains<SamplingMethod::kInverseCdf, true>(
                     kernels.data(), n_alphas, lanes.data(), active_ptrs.data(),
                     n_lanes, epoch);
+              } else if (spec && n_lanes == 4) {
+                run_lockstep_chains_spec<SamplingMethod::kInverseCdf, 4>(
+                    *kernels[0], lanes.data(), epoch);
+              } else if (spec && n_lanes == 8) {
+                run_lockstep_chains_spec<SamplingMethod::kInverseCdf, 8>(
+                    *kernels[0], lanes.data(), epoch);
+              } else if (spec && n_lanes == 16) {
+                run_lockstep_chains_spec<SamplingMethod::kInverseCdf, 16>(
+                    *kernels[0], lanes.data(), epoch);
               } else {
                 run_lockstep_chains<SamplingMethod::kInverseCdf, false>(
                     kernels.data(), n_alphas, lanes.data(), active_ptrs.data(),
@@ -644,23 +912,25 @@ EngineOutput run_interleaved_engine(const CsrMatrix& a,
         }
 
         // ---- Phase B: emit every (lane, unit) row through the arena path.
-        // Each build streams its own lane's sorted touched set (a superset
-        // of each unit's own) through its accumulator via the same emission
-        // helper the standalone inverter uses.
+        // One emit_group() per lane: the lane's units share its sorted
+        // touched set (a superset of each unit's own), so unit 0's kept
+        // columns pre-rank the candidates for the lane's remaining units.
         for (index_t r = 0; r < n_lanes; ++r) {
           for (index_t u = 0; u < n_units; ++u) {
             const auto b = static_cast<std::size_t>(r) *
                                static_cast<std::size_t>(n_units) +
                            static_cast<std::size_t>(u);
-            row_slices[b][static_cast<std::size_t>(i)] = emitter.emit(
-                arenas[b][static_cast<std::size_t>(tid)], tid, acc_of(r, u),
-                visited[static_cast<std::size_t>(r)], i,
+            group[static_cast<std::size_t>(u)] = {
+                &arenas[b][static_cast<std::size_t>(tid)], acc_of(r, u),
                 inv_chains[static_cast<std::size_t>(u)],
-                kernels[static_cast<std::size_t>(
-                            units.alpha_of[static_cast<std::size_t>(u)])]
-                    ->inv_diag,
-                threshold, row_budget);
+                &kernels[static_cast<std::size_t>(
+                             units.alpha_of[static_cast<std::size_t>(u)])]
+                     ->inv_diag,
+                &row_slices[b][static_cast<std::size_t>(i)]};
           }
+          emitter.emit_group(group.data(), n_units, tid,
+                             visited[static_cast<std::size_t>(r)], i,
+                             threshold, row_budget);
         }
       }
 #pragma omp critical(mcmi_interleaved_transitions)
@@ -818,6 +1088,7 @@ BatchedGridResult batched_grid_build(const CsrMatrix& a, real_t alpha,
       std::vector<index_t> visited;
       // One emission engine per thread, recycled across every trial's rows.
       RowEmitter emitter;
+      std::vector<EmissionUnit> group(static_cast<std::size_t>(g));
       std::vector<long long> local_transitions(trials.size(), 0);
       std::vector<long long> local_retired(trials.size(), 0);
       std::vector<real_t> inv_chains(trials.size());
@@ -886,17 +1157,20 @@ BatchedGridResult batched_grid_build(const CsrMatrix& a, real_t alpha,
         std::sort(visited.begin(), visited.end());
 
         // ---- Phase B: emit every trial's row through the arena path.
-        // Trial-major: each trial streams the shared sorted union (a
-        // touched superset) through its own accumulator via the same
-        // emission helper the standalone inverter uses.
+        // One emit_group() over the trials: they share the sorted union (a
+        // touched superset), so trial 0's kept columns pre-rank the
+        // candidates for the rest of the group.
         for (index_t t = 0; t < g; ++t) {
-          row_slices[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] =
-              emitter.emit(arenas[static_cast<std::size_t>(t)]
-                                 [static_cast<std::size_t>(tid)],
-                           tid, acc_of(t), visited, i,
-                           inv_chains[static_cast<std::size_t>(t)],
-                           kernel.inv_diag, threshold, row_budget);
+          group[static_cast<std::size_t>(t)] = {
+              &arenas[static_cast<std::size_t>(t)]
+                     [static_cast<std::size_t>(tid)],
+              acc_of(t), inv_chains[static_cast<std::size_t>(t)],
+              &kernel.inv_diag,
+              &row_slices[static_cast<std::size_t>(t)]
+                         [static_cast<std::size_t>(i)]};
         }
+        emitter.emit_group(group.data(), g, tid, visited, i, threshold,
+                           row_budget);
       }
 #pragma omp critical(mcmi_batched_transitions)
       {

@@ -129,6 +129,94 @@ RowSlice RowEmitter::emit(RowArena& arena, int tid, real_t* accum,
   return {tid, base, budget};
 }
 
+void RowEmitter::emit_group(EmissionUnit* units, index_t n_units, int tid,
+                            const std::vector<index_t>& touched, index_t row,
+                            real_t threshold, index_t budget) {
+  // Unit 0 pays the full threshold-tracked emission and donates its kept
+  // columns as the group's hot set.
+  *units[0].slice =
+      emit(*units[0].arena, tid, units[0].accum, touched, row,
+           units[0].inv_chains, *units[0].inv_diag, threshold, budget);
+  const RowSlice& s0 = *units[0].slice;
+  hot_.assign(units[0].arena->cols.begin() + s0.offset,
+              units[0].arena->cols.begin() + s0.offset + s0.count);
+
+  for (index_t k = 1; k < n_units; ++k) {
+    const EmissionUnit& unit = units[static_cast<std::size_t>(k)];
+    RowArena& arena = *unit.arena;
+    real_t* accum = unit.accum;
+    const real_t inv_chains = unit.inv_chains;
+    const std::vector<real_t>& inv_diag = *unit.inv_diag;
+    const index_t base = static_cast<index_t>(arena.cols.size());
+
+    if (static_cast<index_t>(touched.size()) <= budget) {
+      // Cannot overflow the budget: the bare threshold filter is exact.
+      for (index_t j : touched) {
+        const real_t pij = accum[j] * inv_chains * inv_diag[j];
+        accum[j] = 0.0;
+        if (j != row && std::abs(pij) <= threshold) continue;
+        arena.cols.push_back(j);
+        arena.vals.push_back(pij);
+      }
+      *unit.slice = {tid, base, static_cast<index_t>(arena.cols.size()) - base};
+      continue;
+    }
+
+    // Bound pass over the shared hot set: this unit's own values at the
+    // columns unit 0 kept.  With at least `budget` candidates among them,
+    // their budget-th largest magnitude is a lower bound on this unit's
+    // exact cut — a candidate strictly below it can never survive.  Accum
+    // slots are only read here; the streaming pass below resets them.
+    mag_.clear();
+    for (index_t j : hot_) {
+      const real_t pij = accum[j] * inv_chains * inv_diag[j];
+      const real_t m = std::abs(pij);
+      if (j != row && m <= threshold) continue;
+      mag_.push_back(m);
+    }
+    real_t bound = 0.0;
+    if (static_cast<index_t>(mag_.size()) >= budget) {
+      std::nth_element(mag_.begin(), mag_.begin() + (budget - 1), mag_.end(),
+                       std::greater<real_t>());
+      bound = mag_[static_cast<std::size_t>(budget - 1)];
+    }
+
+    // Streaming pass: one compare against the fixed bound replaces the
+    // heap bookkeeping; everything rejected is strictly below the exact
+    // cut, so the staged set still contains every survivor and tie.
+    index_t candidates = 0;
+    for (index_t j : touched) {
+      const real_t pij = accum[j] * inv_chains * inv_diag[j];
+      accum[j] = 0.0;
+      const real_t m = std::abs(pij);
+      if (j != row && m <= threshold) continue;
+      ++candidates;
+      if (m < bound) continue;  // can never survive the cut
+      arena.cols.push_back(j);
+      arena.vals.push_back(pij);
+    }
+    const index_t staged = static_cast<index_t>(arena.cols.size()) - base;
+    if (candidates <= budget) {
+      // No overflow implies bound == 0 (a positive bound needs >= budget
+      // hot candidates, all counted above), so nothing was rejected.
+      *unit.slice = {tid, base, staged};
+      continue;
+    }
+
+    // The staged set holds every candidate at or above the exact cut, so
+    // the budget-th largest staged magnitude *is* that cut.
+    mag_.resize(static_cast<std::size_t>(staged));
+    for (index_t q = 0; q < staged; ++q) {
+      mag_[static_cast<std::size_t>(q)] = std::abs(arena.vals[base + q]);
+    }
+    std::nth_element(mag_.begin(), mag_.begin() + (budget - 1), mag_.end(),
+                     std::greater<real_t>());
+    compact_to_budget(arena, base, staged, budget,
+                      mag_[static_cast<std::size_t>(budget - 1)]);
+    *unit.slice = {tid, base, budget};
+  }
+}
+
 RowSlice emit_row_reference(RowArena& arena, int tid, real_t* accum,
                             const std::vector<index_t>& touched, index_t row,
                             real_t inv_chains,

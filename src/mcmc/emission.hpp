@@ -69,6 +69,17 @@
 
 namespace mcmi {
 
+/// One unit of a group emission: a (trial, replicate, alpha) lane of a
+/// batched build that shares the group's touched set but owns its
+/// accumulator, averaging factor, column scaling, and arena.
+struct EmissionUnit {
+  RowArena* arena;                       ///< the unit's append-only storage
+  real_t* accum;                         ///< the unit's dense accumulator
+  real_t inv_chains;                     ///< 1 / chain count of the unit
+  const std::vector<real_t>* inv_diag;   ///< per-column 1 / d_j scaling
+  RowSlice* slice;                       ///< out: the emitted row's slice
+};
+
 /// Scratch-owning row-emission engine shared by every MCMC builder.  See
 /// the file comment for the emission invariant it implements and the
 /// scratch-reuse contract.  Construct one per worker thread and reuse it
@@ -103,10 +114,32 @@ class RowEmitter {
                 real_t inv_chains, const std::vector<real_t>& inv_diag,
                 real_t threshold, index_t budget);
 
+  /// Emit one row for a whole group of units sharing `touched` — the
+  /// (trial, replicate, alpha) lanes of a batched build — with candidate
+  /// pre-ranking shared across the group.  Unit 0 runs the standard
+  /// threshold-tracked emit(); its kept columns become the group's *hot
+  /// set*, and every later unit derives a one-shot rejection bound from its
+  /// own values at those columns (the budget-th largest magnitude over >=
+  /// budget candidates is a lower bound on that unit's exact cut, because
+  /// widening a candidate set can only raise its budget-th largest).  The
+  /// streaming pass then rejects doomed candidates with a single compare
+  /// against the fixed bound — no per-candidate heap maintenance — and the
+  /// final cut is re-derived exactly from the staged survivors, so every
+  /// unit's emitted row is bit-identical to an independent emit() no matter
+  /// how poorly the units correlate.  Each unit's slice lands in
+  /// `units[u].slice`.
+  void emit_group(EmissionUnit* units, index_t n_units, int tid,
+                  const std::vector<index_t>& touched, index_t row,
+                  real_t threshold, index_t budget);
+
  private:
   /// Bounded min-heap over the `budget` largest candidate magnitudes of the
   /// row in flight; cleared per emission, capacity recycled across calls.
   std::vector<real_t> heap_;
+  /// Group emission scratch: the hot-set columns shared across a group and
+  /// the magnitude buffer for the per-unit bound / exact-cut selections.
+  std::vector<index_t> hot_;
+  std::vector<real_t> mag_;
 };
 
 /// Reference emitter: the same emission invariant implemented the

@@ -39,6 +39,13 @@ class SparseApproximateInverse final : public Preconditioner {
     p_.multiply_dot_norm2(x, y, w, dot_wy, norm_sq_y);
   }
 
+  void apply_xpby_dot(const std::vector<real_t>& x, std::vector<real_t>& z,
+                      const std::vector<real_t>& w, real_t rho_prev,
+                      std::vector<real_t>& q, real_t& dot_wz,
+                      real_t& norm_sq_z) const override {
+    p_.multiply_dot_norm2_xpby(x, z, w, rho_prev, q, dot_wz, norm_sq_z);
+  }
+
   [[nodiscard]] std::string name() const override { return name_; }
 
   /// The explicit approximate inverse (inspection / spectra in tests).

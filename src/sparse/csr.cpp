@@ -7,6 +7,7 @@
 
 #include "core/error.hpp"
 #include "core/hash.hpp"
+#include "sparse/vector_ops.hpp"
 
 namespace mcmi {
 
@@ -218,6 +219,59 @@ void CsrMatrix::multiply_dot_norm2(const std::vector<real_t>& x,
   spmv_plan().multiply_dot_norm2(row_ptr_.data(), col_idx_.data(),
                                  values_.data(), x.data(), w.data(), y.data(),
                                  dot_wy, norm_sq_y);
+}
+
+void CsrMatrix::multiply_dot_norm2_xpby(const std::vector<real_t>& x,
+                                        std::vector<real_t>& z,
+                                        const std::vector<real_t>& w,
+                                        real_t rho_prev,
+                                        std::vector<real_t>& q,
+                                        real_t& dot_wz,
+                                        real_t& norm_sq_z) const {
+  MCMI_CHECK(static_cast<index_t>(q.size()) == rows_,
+             "q size " << q.size() << " != rows " << rows_);
+  if (std::atomic_load(&exec_)) {
+    // Backend executions expose only the product entries; compose the
+    // recurrence from them.  Bit-identical to the fused path: the update
+    // expression is elementwise and the reduction rides the backend's own
+    // fixed-order tree.
+    multiply_dot_norm2(x, z, w, dot_wz, norm_sq_z);
+    xpby(z, dot_wz / rho_prev, q);
+    return;
+  }
+  MCMI_CHECK(static_cast<index_t>(x.size()) == cols_,
+             "x size " << x.size() << " != cols " << cols_);
+  MCMI_CHECK(static_cast<index_t>(w.size()) == rows_,
+             "w size " << w.size() << " != rows " << rows_);
+  z.resize(static_cast<std::size_t>(rows_));
+  spmv_plan().multiply_dot_norm2_xpby(row_ptr_.data(), col_idx_.data(),
+                                      values_.data(), x.data(), w.data(),
+                                      z.data(), rho_prev, q.data(), dot_wz,
+                                      norm_sq_z);
+}
+
+real_t CsrMatrix::multiply_dot_axpy2(const std::vector<real_t>& q, real_t rho,
+                                     std::vector<real_t>& aq,
+                                     std::vector<real_t>& x,
+                                     std::vector<real_t>& r) const {
+  MCMI_CHECK(static_cast<index_t>(x.size()) == rows_,
+             "x size " << x.size() << " != rows " << rows_);
+  MCMI_CHECK(static_cast<index_t>(r.size()) == rows_,
+             "r size " << r.size() << " != rows " << rows_);
+  if (std::atomic_load(&exec_)) {
+    std::vector<real_t>& yv = aq;
+    const real_t qaq = multiply_dot(q, yv);
+    if (std::isfinite(qaq) && qaq > 0.0) {
+      axpy2(rho / qaq, q, yv, x, r);
+    }
+    return qaq;
+  }
+  MCMI_CHECK(static_cast<index_t>(q.size()) == cols_,
+             "q size " << q.size() << " != cols " << cols_);
+  aq.resize(static_cast<std::size_t>(rows_));
+  return spmv_plan().multiply_dot_axpy2(row_ptr_.data(), col_idx_.data(),
+                                        values_.data(), q.data(), rho,
+                                        aq.data(), x.data(), r.data());
 }
 
 std::shared_ptr<const CsrMatrix::TransposeGather>

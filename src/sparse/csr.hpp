@@ -101,6 +101,26 @@ class CsrMatrix {
                           const std::vector<real_t>& w, real_t& dot_wy,
                           real_t& norm_sq_y) const;
 
+  /// Fused preconditioned-CG tail: z = A * x with <w, z> / ||z||^2, then
+  /// q = z + (<w, z> / rho_prev) * q — one parallel region on the default
+  /// plan path, composed product + xpby under a backend execution.  Either
+  /// way bit-identical to multiply_dot_norm2 followed by vector_ops xpby.
+  void multiply_dot_norm2_xpby(const std::vector<real_t>& x,
+                               std::vector<real_t>& z,
+                               const std::vector<real_t>& w, real_t rho_prev,
+                               std::vector<real_t>& q, real_t& dot_wz,
+                               real_t& norm_sq_z) const;
+
+  /// Fused CG descent step: aq = A * q returning qaq = <q, aq>, and — only
+  /// when qaq is finite and positive — x += (rho/qaq) * q,
+  /// r -= (rho/qaq) * aq in the same parallel region.  On an invalid qaq
+  /// x and r are untouched, so callers keep their existing breakdown /
+  /// divergence handling.  Bit-identical to multiply_dot + axpy2.
+  [[nodiscard]] real_t multiply_dot_axpy2(const std::vector<real_t>& q,
+                                          real_t rho, std::vector<real_t>& aq,
+                                          std::vector<real_t>& x,
+                                          std::vector<real_t>& r) const;
+
   /// The cached execution plan (shape-derived, built on first use and then
   /// shared by every product for the life of the matrix).
   [[nodiscard]] const SpmvPlan& spmv_plan() const;

@@ -461,6 +461,139 @@ TEST(MultiAlphaBuild, DivergenceRetiresOneAlphaOnly) {
   check_multi_alpha(a, groups, seeds, opt, "multi/divergent");
 }
 
+/// A/B conformance for the compile-time SIMD lane tier: the same replicate
+/// build with the spec tier eligible (seed counts 4/8/16 dispatch to
+/// run_lockstep_chains_spec<W>) and with force_dynamic_lanes set must be
+/// bit-identical, per replicate and per trial, including the walk
+/// accounting.  Dynamic-vs-standalone equality is already pinned above, so
+/// this transitively pins spec-vs-standalone.
+void check_lane_spec(const CsrMatrix& a, real_t alpha,
+                     const std::vector<GridTrial>& trials,
+                     const std::vector<u64>& seeds,
+                     const McmcOptions& options, const char* label) {
+  const ReplicatedGridResult spec =
+      replicate_batched_grid_build(a, alpha, trials, seeds, options);
+  McmcOptions dyn = options;
+  dyn.force_dynamic_lanes = true;
+  const ReplicatedGridResult dynamic =
+      replicate_batched_grid_build(a, alpha, trials, seeds, dyn);
+  ASSERT_EQ(spec.replicates.size(), seeds.size());
+  ASSERT_EQ(dynamic.replicates.size(), seeds.size());
+  for (std::size_t r = 0; r < seeds.size(); ++r) {
+    for (std::size_t t = 0; t < trials.size(); ++t) {
+      expect_equal(spec.replicates[r].preconditioners[t],
+                   dynamic.replicates[r].preconditioners[t], label,
+                   r * 100 + t);
+      EXPECT_EQ(spec.replicates[r].info[t].total_transitions,
+                dynamic.replicates[r].info[t].total_transitions)
+          << label << " replicate " << r << " trial " << t;
+      EXPECT_EQ(spec.replicates[r].info[t].divergence_retirements,
+                dynamic.replicates[r].info[t].divergence_retirements)
+          << label << " replicate " << r << " trial " << t;
+    }
+  }
+}
+
+std::vector<u64> lane_seeds(std::size_t count) {
+  std::vector<u64> seeds(count);
+  for (std::size_t i = 0; i < count; ++i) seeds[i] = 1000 + 37 * i;
+  return seeds;
+}
+
+TEST(LaneSpecialisation, MatchesDynamicAtEveryWidth) {
+  const CsrMatrix a = laplace_2d(8);
+  const std::vector<GridTrial> trials = {{0.25, 0.125}, {0.5, 0.5}};
+  for (std::size_t width : {4u, 8u, 16u}) {
+    check_lane_spec(a, 1.0, trials, lane_seeds(width), {}, "lane/alias");
+    McmcOptions cdf;
+    cdf.sampling = SamplingMethod::kInverseCdf;
+    check_lane_spec(a, 1.0, trials, lane_seeds(width), cdf, "lane/cdf");
+  }
+}
+
+TEST(LaneSpecialisation, MatchesDynamicOnRandomSparse) {
+  const CsrMatrix a = pdd_real_sparse(60, 0.12, 77);
+  check_lane_spec(a, 2.0, test_grid(), lane_seeds(8), {}, "lane/random");
+}
+
+TEST(LaneSpecialisation, MatchesDynamicOnDivergentKernel) {
+  // The divergence guard retires all of a lane's groups at the counted step
+  // without marking the state; both tiers must take that path identically.
+  const CsrMatrix a = divergent_matrix();
+  McmcOptions opt;
+  opt.walk_cap = 64;
+  check_lane_spec(a, 0.01, test_grid(), lane_seeds(4), opt,
+                  "lane/divergent/alias");
+  McmcOptions cdf = opt;
+  cdf.sampling = SamplingMethod::kInverseCdf;
+  check_lane_spec(a, 0.01, test_grid(), lane_seeds(4), cdf,
+                  "lane/divergent/cdf");
+}
+
+TEST(LaneSpecialisation, MatchesDynamicOnSingleTrial) {
+  // A one-trial grid makes the live template one unit wide, which
+  // dispatches the register-resident single-unit engine inside the spec
+  // tier (the replicate-evaluation shape of the tuning loop).  Pin it
+  // against the dynamic tier at every specialised width, under both
+  // sampling methods, and across the divergence-retirement path.
+  const CsrMatrix a = laplace_2d(8);
+  const std::vector<GridTrial> one = {{0.25, 0.125}};
+  for (std::size_t width : {4u, 8u, 16u}) {
+    check_lane_spec(a, 1.0, one, lane_seeds(width), {}, "lane/single/alias");
+    McmcOptions cdf;
+    cdf.sampling = SamplingMethod::kInverseCdf;
+    check_lane_spec(a, 1.0, one, lane_seeds(width), cdf, "lane/single/cdf");
+  }
+  McmcOptions div_opt;
+  div_opt.walk_cap = 64;
+  check_lane_spec(divergent_matrix(), 0.01, one, lane_seeds(8), div_opt,
+                  "lane/single/divergent");
+}
+
+TEST(LaneSpecialisation, MatchesDynamicWithDuplicateSeeds) {
+  // Duplicate seeds give lanes identical streams: retirement happens on the
+  // same round in every duplicate lane, the adversarial case for the
+  // active-mask bookkeeping.
+  const CsrMatrix a = laplace_2d(8);
+  const std::vector<GridTrial> trials = {{0.25, 0.125}};
+  const std::vector<u64> seeds = {42, 42, 7, 42, 7, 42, 42, 42};
+  check_lane_spec(a, 1.0, trials, seeds, {}, "lane/dup-seeds");
+}
+
+TEST(LaneSpecialisation, DeterministicAcrossThreadCounts) {
+  const CsrMatrix a = pdd_real_sparse(50, 0.15, 51);
+  const std::vector<GridTrial> trials = {{0.25, 0.125}, {0.5, 0.25}};
+  const std::vector<u64> seeds = lane_seeds(4);
+
+  auto build = [&](int threads) {
+#ifdef _OPENMP
+    omp_set_num_threads(threads);
+#else
+    (void)threads;
+#endif
+    return replicate_batched_grid_build(a, 1.0, trials, seeds);
+  };
+
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+#endif
+  const ReplicatedGridResult r1 = build(1);
+  const ReplicatedGridResult r2 = build(2);
+  const ReplicatedGridResult r4 = build(4);
+#ifdef _OPENMP
+  omp_set_num_threads(saved);
+#endif
+
+  for (std::size_t r = 0; r < seeds.size(); ++r) {
+    for (std::size_t t = 0; t < trials.size(); ++t) {
+      expect_equal(r2.replicates[r].preconditioners[t],
+                   r1.replicates[r].preconditioners[t], "lane-2-thread", t);
+      expect_equal(r4.replicates[r].preconditioners[t],
+                   r1.replicates[r].preconditioners[t], "lane-4-thread", t);
+    }
+  }
+}
+
 TEST(BatchedBuild, RejectsBadInputs) {
   const CsrMatrix a = laplace_1d(4);
   EXPECT_THROW(batched_grid_build(a, -1.0, {{0.5, 0.5}}), Error);

@@ -247,5 +247,166 @@ TEST(Emission, TouchedSupersetWithZeroSlotsMatchesExactSet) {
   }
 }
 
+/// One randomized group-emission case: `n_units` units share a touched set
+/// but own adversarially independent accumulators (the hot set donated by
+/// unit 0 predicts nothing about the others), per-unit averaging factors,
+/// and per-unit column scalings.  Every unit's emit_group() output must be
+/// bit-identical to the full-sort oracle *and* to an independent emit() of
+/// the same content — no matter how badly the group correlates.
+void check_group_case(Xoshiro256& rng, RowEmitter& emitter, index_t n,
+                      index_t touched_count, index_t n_units, index_t budget,
+                      real_t threshold, bool tie_stress, const char* label) {
+  std::vector<index_t> touched;
+  {
+    std::vector<index_t> pool(static_cast<std::size_t>(n));
+    for (index_t j = 0; j < n; ++j) pool[static_cast<std::size_t>(j)] = j;
+    for (index_t t = 0; t < touched_count; ++t) {
+      const auto pick =
+          t + static_cast<index_t>(rng() % static_cast<u64>(n - t));
+      std::swap(pool[static_cast<std::size_t>(t)],
+                pool[static_cast<std::size_t>(pick)]);
+    }
+    touched.assign(pool.begin(), pool.begin() + touched_count);
+    std::sort(touched.begin(), touched.end());
+  }
+  const index_t row = touched[static_cast<std::size_t>(
+      rng() % static_cast<u64>(touched.size()))];
+
+  std::vector<std::vector<real_t>> accums(static_cast<std::size_t>(n_units));
+  std::vector<std::vector<real_t>> inv_diags(
+      static_cast<std::size_t>(n_units));
+  std::vector<real_t> inv_chains(static_cast<std::size_t>(n_units));
+  for (index_t u = 0; u < n_units; ++u) {
+    auto& accum = accums[static_cast<std::size_t>(u)];
+    accum.assign(static_cast<std::size_t>(n), 0.0);
+    for (index_t j : touched) {
+      const u64 kind = rng() % 8;
+      real_t mag;
+      if (kind == 0) {
+        mag = 0.0;
+      } else if (tie_stress) {
+        const real_t pool[4] = {0.5, 0.25, 0.125, 1e-12};
+        mag = pool[rng() % 4];
+      } else {
+        mag = std::pow(0.5, uniform01(rng) * 30.0);
+      }
+      const real_t sign = (rng() & 1u) != 0 ? 1.0 : -1.0;
+      accum[static_cast<std::size_t>(j)] = sign * mag;
+    }
+    auto& inv_diag = inv_diags[static_cast<std::size_t>(u)];
+    inv_diag.assign(static_cast<std::size_t>(n), 0.0);
+    for (index_t j = 0; j < n; ++j) {
+      inv_diag[static_cast<std::size_t>(j)] = 0.125 + uniform01(rng);
+    }
+    inv_chains[static_cast<std::size_t>(u)] =
+        1.0 / (1.0 + std::floor(uniform01(rng) * 100.0));
+  }
+
+  std::vector<RowArena> arenas(static_cast<std::size_t>(n_units));
+  std::vector<RowSlice> slices(static_cast<std::size_t>(n_units));
+  std::vector<EmissionUnit> group(static_cast<std::size_t>(n_units));
+  std::vector<std::vector<real_t>> group_accums = accums;
+  for (index_t u = 0; u < n_units; ++u) {
+    const auto s = static_cast<std::size_t>(u);
+    group[s] = {&arenas[s], group_accums[s].data(), inv_chains[s],
+                &inv_diags[s], &slices[s]};
+  }
+  emitter.emit_group(group.data(), n_units, 0, touched, row, threshold,
+                     budget);
+
+  RowArena solo_arena;
+  for (index_t u = 0; u < n_units; ++u) {
+    const auto s = static_cast<std::size_t>(u);
+    const std::vector<OracleEntry> expected =
+        oracle_emit(touched, accums[s], row, inv_chains[s], inv_diags[s],
+                    threshold, budget);
+    std::vector<real_t> solo_accum = accums[s];
+    const RowSlice solo =
+        emitter.emit(solo_arena, 0, solo_accum.data(), touched, row,
+                     inv_chains[s], inv_diags[s], threshold, budget);
+    ASSERT_EQ(slices[s].count, static_cast<index_t>(expected.size()))
+        << label << " unit " << u;
+    ASSERT_EQ(solo.count, slices[s].count) << label << " unit " << u;
+    for (index_t q = 0; q < slices[s].count; ++q) {
+      const auto gq = static_cast<std::size_t>(slices[s].offset + q);
+      const auto sq = static_cast<std::size_t>(solo.offset + q);
+      const auto oq = static_cast<std::size_t>(q);
+      EXPECT_EQ(arenas[s].cols[gq], expected[oq].col)
+          << label << " unit " << u << " q=" << q;
+      EXPECT_EQ(arenas[s].vals[gq], expected[oq].val)
+          << label << " unit " << u << " q=" << q;
+      EXPECT_EQ(solo_arena.cols[sq], expected[oq].col)
+          << label << " unit " << u << " q=" << q;
+      EXPECT_EQ(solo_arena.vals[sq], expected[oq].val)
+          << label << " unit " << u << " q=" << q;
+    }
+    // The group path must reset consumed slots exactly like emit().
+    for (index_t j : touched) {
+      EXPECT_EQ(group_accums[s][static_cast<std::size_t>(j)], 0.0)
+          << label << " unit " << u;
+    }
+  }
+}
+
+TEST(EmissionGroup, BitIdenticalToOracleAndSoloEmitRandomized) {
+  Xoshiro256 rng = make_stream(192837465, 3);
+  RowEmitter emitter;
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto budget = static_cast<index_t>(1 + rng() % 12);
+    const index_t n = budget + 2 + static_cast<index_t>(rng() % 200);
+    const index_t counts[4] = {
+        std::max<index_t>(1, budget - 1), budget,
+        std::min<index_t>(n, budget + 1),
+        std::min<index_t>(n, budget + 1 + static_cast<index_t>(rng() % 64))};
+    const index_t touched_count = counts[rng() % 4];
+    const auto n_units = static_cast<index_t>(1 + rng() % 6);
+    const real_t threshold = (rng() % 4 == 0) ? 1e-3 : 1e-9;
+    const bool tie_stress = (rng() % 2) == 0;
+    check_group_case(rng, emitter, n, touched_count, n_units, budget,
+                     threshold, tie_stress, "group-randomized");
+  }
+}
+
+TEST(EmissionGroup, AntiCorrelatedUnitsDefeatTheHotSet) {
+  // Unit 1's largest magnitudes sit exactly on the columns unit 0 rejects:
+  // the shared hot set predicts nothing, the derived bound must still be a
+  // valid lower bound, and unit 1's row must come out exact.
+  const index_t n = 64;
+  std::vector<index_t> touched;
+  for (index_t j = 0; j < n; ++j) touched.push_back(j);
+  std::vector<real_t> inv_diag(static_cast<std::size_t>(n), 1.0);
+  std::vector<real_t> accum0(static_cast<std::size_t>(n), 0.0);
+  std::vector<real_t> accum1(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    const bool low_half = j < n / 2;
+    accum0[static_cast<std::size_t>(j)] = low_half ? 1.0 : 0.25;
+    accum1[static_cast<std::size_t>(j)] = low_half ? 0.25 : 1.0;
+  }
+  const index_t budget = n / 4;  // hot set = unit 0's low-half columns
+
+  RowEmitter emitter;
+  RowArena a0, a1;
+  RowSlice s0, s1;
+  std::vector<real_t> g0 = accum0;
+  std::vector<real_t> g1 = accum1;
+  EmissionUnit group[2] = {{&a0, g0.data(), 1.0, &inv_diag, &s0},
+                           {&a1, g1.data(), 1.0, &inv_diag, &s1}};
+  emitter.emit_group(group, 2, 0, touched, 0, 1e-9, budget);
+
+  const std::vector<OracleEntry> e1 =
+      oracle_emit(touched, accum1, 0, 1.0, inv_diag, 1e-9, budget);
+  ASSERT_EQ(s1.count, static_cast<index_t>(e1.size()));
+  for (index_t q = 0; q < s1.count; ++q) {
+    EXPECT_EQ(a1.cols[static_cast<std::size_t>(s1.offset + q)],
+              e1[static_cast<std::size_t>(q)].col);
+    EXPECT_EQ(a1.vals[static_cast<std::size_t>(s1.offset + q)],
+              e1[static_cast<std::size_t>(q)].val);
+  }
+  // Every kept column of unit 1 lives in the half its hot set missed.
+  for (index_t q = 0; q < s1.count; ++q) {
+    EXPECT_GE(a1.cols[static_cast<std::size_t>(s1.offset + q)], n / 2);
+  }
+}
+
 }  // namespace
 }  // namespace mcmi
